@@ -1,0 +1,24 @@
+# Convenience targets for the HydraDB reproduction.
+
+PYTEST ?= python -m pytest
+
+.PHONY: test bench bench-quick figures examples clean
+
+test:
+	$(PYTEST) tests/
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_SCALE=0.2 $(PYTEST) benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.bench all --scale 0.5
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; python $$ex; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks .hypothesis

@@ -1,0 +1,141 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* compact vs chained hash table (§4.1.3): fewer cachelines and key
+  comparisons per operation;
+* NUMA confinement vs interleaved vs remote placement (§4.1.2);
+* shared vs exclusive remote-pointer cache (§4.2.4): the cascading
+  invalidation effect;
+* replication ack interval (§5.2): how relaxed acknowledgements amortize.
+"""
+
+from repro.bench.experiments import (
+    ablation_ack_interval,
+    ablation_hash_table,
+    ablation_numa,
+    ablation_rptr_sharing,
+)
+from repro.bench.report import print_table
+
+from .conftest import run_once
+
+
+def test_ablation_hash_table(benchmark, scale):
+    rows = run_once(benchmark, ablation_hash_table, scale=scale)
+    print_table(rows, "Ablation — compact vs chained hash table")
+    by = {r["table"]: r for r in rows}
+    assert by["compact"]["lines_per_op"] < by["chained"]["lines_per_op"]
+    assert by["compact"]["keycmps_per_op"] < by["chained"]["keycmps_per_op"]
+    assert by["compact"]["throughput_mops"] >= \
+        0.98 * by["chained"]["throughput_mops"]
+
+
+def test_ablation_numa(benchmark, scale):
+    rows = run_once(benchmark, ablation_numa, scale=scale)
+    print_table(rows, "Ablation — NUMA placement")
+    by = {r["numa_mode"]: r for r in rows}
+    assert by["local"]["throughput_mops"] > by["interleaved"]["throughput_mops"]
+    assert by["interleaved"]["throughput_mops"] > \
+        by["remote"]["throughput_mops"]
+    assert by["local"]["get_us"] < by["remote"]["get_us"]
+
+
+def test_ablation_rptr_sharing(benchmark, scale):
+    rows = run_once(benchmark, ablation_rptr_sharing, scale=scale)
+    print_table(rows, "Ablation — shared vs exclusive rptr cache")
+    by = {r["sharing"]: r for r in rows}
+    # Exclusive caches: every co-located client pays its own invalid read
+    # after an update (the cascading effect); sharing collapses them.
+    assert by[True]["invalid_hits"] < by[False]["invalid_hits"]
+    assert by[True]["caches"] == 1
+    assert by[False]["caches"] > 1
+
+
+def test_ablation_ack_interval(benchmark, scale):
+    rows = run_once(benchmark, ablation_ack_interval)
+    print_table(rows, "Ablation — replication ack interval")
+    by = {r["ack_interval"]: r for r in rows}
+    # Per-record ack solicitation costs more than relaxed intervals.
+    assert by[1]["avg_insert_us"] >= by[32]["avg_insert_us"] * 0.99
+    assert by[1]["ack_requests"] > by[128]["ack_requests"]
+
+
+def test_ablation_subsharding(benchmark, scale):
+    from repro.bench.experiments import ablation_subsharding
+    rows = run_once(benchmark, ablation_subsharding, scale=max(scale, 0.8))
+    print_table(rows, "Ablation — sub-sharding (§6.3)")
+    by = {(r["regime"], r["layout"].split(" ")[0]): r for r in rows}
+    read_sub = by[("read-heavy cached", "1x8")]
+    read_plain = by[("read-heavy cached", "8")]
+    # Collapsing the QP count wins where the NIC is the bottleneck...
+    assert read_sub["throughput_mops"] > 1.15 * read_plain["throughput_mops"]
+    assert read_sub["server_qps"] < read_plain["server_qps"]
+    # ...but the single dispatcher binds on message-heavy mixes.
+    msg_sub = by[("message-heavy", "1x8")]
+    msg_plain = by[("message-heavy", "8")]
+    assert msg_plain["throughput_mops"] > msg_sub["throughput_mops"]
+
+
+def test_ablation_sleep_backoff(benchmark, scale):
+    from repro.bench.experiments import ablation_sleep_backoff
+    rows = run_once(benchmark, ablation_sleep_backoff)
+    print_table(rows, "Ablation — sleep backoff vs busy polling (§4.2.1)")
+    by = {r["sleep_backoff"]: r for r in rows}
+    # Sleep mode: negligible CPU under light load...
+    assert by[True]["core_utilization_pct"] < 10
+    # ...busy polling pegs the core...
+    assert by[False]["core_utilization_pct"] > 90
+    # ...and the latency sacrifice is negligible (<5%).
+    assert by[True]["avg_update_us"] < by[False]["avg_update_us"] * 1.05
+
+
+def test_ablation_lease_length(benchmark, scale):
+    from repro.bench.experiments import ablation_lease_length
+    rows = run_once(benchmark, ablation_lease_length, scale=scale)
+    print_table(rows, "Ablation — lease length (§4.2.3 / C-Hint)")
+    assert len(rows) >= 3
+    # Longer leases: monotonically better fast-path hit rate...
+    hits = [r["fastpath_hit_pct"] for r in rows]
+    assert hits == sorted(hits)
+    # ...but monotonically more retired extents held in the arena.
+    pending = [r["retired_pending"] for r in rows]
+    assert pending == sorted(pending)
+    assert pending[-1] > 5 * max(1, pending[0])
+
+
+def test_ablation_value_size(benchmark, scale):
+    from repro.bench.experiments import ablation_value_size
+    rows = run_once(benchmark, ablation_value_size)
+    print_table(rows, "Ablation — value size sweep (§6)")
+    # Small items are op-rate bound; large items converge on line rate.
+    assert rows[0]["throughput_kops"] > 10 * rows[-1]["throughput_kops"]
+    assert rows[-1]["goodput_gbps"] > 30       # ~40 Gb/s fabric
+    assert rows[0]["get_mean_us"] < 10
+    goodputs = [r["goodput_gbps"] for r in rows]
+    assert goodputs == sorted(goodputs)
+
+
+def test_ablation_transport(benchmark, scale):
+    from repro.bench.experiments import ablation_transport
+    rows = run_once(benchmark, ablation_transport, scale=scale)
+    print_table(rows, "Ablation — HydraDB-RDMA vs HydraDB-TCP")
+    by = {r["transport"]: r for r in rows}
+    # The KV-level RDMA-vs-TCP gap behind Fig. 2: order of magnitude.
+    assert by["rdma"]["throughput_mops"] > 8 * by["tcp"]["throughput_mops"]
+    assert by["tcp"]["get_us"] > 10 * by["rdma"]["get_us"]
+
+
+def test_ablation_ud_messaging(benchmark, scale):
+    from repro.bench.experiments import ablation_ud_messaging
+    rows = run_once(benchmark, ablation_ud_messaging)
+    print_table(rows, "Ablation — RC vs HERD-style UD messaging (§3)")
+    by = {(r["transport"], r["background_qps"]): r for r in rows}
+    # RC delivers everything; its RTT grows past the QP cache.
+    assert all(by[("rc_send", bg)]["delivered_pct"] == 100.0
+               for bg in (0, 256, 512))
+    assert by[("rc_send", 512)]["mean_rtt_us"] > \
+        by[("rc_send", 0)]["mean_rtt_us"] * 1.1
+    # UD is flat in connection count (HERD's point)...
+    assert by[("ud", 512)]["mean_rtt_us"] <= \
+        by[("ud", 0)]["mean_rtt_us"] * 1.02
+    # ...but loses datagrams (the paper's reliability objection).
+    assert by[("ud", 0)]["delivered_pct"] < 99.0

@@ -1,0 +1,29 @@
+"""Fig. 2 — Hadoop/Spark speedups with the HydraDB cache over in-memory HDFS.
+
+Paper shape: I/O-bound Hadoop jobs (TestDFSIO, Data Loading) speed up by
+an order of magnitude (up to 17.9x); Spark jobs gain 4-41%; the RDMA
+transport beats TCP for every application.
+"""
+
+from repro.bench.experiments import fig2_mapreduce
+from repro.bench.report import print_table
+
+from .conftest import run_once
+
+
+def test_fig2_mapreduce_speedups(benchmark, scale):
+    rows = run_once(benchmark, fig2_mapreduce, scale=max(scale, 0.25))
+    print_table(rows, "Fig. 2 — MapReduce acceleration (speedup vs "
+                      "in-memory HDFS)")
+    by_app = {r["app"]: r for r in rows}
+    # I/O-bound Hadoop jobs: order-of-magnitude speedups.
+    assert by_app["TestDFSIO-Read"]["speedup_rdma"] > 8
+    assert by_app["Data-Loading"]["speedup_rdma"] > 8
+    # Spark jobs: modest single-digit-percent to ~50% gains.
+    for app in ("Spark-Scan", "Spark-Join", "Spark-KMeans",
+                "Spark-PageRank"):
+        assert 1.0 < by_app[app]["speedup_rdma"] < 1.7
+    # RDMA beats TCP for every application (Fig. 2's second message).
+    for r in rows:
+        assert r["speedup_rdma"] > r["speedup_tcp"] * 0.95
+        assert r["speedup_tcp"] > 1.0

@@ -1,0 +1,37 @@
+"""Fig. 9 — HydraDB vs Memcached / Redis / RAMCloud on six YCSB mixes.
+
+Paper shape: HydraDB delivers an order of magnitude higher throughput than
+the baselines with far lower latency; its throughput grows strongly with
+the GET fraction (+246% zipfian, +183% uniform from 50% to 100% GET);
+skewed read-heavy workloads benefit the most from RDMA Read.
+"""
+
+from repro.bench.experiments import fig9_overall
+from repro.bench.report import print_table
+
+from .conftest import run_once
+
+
+def test_fig9_overall(benchmark, scale):
+    rows = run_once(benchmark, fig9_overall, scale=scale)
+    print_table(rows, "Fig. 9 — overall comparison")
+    t = {(r["workload"], r["system"]): r["throughput_mops"] for r in rows}
+    lat = {(r["workload"], r["system"]): r["get_us"] for r in rows}
+    workloads = sorted({r["workload"] for r in rows})
+    # Order-of-magnitude throughput over the TCP baselines everywhere,
+    # and a clear win over RAMCloud.
+    for wl in workloads:
+        assert t[(wl, "hydradb")] > 5 * t[(wl, "memcached")]
+        assert t[(wl, "hydradb")] > 5 * t[(wl, "redis")]
+        assert t[(wl, "hydradb")] > 1.5 * t[(wl, "ramcloud")]
+        assert lat[(wl, "hydradb")] < lat[(wl, "memcached")] / 4
+    # GET-fraction scaling (the paper's 246% / 183% observations).
+    zipf_gain = t[("(c) 100% GET zipf", "hydradb")] / \
+        t[("(a) 50% GET zipf", "hydradb")]
+    unif_gain = t[("(f) 100% GET unif", "hydradb")] / \
+        t[("(d) 50% GET unif", "hydradb")]
+    assert zipf_gain > 2.0
+    assert unif_gain > 1.7
+    # Skewed read-heavy beats uniform read-heavy (RDMA Read reuse).
+    assert t[("(c) 100% GET zipf", "hydradb")] >= \
+        0.9 * t[("(f) 100% GET unif", "hydradb")]

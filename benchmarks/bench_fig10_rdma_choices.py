@@ -1,0 +1,50 @@
+"""Fig. 10 — incremental evaluation of the RDMA design choices.
+
+Paper shape (per workload (a)-(f)):
+
+* RDMA-Write messaging beats Send/Recv by 74.7-162.6%, with the gap
+  growing with the GET fraction;
+* adding remote-pointer caching (RDMA Read) gains up to ~30% on zipfian
+  read-heavy mixes and much less on uniform ones;
+* the single-threaded shard beats the pipelined design (which uses 4x the
+  cores) by up to 94.8%, worst for update-heavy mixes (§6.2.1).
+"""
+
+from repro.bench.experiments import fig10_rdma_choices
+from repro.bench.report import print_table
+
+from .conftest import run_once
+
+
+def test_fig10_rdma_choices(benchmark, scale):
+    rows = run_once(benchmark, fig10_rdma_choices, scale=scale)
+    print_table(rows, "Fig. 10 — RDMA design choices")
+    t = {(r["workload"], r["variant"]): r["throughput_mops"] for r in rows}
+    workloads = sorted({r["workload"] for r in rows})
+    for wl in workloads:
+        send_recv = t[(wl, "Send/Recv")]
+        write_only = t[(wl, "RDMA Write Only")]
+        write_read = t[(wl, "RDMA Write + Read")]
+        pipeline = t[(wl, "Pipeline + RDMA Write")]
+        # RDMA-Write messaging wins substantially over Send/Recv.
+        assert write_only > 1.5 * send_recv, wl
+        # Remote-pointer caching never hurts.
+        assert write_read >= 0.97 * write_only, wl
+        # Single-threaded beats pipelined despite 4x fewer cores.
+        assert write_only > 1.1 * pipeline, wl
+    # The Send/Recv gap grows with GET fraction (paper: 78.9% -> 155.2%).
+    gap = {wl: t[(wl, "RDMA Write Only")] / t[(wl, "Send/Recv")]
+           for wl in workloads}
+    assert gap["(c) 100% GET zipf"] > gap["(a) 50% GET zipf"]
+    assert gap["(f) 100% GET unif"] > gap["(d) 50% GET unif"]
+    # The pipeline gap is worst for update-heavy mixes (94.8% at (a)).
+    pgap = {wl: t[(wl, "RDMA Write Only")] / t[(wl, "Pipeline + RDMA Write")]
+            for wl in workloads}
+    assert pgap["(a) 50% GET zipf"] > pgap["(c) 100% GET zipf"]
+    assert pgap["(a) 50% GET zipf"] > 1.6
+    # Read caching helps zipfian more than uniform at the same mix.
+    rgain_zipf = t[("(c) 100% GET zipf", "RDMA Write + Read")] / \
+        t[("(c) 100% GET zipf", "RDMA Write Only")]
+    rgain_unif = t[("(f) 100% GET unif", "RDMA Write + Read")] / \
+        t[("(f) 100% GET unif", "RDMA Write Only")]
+    assert rgain_zipf > rgain_unif

@@ -1,0 +1,32 @@
+"""Fig. 11 — remote-pointer hit analysis across the six YCSB mixes.
+
+Paper shape: successful hits collapse as the update ratio rises (-75.5%
+from 0% to 50% updates, zipfian) while invalid hits explode; uniform
+workloads reuse pointers far less than zipfian ones.
+"""
+
+from repro.bench.experiments import fig11_hit_analysis
+from repro.bench.report import print_table
+
+from .conftest import run_once
+
+
+def test_fig11_hits(benchmark, scale):
+    rows = run_once(benchmark, fig11_hit_analysis, scale=scale)
+    print_table(rows, "Fig. 11 — remote-pointer hits")
+    by = {r["workload"]: r for r in rows}
+    # Pure-GET runs never observe an invalid pointer.
+    assert by["(c) 100% GET zipf"]["invalid_hits"] == 0
+    assert by["(f) 100% GET unif"]["invalid_hits"] == 0
+    # Updates destroy successful hits (paper: -75.5% from 0% -> 50% upd).
+    assert by["(a) 50% GET zipf"]["successful_hits"] < \
+        0.5 * by["(c) 100% GET zipf"]["successful_hits"]
+    # ...and create invalid hits.
+    assert by["(a) 50% GET zipf"]["invalid_hits"] > \
+        by["(b) 90% GET zipf"]["invalid_hits"] * 0.5
+    assert by["(a) 50% GET zipf"]["invalid_hits"] > 0
+    # Zipfian reuses pointers far more than uniform at every mix.
+    for z, u in (("(a) 50% GET zipf", "(d) 50% GET unif"),
+                 ("(b) 90% GET zipf", "(e) 90% GET unif"),
+                 ("(c) 100% GET zipf", "(f) 100% GET unif")):
+        assert by[z]["successful_hits"] > 1.5 * by[u]["successful_hits"]

@@ -1,0 +1,31 @@
+"""Fig. 13 — replication protocols: RDMA logging vs strict request/ack.
+
+Paper shape: strict request/acknowledge consistently ~doubles the INSERT
+latency; RDMA logging replication adds only ~12.3% for one replica and
+~41.1% for two.
+"""
+
+from repro.bench.experiments import fig13_replication
+from repro.bench.report import print_table
+
+from .conftest import run_once
+
+
+def test_fig13_replication(benchmark, scale):
+    rows = run_once(benchmark, fig13_replication, scale=scale,
+                    client_counts=(1, 10, 20, 40))
+    print_table(rows, "Fig. 13 — replication latency overhead")
+    by = {(r["clients"], r["protocol"]): r for r in rows}
+    for n in (1, 10, 20, 40):
+        log1 = by[(n, "rdma logging x1")]["overhead_pct"]
+        log2 = by[(n, "rdma logging x2")]["overhead_pct"]
+        strict1 = by[(n, "strict req/ack x1")]["overhead_pct"]
+        strict2 = by[(n, "strict req/ack x2")]["overhead_pct"]
+        # Logging is cheap: one replica well under 35%, two under 60%.
+        assert log1 < 35
+        assert log1 < log2 < 60
+        # Strict req/ack roughly doubles latency (or worse, loaded).
+        assert strict1 > 60
+        assert strict2 >= strict1 * 0.9
+        # Logging always beats strict.
+        assert log2 < strict1

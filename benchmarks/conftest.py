@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Benchmarks run each figure's experiment once (rounds=1) — the "timing"
+pytest-benchmark records is the wall-clock cost of reproducing the figure,
+and the interesting output is the printed paper-style table.  Scale the
+experiments up with e.g. ``REPRO_SCALE=3 pytest benchmarks/``.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Experiment scale factor (fraction of the 10k-op default)."""
+    return float(os.environ.get("REPRO_SCALE", "0.4"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Elasticity walkthrough (§5.1): growing the cluster under SWAT.
+
+SWAT doesn't just react to failures — node joins are status changes too:
+the leader migrates the consistent-hashing arcs the new shards now own
+out of the old shards (replicating the deletions to keep secondaries in
+step), then admits the new shards to the ring.
+
+Run with::
+
+    python examples/elastic.py
+"""
+
+from repro import HydraCluster, SimConfig
+
+MS = 1_000_000
+
+
+def shard_sizes(cluster) -> dict[str, int]:
+    return {sid: len(cluster.routing.resolve(sid).store)
+            for sid in sorted(cluster.ring.members)}
+
+
+def main() -> None:
+    cfg = SimConfig().with_overrides(replication={"replicas": 1})
+    cluster = HydraCluster(config=cfg, n_server_machines=1,
+                           shards_per_server=2, n_client_machines=1)
+    ha = cluster.enable_ha()
+    cluster.start()
+    client = cluster.client()
+    sim = cluster.sim
+    n = 400
+
+    def load():
+        for i in range(n):
+            yield from client.put(f"item:{i:05d}".encode(),
+                                  f"payload-{i}".encode())
+
+    cluster.run(load())
+    print(f"[{sim.now/MS:8.2f}ms] loaded {n} keys")
+    print(f"           placement: {shard_sizes(cluster)}")
+
+    sim.run(until=sim.now + 30 * MS)  # replication settles
+    print(f"[{sim.now/MS:8.2f}ms] joining a new server with 2 shards...")
+    join = sim.process(ha.swat.join_server(n_shards=2))
+    sim.run(until=join)
+    sizes = shard_sizes(cluster)
+    moved = sum(sizes[sid] for sid in sizes if sid.startswith("s1"))
+    print(f"[{sim.now/MS:8.2f}ms] ring now has {len(cluster.ring)} shards; "
+          f"{moved} keys migrated to the new server")
+    print(f"           placement: {sizes}")
+    assert sum(sizes.values()) == n, "keys lost in migration!"
+
+    def verify():
+        misses = 0
+        for i in range(n):
+            value = yield from client.get(f"item:{i:05d}".encode())
+            if value != f"payload-{i}".encode():
+                misses += 1
+        print(f"[{sim.now/MS:8.2f}ms] verified all {n} keys post-migration: "
+              f"{misses} wrong")
+
+    cluster.run(verify())
+
+    # Secondaries track the shrunken primaries too (migration deletions
+    # were replicated), so a failover right now would stay consistent.
+    sim.run(until=sim.now + 50 * MS)
+    for sid, secs in cluster.secondaries.items():
+        primary = cluster.routing.resolve(sid)
+        for sec in secs:
+            assert sec.store.dump() == primary.store.dump(), sid
+    print("           every secondary matches its (possibly shrunken) "
+          "primary")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""MapReduce acceleration scenario (§2.1 / Fig. 2).
+
+HydraDB as a cache layer on top of HDFS: analytics tasks stream their
+input from the key-value cache over RDMA instead of through the HDFS
+datanode protocol.  This script runs three representative applications
+against all three I/O backends and prints the speedups.
+
+Run with::
+
+    python examples/mapreduce_cache.py
+"""
+
+from repro.config import SimConfig
+from repro.hardware import Machine
+from repro.rdma import Fabric, TcpNetwork
+from repro.sim import Simulator
+from repro.workloads import (
+    AppProfile,
+    HdfsBackend,
+    HydraBackend,
+    HydraTcpBackend,
+    run_job,
+)
+
+APPS = (
+    AppProfile("TestDFSIO-Read", "hadoop", input_mb=128,
+               compute_ns_per_mb=0),
+    AppProfile("WordCount", "hadoop", input_mb=96,
+               compute_ns_per_mb=400_000),
+    AppProfile("Spark-Scan", "spark", input_mb=64,
+               compute_ns_per_mb=18_000_000),
+)
+
+
+def tcp_world():
+    cfg = SimConfig()
+    sim = Simulator()
+    fabric, tcpnet = Fabric(sim, cfg), TcpNetwork(sim, cfg)
+    machines = [Machine(sim, i, cfg) for i in range(3)]
+    for m in machines:
+        fabric.attach(m)
+        tcpnet.attach(m)
+    return cfg, sim, machines
+
+
+def job_time_hdfs(profile):
+    cfg, sim, machines = tcp_world()
+    backend = HdfsBackend(sim, cfg, machines[0], machines[1:])
+    conns = [sim.run(until=sim.process(backend.connect(machines[1 + i % 2])))
+             for i in range(profile.n_tasks)]
+    return run_job(sim, profile, conns)
+
+
+def job_time_hydra_rdma(profile):
+    backend = HydraBackend(None, SimConfig())
+    backend.preload(profile.input_mb)  # the cache layer's prefetch phase
+    conns = [backend.sim.run(until=backend.sim.process(backend.connect(i)))
+             for i in range(profile.n_tasks)]
+    return run_job(backend.sim, profile, conns)
+
+
+def job_time_hydra_tcp(profile):
+    cfg, sim, machines = tcp_world()
+    backend = HydraTcpBackend(sim, cfg, machines[0])
+    conns = [sim.run(until=sim.process(backend.connect(machines[1 + i % 2])))
+             for i in range(profile.n_tasks)]
+    return run_job(sim, profile, conns)
+
+
+def main() -> None:
+    print(f"{'application':16s} {'in-mem HDFS':>12s} {'Hydra RDMA':>11s} "
+          f"{'Hydra TCP':>10s} {'speedup':>8s} {'tcp-speedup':>11s}")
+    for profile in APPS:
+        t_hdfs = job_time_hdfs(profile)
+        t_rdma = job_time_hydra_rdma(profile)
+        t_tcp = job_time_hydra_tcp(profile)
+        print(f"{profile.name:16s} {t_hdfs/1e6:10.1f}ms {t_rdma/1e6:9.1f}ms "
+              f"{t_tcp/1e6:8.1f}ms {t_hdfs/t_rdma:7.2f}x "
+              f"{t_hdfs/t_tcp:10.2f}x")
+    print("\nAs in Fig. 2: I/O-bound Hadoop jobs gain an order of magnitude;"
+          "\ncompute-bound Spark jobs gain modestly; RDMA beats TCP "
+          "throughout.")
+
+
+if __name__ == "__main__":
+    main()

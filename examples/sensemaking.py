@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""G2 Sensemaking scenario (§2.2 / Fig. 3).
+
+Assertion-making engines resolve entities (GETs) and persist derived
+observations (PUTs) per event.  Against the relational in-memory database
+the engines stall on the store; against HydraDB they keep scaling.
+
+Run with::
+
+    python examples/sensemaking.py
+"""
+
+from repro.config import SimConfig
+from repro.hardware import Machine
+from repro.protocol import Op
+from repro.rdma import Fabric, TcpNetwork
+from repro.sim import Simulator
+from repro.workloads import (
+    DbClient,
+    G2Profile,
+    InMemoryDatabase,
+    hydra_g2_cluster,
+    preload_entities,
+    run_engines,
+)
+
+PROFILE = G2Profile(entity_space=8_000, lookups_per_event=3,
+                    writes_per_event=1, compute_ns_per_event=5_000)
+EVENTS = 50
+
+
+def db_events_per_s(n_engines: int) -> float:
+    cfg = SimConfig()
+    sim = Simulator()
+    fabric, tcpnet = Fabric(sim, cfg), TcpNetwork(sim, cfg)
+    machines = [Machine(sim, i, cfg) for i in range(5)]
+    for m in machines:
+        fabric.attach(m)
+        tcpnet.attach(m)
+    db = InMemoryDatabase(sim, cfg, machines[0])
+    preload_entities(db.tables.__setitem__, PROFILE)
+    clients = [DbClient(sim, machines[1 + i % 4], db)
+               for i in range(n_engines)]
+    eps, _ = run_engines(sim, clients, PROFILE, EVENTS)
+    return eps
+
+
+def hydra_events_per_s(n_engines: int) -> float:
+    cluster = hydra_g2_cluster()
+    preload_entities(
+        lambda k, v: cluster.route(k).store.upsert(k, v, Op.PUT), PROFILE)
+    cluster.start()
+    clients = [cluster.client(i % 4) for i in range(n_engines)]
+    eps, _ = run_engines(cluster.sim, clients, PROFILE, EVENTS)
+    return eps
+
+
+def main() -> None:
+    print(f"{'engines':>8s} {'in-mem DB (ev/s)':>17s} "
+          f"{'HydraDB (ev/s)':>15s} {'ratio':>7s}")
+    for n in (1, 2, 4, 8, 16, 32):
+        db = db_events_per_s(n)
+        hy = hydra_events_per_s(n)
+        print(f"{n:8d} {db:17,.0f} {hy:15,.0f} {hy/db:6.1f}x")
+    print("\nAs in Fig. 3: the database saturates early while HydraDB lets"
+          "\n~4x more engines operate, at an order of magnitude more "
+          "throughput.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of HydraDB (SC '15) on a simulated RDMA fabric.
+
+HydraDB is a resilient, RDMA-driven in-memory key-value middleware.  This
+package reimplements the full system — RDMA-Write message passing,
+RDMA-Read GET acceleration with leases and guardian words, the compact
+cache-friendly hash table, single-threaded multicore-aware shards,
+star-formed replication with RDMA logging, and ZooKeeper/SWAT failover —
+on top of a deterministic discrete-event simulation of the paper's
+InfiniBand testbed (see DESIGN.md for the substitution rationale).
+
+Entry points:
+
+* :class:`repro.HydraCluster` — build and drive a cluster (quickstart API).
+* :mod:`repro.bench.experiments` — canned reproductions of every figure.
+* :mod:`repro.baselines` — Memcached/Redis/RAMCloud behavioural models.
+"""
+
+from .config import SimConfig
+from .core import HydraClient, HydraCluster
+
+__version__ = "1.0.0"
+
+__all__ = ["HydraCluster", "HydraClient", "SimConfig", "__version__"]

@@ -1,0 +1,19 @@
+"""Baseline in-memory key-value stores for the Fig. 9 comparison."""
+
+from .base import BaselineClient, BaselineServer, WIRE_OVERHEAD
+from .memcached import MemcachedClient, MemcachedServer
+from .ramcloud import RamcloudClient, RamcloudServer
+from .redis import RedisClient, RedisInstance, RedisServer
+
+__all__ = [
+    "BaselineClient",
+    "BaselineServer",
+    "WIRE_OVERHEAD",
+    "MemcachedServer",
+    "MemcachedClient",
+    "RedisServer",
+    "RedisInstance",
+    "RedisClient",
+    "RamcloudServer",
+    "RamcloudClient",
+]

@@ -1,0 +1,88 @@
+"""Shared machinery for the baseline key-value stores of Fig. 9.
+
+The baselines are *behavioural* models: they reproduce each system's
+architectural cost structure (kernel TCP stacks, shared locks, single
+dispatch threads, client-side sharding) on the same simulated hardware,
+not their code.  All expose the same minimal client protocol the YCSB
+runner drives: generator ``get(key)`` / ``put(key, value)`` /
+``update(key, value)`` / ``insert(key, value)``.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+from ..config import SimConfig
+from ..hardware import Machine
+from ..sim import MetricSet, Simulator
+
+__all__ = ["BaselineClient", "BaselineServer", "WIRE_OVERHEAD"]
+
+#: Protocol framing bytes added to every request/response on the wire.
+WIRE_OVERHEAD = 40
+
+_ids = count(1)
+
+
+class BaselineServer:
+    """Base server: owns the machine, metrics, and a dict-backed store."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 name: str, metrics: Optional[MetricSet] = None):
+        self.sim = sim
+        self.config = config
+        self.cpu = config.cpu
+        self.machine = machine
+        self.name = name
+        self.metrics = metrics or MetricSet(sim)
+        self.started = False
+
+    def start(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _service_cost_ns(self, op: str, klen: int, vlen: int,
+                         extra_lines: int = 3) -> int:
+        """Generic per-request CPU: parse + index walk + payload copy."""
+        cost = (self.cpu.parse_ns + self.cpu.hash_key_ns
+                + self.cpu.cacheline_ns(extra_lines)
+                + self.cpu.build_response_ns)
+        if op == "get":
+            cost += self.cpu.memcpy_ns(vlen)
+        else:
+            cost += self.cpu.memcpy_ns(klen + vlen) + self.cpu.alloc_ns
+        return cost
+
+
+class BaselineClient:
+    """Base client: request/response over a provided transport hook."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 name: str = ""):
+        self.sim = sim
+        self.config = config
+        self.cpu = config.cpu
+        self.machine = machine
+        self.name = name or f"bclient{next(_ids)}"
+
+    # Subclasses implement _call(op, key, value) as a generator returning
+    # the response value (bytes | None).
+    def _call(self, op: str, key: bytes, value: bytes):  # pragma: no cover
+        raise NotImplementedError
+        yield
+
+    def get(self, key: bytes):
+        return (yield from self._call("get", key, b""))
+
+    def put(self, key: bytes, value: bytes):
+        return (yield from self._call("set", key, value))
+
+    # YCSB-compatible aliases: the baselines treat all writes as SET.
+    def update(self, key: bytes, value: bytes):
+        return (yield from self._call("set", key, value))
+
+    def insert(self, key: bytes, value: bytes):
+        return (yield from self._call("set", key, value))
+
+    def delete(self, key: bytes):
+        return (yield from self._call("delete", key, b""))

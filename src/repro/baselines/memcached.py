@@ -1,0 +1,101 @@
+"""Memcached model (v1.4-era): threaded TCP server with a global cache lock.
+
+Architecture priced by the model:
+
+* every request crosses the kernel TCP stack twice on the server (the
+  IPoIB path of the paper's evaluation),
+* libevent worker threads multiplex connections — a counted
+  :class:`~repro.sim.resources.Resource` of ``n_threads``,
+* the 1.4-series global cache lock serializes item/table access across
+  threads, which is what flattens its multicore scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..hardware import Machine
+from ..rdma.tcp import TcpConnection
+from ..sim import MetricSet, Mutex, Resource, Simulator
+from .base import WIRE_OVERHEAD, BaselineClient, BaselineServer
+
+__all__ = ["MemcachedServer", "MemcachedClient"]
+
+PORT = 11211
+#: Time the global cache lock is held per operation.
+LOCK_HOLD_NS = 350
+
+
+class MemcachedServer(BaselineServer):
+    """A single memcached instance with ``n_threads`` workers."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 n_threads: int = 8, metrics: Optional[MetricSet] = None):
+        super().__init__(sim, config, machine, "memcached", metrics=metrics)
+        self.n_threads = n_threads
+        self.store: dict[bytes, bytes] = {}
+        self.threads = Resource(sim, capacity=n_threads)
+        self.cache_lock = Mutex(sim)
+
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError("server already started")
+        self.started = True
+        listener = self.machine.tcp.listen(PORT)
+        self.sim.process(self._acceptor(listener), name="memcached.accept")
+
+    def _acceptor(self, listener):
+        while True:
+            conn = yield listener.get()
+            self.sim.process(self._connection(conn), name="memcached.conn")
+
+    def _connection(self, conn: TcpConnection):
+        while conn.open:
+            (op, key, value), _n = yield conn.recv()
+            # A worker thread picks the ready event up.
+            slot = self.threads.request()
+            yield slot
+            self.metrics.counter("memcached.requests").add()
+            cost = self._service_cost_ns(op, len(key), len(value))
+            lock = self.cache_lock.request()
+            yield lock
+            yield self.sim.timeout(LOCK_HOLD_NS)
+            if op == "get":
+                result = self.store.get(key)
+            elif op == "set":
+                self.store[key] = value
+                result = b"STORED"
+            elif op == "delete":
+                result = b"DELETED" if self.store.pop(key, None) else None
+            else:
+                result = None
+            self.cache_lock.release(lock)
+            yield self.sim.timeout(cost)
+            nbytes = WIRE_OVERHEAD + (len(result) if result else 0)
+            yield conn.send(result, nbytes)
+            self.threads.release(slot)
+
+
+class MemcachedClient(BaselineClient):
+    """Client using the kernel TCP transport."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 server: MemcachedServer):
+        super().__init__(sim, config, machine)
+        self.server = server
+        self._conn: Optional[TcpConnection] = None
+
+    def connect(self):
+        ev = self.machine.tcp.connect(self.server.machine.tcp, PORT)
+        self._conn = yield ev
+        return self._conn
+
+    def _call(self, op: str, key: bytes, value: bytes):
+        if self._conn is None:
+            yield from self.connect()
+        yield self.sim.timeout(self.cpu.parse_ns)  # client marshalling
+        nbytes = WIRE_OVERHEAD + len(key) + len(value)
+        yield self._conn.send((op, key, value), nbytes)
+        result, _n = yield self._conn.recv()
+        return result

@@ -1,0 +1,128 @@
+"""RAMCloud model: native InfiniBand Send/Recv, dispatch + worker threads.
+
+RAMCloud's infrc transport gives it microsecond-class RPCs (far ahead of
+the IPoIB baselines), but its threading architecture caps throughput: a
+single *dispatch* thread polls the receive CQs and hands each RPC to a
+worker — every request pays the dispatch service time and a hand-off, so
+the server saturates near ``1 / dispatch_cost`` regardless of worker
+count.  Writes additionally pay a log append (log-structured memory).
+This is the cost structure Fig. 9's RAMCloud columns show: decent latency,
+an order of magnitude less throughput than HydraDB.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..hardware import Machine
+from ..sim import Gate, MetricSet, Resource, Simulator, Store
+from .base import WIRE_OVERHEAD, BaselineClient, BaselineServer
+
+__all__ = ["RamcloudServer", "RamcloudClient"]
+
+DISPATCH_NS = 1000     # dispatch thread per-RPC: CQ poll + demux + handoff
+LOG_APPEND_NS = 600    # log-structured write path (append + hash update)
+
+
+class RamcloudServer(BaselineServer):
+    """One RAMCloud master with 1 dispatch + ``n_workers`` worker threads."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 n_workers: int = 7, metrics: Optional[MetricSet] = None):
+        super().__init__(sim, config, machine, "ramcloud", metrics=metrics)
+        self.n_workers = n_workers
+        self.store: dict[bytes, bytes] = {}
+        self.log_head = 0
+        self._qps = []
+        self._doorbell = Gate(sim)
+        self._ready = Store(sim)
+        self.workers = Resource(sim, capacity=n_workers)
+
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError("server already started")
+        self.started = True
+        self.sim.process(self._dispatch(), name="ramcloud.dispatch")
+
+    def accept(self, client_nic):
+        """Connect a client: an RC QP pair with pre-posted receives."""
+        fabric = self.machine.nic.fabric
+        client_qp, server_qp = fabric.connect(client_nic, self.machine.nic)
+        for _ in range(32):
+            server_qp.post_recv()
+        server_qp.recv_cq.on_push.append(lambda _cq: self._doorbell.fire())
+        self._qps.append(server_qp)
+        return client_qp
+
+    def _dispatch(self):
+        while True:
+            progressed = False
+            for qp in self._qps:
+                cqe = qp.recv_cq.poll_one()
+                if cqe is None or not cqe.ok:
+                    continue
+                qp.post_recv()
+                # Dispatch thread demuxes and hands off to a worker.
+                yield self.sim.timeout(DISPATCH_NS)
+                self.sim.process(self._worker(qp, cqe.data),
+                                 name="ramcloud.worker")
+                progressed = True
+            if not progressed:
+                yield self._doorbell.wait()
+                yield self.sim.timeout(self.cpu.cq_poll_ns)
+
+    def _worker(self, qp, data):
+        slot = self.workers.request()
+        yield slot
+        import pickle
+        op, key, value = pickle.loads(data)
+        self.metrics.counter("ramcloud.requests").add()
+        cost = self._service_cost_ns(op, len(key), len(value))
+        if op == "set":
+            cost += LOG_APPEND_NS
+            self.log_head += len(key) + len(value) + 16
+        yield self.sim.timeout(cost)
+        if op == "get":
+            result = self.store.get(key)
+        elif op == "set":
+            self.store[key] = value
+            result = b"OK"
+        elif op == "delete":
+            result = b"1" if self.store.pop(key, None) else b"0"
+        else:
+            result = None
+        payload = pickle.dumps(result)
+        qp.post_send(payload + bytes(WIRE_OVERHEAD))
+        self.workers.release(slot)
+
+
+class RamcloudClient(BaselineClient):
+    """Issues RPCs over the RC Send/Recv transport."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 server: RamcloudServer):
+        super().__init__(sim, config, machine)
+        self.server = server
+        self._qp = None
+        self._cq_doorbell = Gate(sim)
+
+    def _connect(self) -> None:
+        self._qp = self.server.accept(self.machine.nic)
+        self._qp.recv_cq.on_push.append(
+            lambda _cq: self._cq_doorbell.fire())
+
+    def _call(self, op: str, key: bytes, value: bytes):
+        import pickle
+        if self._qp is None:
+            self._connect()
+        yield self.sim.timeout(self.cpu.parse_ns)
+        self._qp.post_recv()
+        payload = pickle.dumps((op, key, value))
+        self._qp.post_send(payload + bytes(WIRE_OVERHEAD))
+        while True:
+            cqe = self._qp.recv_cq.poll_one()
+            if cqe is not None and cqe.ok:
+                yield self.sim.timeout(self.cpu.cq_poll_ns)
+                return pickle.loads(cqe.data[:-WIRE_OVERHEAD])
+            yield self._cq_doorbell.wait()

@@ -1,0 +1,120 @@
+"""Redis model (2.8-era): single-threaded instances, client-side sharding.
+
+The paper runs 8 Redis instances per machine with fine-grained client-side
+sharding.  Each instance is one event loop: requests on all of its
+connections are serviced strictly serially (no locks needed), so the
+per-instance throughput ceiling is ``1 / service_time`` and skewed
+workloads overload the instance owning the hot keys — the behaviour the
+Fig. 9 Zipfian columns expose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..hardware import Machine
+from ..index.hashing import hash64
+from ..rdma.tcp import TcpConnection
+from ..sim import MetricSet, Simulator, Store
+from .base import WIRE_OVERHEAD, BaselineClient, BaselineServer
+
+__all__ = ["RedisServer", "RedisInstance", "RedisClient"]
+
+BASE_PORT = 6379
+#: Extra per-op cost of redis's dynamic object machinery vs memcached.
+OBJECT_OVERHEAD_NS = 500
+
+
+class RedisInstance(BaselineServer):
+    """One single-threaded redis-server process."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 port: int, metrics: Optional[MetricSet] = None):
+        super().__init__(sim, config, machine, f"redis:{port}",
+                         metrics=metrics)
+        self.port = port
+        self.store: dict[bytes, bytes] = {}
+        #: The event-loop's ready queue: (conn, request) pairs.
+        self._ready = Store(sim)
+
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError("instance already started")
+        self.started = True
+        listener = self.machine.tcp.listen(self.port)
+        self.sim.process(self._acceptor(listener), name=f"{self.name}.accept")
+        self.sim.process(self._event_loop(), name=f"{self.name}.loop")
+
+    def _acceptor(self, listener):
+        while True:
+            conn = yield listener.get()
+            self.sim.process(self._reader(conn), name=f"{self.name}.rd")
+
+    def _reader(self, conn: TcpConnection):
+        while conn.open:
+            request, _n = yield conn.recv()
+            self._ready.put((conn, request))
+
+    def _event_loop(self):
+        while True:
+            conn, (op, key, value) = yield self._ready.get()
+            self.metrics.counter("redis.requests").add()
+            cost = (self._service_cost_ns(op, len(key), len(value))
+                    + OBJECT_OVERHEAD_NS)
+            yield self.sim.timeout(cost)
+            if op == "get":
+                result = self.store.get(key)
+            elif op == "set":
+                self.store[key] = value
+                result = b"OK"
+            elif op == "delete":
+                result = b"1" if self.store.pop(key, None) else b"0"
+            else:
+                result = None
+            nbytes = WIRE_OVERHEAD + (len(result) if result else 0)
+            yield conn.send(result, nbytes)
+
+
+class RedisServer:
+    """The machine-level deployment: N instances on consecutive ports."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 n_instances: int = 8, metrics: Optional[MetricSet] = None):
+        self.machine = machine
+        self.instances = [
+            RedisInstance(sim, config, machine, BASE_PORT + i,
+                          metrics=metrics)
+            for i in range(n_instances)
+        ]
+
+    def start(self) -> None:
+        for inst in self.instances:
+            inst.start()
+
+
+class RedisClient(BaselineClient):
+    """Shards keys across instances by hash (client-side sharding)."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 server: RedisServer):
+        super().__init__(sim, config, machine)
+        self.server = server
+        self._conns: dict[int, TcpConnection] = {}
+
+    def _instance_for(self, key: bytes) -> RedisInstance:
+        idx = hash64(key) % len(self.server.instances)
+        return self.server.instances[idx]
+
+    def _call(self, op: str, key: bytes, value: bytes):
+        inst = self._instance_for(key)
+        conn = self._conns.get(inst.port)
+        if conn is None:
+            ev = self.machine.tcp.connect(inst.machine.tcp, inst.port)
+            conn = yield ev
+            self._conns[inst.port] = conn
+        yield self.sim.timeout(self.cpu.parse_ns)
+        nbytes = WIRE_OVERHEAD + len(key) + len(value)
+        yield conn.send((op, key, value), nbytes)
+        result, _n = yield conn.recv()
+        return result

@@ -1,0 +1,14 @@
+"""Benchmark harness: stats, the YCSB driver, canned per-figure experiments."""
+
+from .runner import drive_ycsb, preload_dicts, preload_hydra, run_hydra_ycsb
+from .stats import LatencySummary, RunResult, summarize
+
+__all__ = [
+    "drive_ycsb",
+    "preload_hydra",
+    "preload_dicts",
+    "run_hydra_ycsb",
+    "LatencySummary",
+    "RunResult",
+    "summarize",
+]

@@ -1,0 +1,122 @@
+"""Command-line experiment harness: ``python -m repro.bench <figure> ...``.
+
+Examples::
+
+    python -m repro.bench fig9              # one figure
+    python -m repro.bench fig12out fig12up  # several
+    python -m repro.bench all --scale 1.0   # everything (slow)
+    python -m repro.bench fig13 --out results.txt
+
+Prints the same rows/series the paper reports; EXPERIMENTS.md records a
+reference run of this harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .experiments import (
+    ablation_ack_interval,
+    ablation_lease_length,
+    ablation_sleep_backoff,
+    ablation_transport,
+    ablation_ud_messaging,
+    ablation_value_size,
+    ablation_subsharding,
+    ablation_hash_table,
+    ablation_numa,
+    ablation_rptr_sharing,
+    fig2_mapreduce,
+    fig3_sensemaking,
+    fig9_overall,
+    fig10_rdma_choices,
+    fig11_hit_analysis,
+    fig12_scale_out,
+    fig12_scale_up,
+    fig13_replication,
+)
+from .report import format_table
+
+EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
+    # name -> (title, function, takes_scale)
+    "fig2": ("Fig. 2 — MapReduce acceleration (speedups vs in-memory HDFS)",
+             fig2_mapreduce, True),
+    "fig3": ("Fig. 3 — G2 Sensemaking: events/s vs engines",
+             fig3_sensemaking, True),
+    "fig9": ("Fig. 9 — HydraDB vs Memcached/Redis/RAMCloud (6 YCSB mixes)",
+             fig9_overall, True),
+    "fig10": ("Fig. 10 — incremental RDMA design choices",
+              fig10_rdma_choices, True),
+    "fig11": ("Fig. 11 — remote-pointer hit analysis",
+              fig11_hit_analysis, True),
+    "fig12out": ("Fig. 12(a,b) — scale-out 1..7 machines",
+                 fig12_scale_out, True),
+    "fig12up": ("Fig. 12(c,d) — scale-up 1..8 shards",
+                fig12_scale_up, True),
+    "fig13": ("Fig. 13 — replication protocol latency overhead",
+              fig13_replication, True),
+    "ab-table": ("Ablation — compact vs chained hash table",
+                 ablation_hash_table, True),
+    "ab-numa": ("Ablation — NUMA placement", ablation_numa, True),
+    "ab-sharing": ("Ablation — shared vs exclusive rptr cache",
+                   ablation_rptr_sharing, True),
+    "ab-subshard": ("Ablation — sub-sharding vs plain shards (§6.3)",
+                    ablation_subsharding, True),
+    "ab-sleep": ("Ablation — sleep backoff vs busy polling (§4.2.1)",
+                 ablation_sleep_backoff, True),
+    "ab-lease": ("Ablation — lease length trade-off (§4.2.3 / C-Hint)",
+                 ablation_lease_length, True),
+    "ab-transport": ("Ablation — HydraDB-RDMA vs HydraDB-TCP",
+                     ablation_transport, True),
+    "ab-ud": ("Ablation — RC messaging vs HERD-style UD (§3)",
+              lambda scale=None: ablation_ud_messaging(), False),
+    "ab-valsize": ("Ablation — value size sweep (§6 large items)",
+                   lambda scale=None: ablation_value_size(), False),
+    "ab-ack": ("Ablation — replication ack interval",
+               lambda scale=None: ablation_ack_interval(), False),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the HydraDB paper's figures.")
+    parser.add_argument("figures", nargs="+",
+                        help=f"one of: {', '.join(EXPERIMENTS)}, or 'all'")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="fraction of the 10k-op default per run "
+                             "(default 0.5)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also append the tables to this file")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.figures else args.figures
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    sink = open(args.out, "a") if args.out else None
+    try:
+        for name in names:
+            title, fn, takes_scale = EXPERIMENTS[name]
+            t0 = time.time()
+            rows = fn(scale=args.scale) if takes_scale else fn()
+            table = format_table(rows, title=title)
+            footer = f"[{name}: {len(rows)} rows in {time.time()-t0:.1f}s " \
+                     f"wall at scale={args.scale}]"
+            print(table)
+            print(footer)
+            print()
+            if sink:
+                sink.write(table + "\n" + footer + "\n\n")
+    finally:
+        if sink:
+            sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

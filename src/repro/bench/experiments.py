@@ -1,0 +1,838 @@
+"""Canned reproductions of every figure in the paper's evaluation.
+
+Each ``fig*`` function runs the corresponding experiment at a configurable
+``scale`` (fraction of the default op/record counts — the paper's 60 M-op
+runs are scaled to simulator-friendly sizes; shapes, not absolute ops,
+are the reproduction target) and returns printable dict-rows.  The
+``benchmarks/`` tree wraps these for pytest-benchmark; EXPERIMENTS.md
+records paper-vs-measured values produced by these exact functions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence
+
+from ..baselines import (
+    MemcachedClient,
+    MemcachedServer,
+    RamcloudClient,
+    RamcloudServer,
+    RedisClient,
+    RedisServer,
+)
+from ..config import SimConfig
+from ..core import HydraCluster
+from ..hardware import Machine
+from ..index.hashing import hash64
+from ..protocol import Op
+from ..rdma import Fabric, TcpNetwork
+from ..sim import Simulator
+from ..workloads import (
+    FIG2_APPS,
+    G2Profile,
+    HdfsBackend,
+    HydraBackend,
+    HydraTcpBackend,
+    InMemoryDatabase,
+    DbClient,
+    PAPER_WORKLOADS,
+    YcsbWorkload,
+    hydra_g2_cluster,
+    preload_entities,
+    run_engines,
+    run_job,
+)
+from ..workloads.ycsb import YcsbSpec
+from .runner import drive_ycsb, preload_dicts, preload_hydra, run_hydra_ycsb
+from .stats import RunResult
+
+__all__ = [
+    "default_scale",
+    "fig2_mapreduce",
+    "fig3_sensemaking",
+    "fig9_overall",
+    "fig10_rdma_choices",
+    "fig11_hit_analysis",
+    "fig12_scale_out",
+    "fig12_scale_up",
+    "fig13_replication",
+    "ablation_hash_table",
+    "ablation_numa",
+    "ablation_rptr_sharing",
+    "ablation_subsharding",
+    "ablation_sleep_backoff",
+    "ablation_transport",
+    "ablation_ud_messaging",
+    "ablation_lease_length",
+    "ablation_value_size",
+    "ablation_ack_interval",
+]
+
+#: Default op/record count at scale=1.0 (the paper uses 60 M of each).
+BASE_OPS = 10_000
+
+
+def default_scale() -> float:
+    """Scale factor from the REPRO_SCALE environment variable (default 1)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def _scaled_spec(base: YcsbSpec, scale: float) -> YcsbSpec:
+    n = max(500, int(BASE_OPS * scale))
+    return base.scaled(records=n, ops=n)
+
+
+def _workloads(scale: float,
+               subset: Optional[Iterable[str]] = None) -> list[YcsbWorkload]:
+    specs = PAPER_WORKLOADS
+    if subset is not None:
+        wanted = set(subset)
+        specs = tuple(s for s in specs if s.name in wanted)
+    return [YcsbWorkload(_scaled_spec(s, scale)) for s in specs]
+
+
+# ---------------------------------------------------------------------------
+# Baseline worlds (shared TCP/RDMA topology builder)
+# ---------------------------------------------------------------------------
+
+class _World:
+    """A bare simulated cluster for baseline systems."""
+
+    def __init__(self, n_machines: int, config: Optional[SimConfig] = None):
+        self.config = config or SimConfig()
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, self.config)
+        self.tcpnet = TcpNetwork(self.sim, self.config)
+        self.machines = [Machine(self.sim, i, self.config)
+                         for i in range(n_machines)]
+        for m in self.machines:
+            self.fabric.attach(m)
+            self.tcpnet.attach(m)
+
+
+def _run_baseline(kind: str, workload: YcsbWorkload,
+                  n_clients: int) -> RunResult:
+    world = _World(6)  # 1 server + 5 client machines, as in §6
+    server_machine = world.machines[0]
+    client_machines = world.machines[1:]
+    if kind == "memcached":
+        server = MemcachedServer(world.sim, world.config, server_machine)
+        preload_dicts([server.store], lambda k: 0, workload)
+        server.start()
+        clients = [MemcachedClient(world.sim, world.config,
+                                   client_machines[i % 5], server)
+                   for i in range(n_clients)]
+    elif kind == "redis":
+        server = RedisServer(world.sim, world.config, server_machine)
+        n_inst = len(server.instances)
+        preload_dicts([inst.store for inst in server.instances],
+                      lambda k: hash64(k) % n_inst, workload)
+        server.start()
+        clients = [RedisClient(world.sim, world.config,
+                               client_machines[i % 5], server)
+                   for i in range(n_clients)]
+    elif kind == "ramcloud":
+        server = RamcloudServer(world.sim, world.config, server_machine)
+        preload_dicts([server.store], lambda k: 0, workload)
+        server.start()
+        clients = [RamcloudClient(world.sim, world.config,
+                                  client_machines[i % 5], server)
+                   for i in range(n_clients)]
+    else:
+        raise ValueError(f"unknown baseline {kind!r}")
+    return drive_ycsb(world.sim, clients, workload,
+                      name=f"{kind}/{workload.spec.name}")
+
+
+def _run_hydra(workload: YcsbWorkload, n_clients: int,
+               config: Optional[SimConfig] = None, shards: int = 4,
+               n_server_machines: int = 1,
+               client_machines: int = 5) -> RunResult:
+    cluster = HydraCluster(config=config or SimConfig(),
+                           n_server_machines=n_server_machines,
+                           shards_per_server=shards,
+                           n_client_machines=client_machines)
+    return run_hydra_ycsb(cluster, workload, n_clients=n_clients,
+                          clients_per_machine=-(-n_clients // client_machines),
+                          name=f"hydradb/{workload.spec.name}")
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — MapReduce acceleration
+# ---------------------------------------------------------------------------
+
+def fig2_mapreduce(scale: float = 1.0,
+                   apps=FIG2_APPS) -> list[dict]:
+    """Speedup of HydraDB (RDMA and TCP) over in-memory HDFS per app."""
+    rows = []
+    for profile in apps:
+        if scale != 1.0:
+            from dataclasses import replace
+            profile = replace(profile,
+                              input_mb=max(8, int(profile.input_mb * scale)))
+
+        world = _World(3)
+        hdfs = HdfsBackend(world.sim, world.config, world.machines[0],
+                           world.machines[1:])
+        conns = [world.sim.run(until=world.sim.process(
+            hdfs.connect(world.machines[1 + i % 2])))
+            for i in range(profile.n_tasks)]
+        t_hdfs = run_job(world.sim, profile, conns)
+
+        backend = HydraBackend(None, SimConfig())
+        backend.preload(profile.input_mb)
+        conns = [backend.sim.run(until=backend.sim.process(
+            backend.connect(i))) for i in range(profile.n_tasks)]
+        t_rdma = run_job(backend.sim, profile, conns)
+
+        world2 = _World(3)
+        tcp = HydraTcpBackend(world2.sim, world2.config, world2.machines[0])
+        conns = [world2.sim.run(until=world2.sim.process(
+            tcp.connect(world2.machines[1 + i % 2])))
+            for i in range(profile.n_tasks)]
+        t_tcp = run_job(world2.sim, profile, conns)
+
+        rows.append({
+            "app": profile.name,
+            "framework": profile.framework,
+            "hdfs_ms": t_hdfs / 1e6,
+            "hydra_rdma_ms": t_rdma / 1e6,
+            "hydra_tcp_ms": t_tcp / 1e6,
+            "speedup_rdma": t_hdfs / t_rdma,
+            "speedup_tcp": t_hdfs / t_tcp,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — G2 Sensemaking
+# ---------------------------------------------------------------------------
+
+def fig3_sensemaking(scale: float = 1.0,
+                     engine_counts: Sequence[int] = (1, 2, 4, 8, 16, 32)
+                     ) -> list[dict]:
+    """Events/sec vs engine count: HydraDB vs the in-memory database."""
+    profile = G2Profile(entity_space=max(1000, int(10_000 * scale)))
+    events = max(20, int(60 * scale))
+    rows = []
+    for n in engine_counts:
+        world = _World(5)
+        db = InMemoryDatabase(world.sim, world.config, world.machines[0])
+        preload_entities(db.tables.__setitem__, profile)
+        db_clients = [DbClient(world.sim, world.machines[1 + i % 4], db)
+                      for i in range(n)]
+        db_eps, _ = run_engines(world.sim, db_clients, profile, events)
+
+        cluster = hydra_g2_cluster()
+        from ..protocol import Op
+        preload_entities(
+            lambda k, v: cluster.route(k).store.upsert(k, v, Op.PUT), profile)
+        cluster.start()
+        hy_clients = [cluster.client(i % 4) for i in range(n)]
+        hy_eps, _ = run_engines(cluster.sim, hy_clients, profile, events)
+        rows.append({
+            "engines": n,
+            "db_events_per_s": db_eps,
+            "hydra_events_per_s": hy_eps,
+            "ratio": hy_eps / db_eps,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — overall comparison against Memcached / Redis / RAMCloud
+# ---------------------------------------------------------------------------
+
+def fig9_overall(scale: float = 1.0, n_clients: int = 50,
+                 systems: Sequence[str] = ("hydradb", "memcached", "redis",
+                                           "ramcloud"),
+                 subset: Optional[Iterable[str]] = None) -> list[dict]:
+    """Peak throughput + average GET/UPDATE latency per system per mix."""
+    rows = []
+    for workload in _workloads(scale, subset):
+        for system in systems:
+            if system == "hydradb":
+                res = _run_hydra(workload, n_clients)
+            else:
+                res = _run_baseline(system, workload, n_clients)
+            rows.append({
+                "workload": workload.spec.name,
+                "system": system,
+                "throughput_mops": res.throughput_mops,
+                "get_us": res.get_latency.mean_us,
+                "update_us": res.update_latency.mean_us,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — incremental RDMA design choices
+# ---------------------------------------------------------------------------
+
+FIG10_VARIANTS: dict[str, dict] = {
+    "Send/Recv": {"rdma_write_messaging": False, "rptr_cache_enabled": False},
+    "RDMA Write Only": {"rptr_cache_enabled": False},
+    "RDMA Write + Read": {},
+    "Pipeline + RDMA Write": {"pipelined_shards": True,
+                              "rptr_cache_enabled": False},
+}
+
+
+def fig10_rdma_choices(scale: float = 1.0, n_clients: int = 50,
+                       subset: Optional[Iterable[str]] = None,
+                       variants: Optional[Iterable[str]] = None
+                       ) -> list[dict]:
+    """Throughput/latency per messaging variant per workload (Fig. 10)."""
+    rows = []
+    chosen = {k: v for k, v in FIG10_VARIANTS.items()
+              if variants is None or k in set(variants)}
+    for workload in _workloads(scale, subset):
+        for vname, overrides in chosen.items():
+            cfg = SimConfig().with_overrides(hydra=overrides)
+            res = _run_hydra(workload, n_clients, config=cfg)
+            rows.append({
+                "workload": workload.spec.name,
+                "variant": vname,
+                "throughput_mops": res.throughput_mops,
+                "get_us": res.get_latency.mean_us,
+                "update_us": res.update_latency.mean_us,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — remote-pointer hit analysis
+# ---------------------------------------------------------------------------
+
+def fig11_hit_analysis(scale: float = 1.0,
+                       n_clients: int = 50) -> list[dict]:
+    """Successful/invalid remote-pointer hit counts per workload."""
+    rows = []
+    for workload in _workloads(scale):
+        cluster = HydraCluster(n_server_machines=1, shards_per_server=4,
+                               n_client_machines=5)
+        res = run_hydra_ycsb(cluster, workload, n_clients=n_clients,
+                             clients_per_machine=-(-n_clients // 5))
+        stats = res.extras["rptr"]
+        rows.append({
+            "workload": workload.spec.name,
+            "successful_hits": stats["successful_hits"],
+            "invalid_hits": stats["invalid_hits"],
+            "misses": stats["misses"],
+            "ops": res.measured_ops,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — scalability (scale-out and scale-up)
+# ---------------------------------------------------------------------------
+
+def _colocated_scaleout_cluster(n_servers: int) -> HydraCluster:
+    """§6.3 topology: 8 machines total; 60 clients live on the last 6, so
+    larger deployments increasingly co-locate servers with clients."""
+    cluster = HydraCluster(n_server_machines=n_servers,
+                           shards_per_server=1,
+                           n_client_machines=8 - n_servers)
+    return cluster
+
+
+def fig12_scale_out(scale: float = 1.0, n_clients: int = 60,
+                    server_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+                    subset: Optional[Iterable[str]] = None) -> list[dict]:
+    """Normalized throughput vs server count (Fig. 12a,b topology)."""
+    rows = []
+    for workload in _workloads(scale, subset):
+        base_mops = None
+        for n in server_counts:
+            cluster = _colocated_scaleout_cluster(n)
+            all_machines = cluster.server_machines + cluster.client_machines
+            client_hosts = all_machines[-6:]
+            preload_hydra(cluster, workload)
+            cluster.start()
+            clients = [cluster.client_on(client_hosts[i % 6])
+                       for i in range(n_clients)]
+            res = drive_ycsb(cluster.sim, clients, workload,
+                             name=f"scaleout/{n}")
+            if base_mops is None:
+                base_mops = res.throughput_mops
+            rows.append({
+                "workload": workload.spec.name,
+                "servers": n,
+                "throughput_mops": res.throughput_mops,
+                "normalized": res.throughput_mops / base_mops,
+            })
+    return rows
+
+
+def fig12_scale_up(scale: float = 1.0, n_clients: int = 60,
+                   shard_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+                   subset: Optional[Iterable[str]] = None) -> list[dict]:
+    """Normalized throughput vs shards on one machine (Fig. 12c,d)."""
+    rows = []
+    for workload in _workloads(scale, subset):
+        base_mops = None
+        for n in shard_counts:
+            res = _run_hydra(workload, n_clients, shards=n,
+                             client_machines=6)
+            if base_mops is None:
+                base_mops = res.throughput_mops
+            rows.append({
+                "workload": workload.spec.name,
+                "shards": n,
+                "throughput_mops": res.throughput_mops,
+                "normalized": res.throughput_mops / base_mops,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — replication protocols
+# ---------------------------------------------------------------------------
+
+def fig13_replication(scale: float = 1.0,
+                      client_counts: Sequence[int] = (1, 10, 20, 40),
+                      inserts_per_client: Optional[int] = None) -> list[dict]:
+    """Average INSERT latency under each replication protocol."""
+    inserts = inserts_per_client or max(20, int(60 * scale))
+    protocols = [
+        ("no replication", 0, "rdma_log"),
+        ("rdma logging x1", 1, "rdma_log"),
+        ("rdma logging x2", 2, "rdma_log"),
+        ("strict req/ack x1", 1, "strict"),
+        ("strict req/ack x2", 2, "strict"),
+    ]
+    rows = []
+    for n_clients in client_counts:
+        base_ns = None
+        for label, replicas, mode in protocols:
+            cfg = SimConfig().with_overrides(
+                replication={"replicas": replicas, "mode": mode})
+            cluster = HydraCluster(config=cfg, n_server_machines=1,
+                                   shards_per_server=1, n_client_machines=4)
+            cluster.start()
+            lat: list[int] = []
+
+            def worker(c, wid):
+                for i in range(inserts):
+                    t0 = cluster.sim.now
+                    yield from c.insert(f"w{wid}-key-{i:08d}".encode(),
+                                        b"v" * 32)
+                    lat.append(cluster.sim.now - t0)
+
+            clients = [cluster.client(i % 4) for i in range(n_clients)]
+            cluster.run(*[worker(c, i) for i, c in enumerate(clients)])
+            avg = sum(lat) / len(lat)
+            if base_ns is None:
+                base_ns = avg
+            rows.append({
+                "clients": n_clients,
+                "protocol": label,
+                "avg_insert_us": avg / 1000.0,
+                "overhead_pct": (avg / base_ns - 1.0) * 100.0,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablations called out in DESIGN.md
+# ---------------------------------------------------------------------------
+
+def ablation_hash_table(scale: float = 1.0, n_clients: int = 50
+                        ) -> list[dict]:
+    """Compact vs chained indexing (§4.1.3): throughput + cachelines/op."""
+    workload = _workloads(scale, subset=["(b) 90% GET zipf"])[0]
+    rows = []
+    for kind in ("compact", "chained"):
+        cfg = SimConfig().with_overrides(
+            hydra={"rptr_cache_enabled": False,
+                   "buckets_per_shard": 1 << 9})  # force collisions
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=4, n_client_machines=5,
+                               table_kind=kind)
+        res = run_hydra_ycsb(cluster, workload, n_clients=n_clients,
+                             clients_per_machine=10)
+        tables = [s.store.table for s in cluster.shards()]
+        total_ops = cluster.metrics.counter("shard.requests").value
+        lines = sum(t.total_lines for t in tables)
+        keycmps = sum(t.total_keycmps for t in tables)
+        rows.append({
+            "table": kind,
+            "throughput_mops": res.throughput_mops,
+            "get_us": res.get_latency.mean_us,
+            "lines_per_op": lines / max(1, total_ops),
+            "keycmps_per_op": keycmps / max(1, total_ops),
+        })
+    return rows
+
+
+def ablation_numa(scale: float = 1.0, n_clients: int = 50) -> list[dict]:
+    """NUMA-confined vs interleaved vs remote shard memory (§4.1.2)."""
+    workload = _workloads(scale, subset=["(a) 50% GET zipf"])[0]
+    rows = []
+    for mode in ("local", "interleaved", "remote"):
+        cfg = SimConfig().with_overrides(
+            hydra={"rptr_cache_enabled": False})
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=4, n_client_machines=5,
+                               numa_mode=mode)
+        res = run_hydra_ycsb(cluster, workload, n_clients=n_clients,
+                             clients_per_machine=10)
+        rows.append({
+            "numa_mode": mode,
+            "throughput_mops": res.throughput_mops,
+            "get_us": res.get_latency.mean_us,
+            "update_us": res.update_latency.mean_us,
+        })
+    return rows
+
+
+def ablation_rptr_sharing(scale: float = 1.0,
+                          n_clients: int = 20) -> list[dict]:
+    """Shared vs exclusive remote-pointer cache (§4.2.4) under updates."""
+    spec = YcsbSpec(name="sharing", get_fraction=0.9,
+                    distribution="zipfian")
+    workload = YcsbWorkload(_scaled_spec(spec, scale))
+    rows = []
+    for sharing in (True, False):
+        cfg = SimConfig().with_overrides(hydra={"rptr_sharing": sharing})
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=4, n_client_machines=1)
+        preload_hydra(cluster, workload)
+        cluster.start()
+        clients = [cluster.client(0) for _ in range(n_clients)]
+        res = drive_ycsb(cluster.sim, clients, workload,
+                         name=f"sharing={sharing}")
+        # Aggregate over distinct cache objects (one shared vs N exclusive).
+        caches = {id(c.cache): c.cache for c in clients}
+        successful = sum(c.successful_hits for c in caches.values())
+        invalid = sum(c.invalid_hits for c in caches.values())
+        rows.append({
+            "sharing": sharing,
+            "caches": len(caches),
+            "throughput_mops": res.throughput_mops,
+            "successful_hits": successful,
+            "invalid_hits": invalid,
+        })
+    return rows
+
+
+def ablation_ud_messaging(background_qps=(0, 256, 512),
+                          loss: float = 0.02,
+                          echoes: int = 300) -> list[dict]:
+    """HERD's UD messaging vs HydraDB's RC choice (§3, §4.2.1).
+
+    An echo microbenchmark at the verb level: round-trip latency of
+    RC Send/Recv vs UD datagrams while unrelated RC connections inflate
+    the NIC's QP count, plus delivery rates with injected datagram loss.
+    UD stays flat and fast (no connection state) but loses messages —
+    the reliability gap the paper holds against HERD for enterprise use.
+    """
+    rows = []
+    for transport in ("rc_send", "ud"):
+        for bg in background_qps:
+            cfg = SimConfig().with_overrides(
+                nic={"ud_drop_probability": loss if transport == "ud"
+                     else 0.0})
+            world = _World(2, config=cfg)
+            for _ in range(bg):
+                world.fabric.connect(world.machines[0].nic,
+                                     world.machines[1].nic)
+            sim = world.sim
+            delivered = {"n": 0}
+            rtts: list[int] = []
+            if transport == "rc_send":
+                cq, sq = world.fabric.connect(world.machines[0].nic,
+                                              world.machines[1].nic)
+
+                def echo_server(sq=sq):
+                    while True:
+                        cqe = sq.recv_cq.poll_one()
+                        if cqe is None:
+                            yield sq.recv_cq.wait()
+                            continue
+                        sq.post_recv()
+                        yield sq.post_send(cqe.data)
+
+                sq.post_recv()
+                sim.process(echo_server())
+
+                def client(cq=cq):
+                    for _i in range(echoes):
+                        cq.post_recv()
+                        t0 = sim.now
+                        yield cq.post_send(b"x" * 64)
+                        while True:
+                            cqe = cq.recv_cq.poll_one()
+                            if cqe is not None:
+                                rtts.append(sim.now - t0)
+                                delivered["n"] += 1
+                                break
+                            yield cq.recv_cq.wait()
+
+                sim.run(until=sim.process(client()))
+            else:
+                cu = world.fabric.create_ud_qp(world.machines[0].nic)
+                su = world.fabric.create_ud_qp(world.machines[1].nic)
+
+                def ud_server(cu=cu, su=su):
+                    while True:
+                        cqe = su.recv_cq.poll_one()
+                        if cqe is None:
+                            yield su.recv_cq.wait()
+                            continue
+                        su.post_recv()
+                        yield su.post_send(cu, cqe.data)
+
+                su.post_recv()
+                sim.process(ud_server())
+
+                def ud_client(cu=cu, su=su):
+                    for _i in range(echoes):
+                        cu.post_recv()
+                        t0 = sim.now
+                        yield cu.post_send(su, b"x" * 64)
+                        deadline = sim.timeout(100_000)  # 100 us timeout
+                        got = yield sim.any_of([cu.recv_cq.wait(), deadline])
+                        del got
+                        cqe = cu.recv_cq.poll_one()
+                        if cqe is not None:
+                            rtts.append(sim.now - t0)
+                            delivered["n"] += 1
+
+                sim.run(until=sim.process(ud_client()))
+            rows.append({
+                "transport": transport,
+                "background_qps": bg,
+                "delivered_pct": 100.0 * delivered["n"] / echoes,
+                "mean_rtt_us": (sum(rtts) / len(rtts) / 1000.0)
+                if rtts else float("nan"),
+            })
+    return rows
+
+
+def ablation_transport(scale: float = 1.0, n_clients: int = 50
+                       ) -> list[dict]:
+    """HydraDB-RDMA vs HydraDB-TCP (the TCP/IP mode §6 mentions).
+
+    Same server logic, same workload; only the transport differs.  This
+    is the KV-level version of Fig. 2's RDMA-vs-TCP comparison.
+    """
+    workload = _workloads(scale, subset=["(b) 90% GET zipf"])[0]
+    rows = []
+    for transport in ("rdma", "tcp"):
+        cfg = SimConfig().with_overrides(hydra={"transport": transport})
+        res = _run_hydra(workload, n_clients, config=cfg)
+        rows.append({
+            "transport": transport,
+            "throughput_mops": res.throughput_mops,
+            "get_us": res.get_latency.mean_us,
+            "update_us": res.update_latency.mean_us,
+        })
+    return rows
+
+
+def ablation_sleep_backoff(scale: float = 1.0) -> list[dict]:
+    """§4.2.1: high-resolution sleep vs pure busy polling under light load.
+
+    One client issuing a request every ~200 us: the sleep-mode shard burns
+    almost no CPU at a ~50 ns detection penalty; the busy poller pegs its
+    core for the same latency class.
+    """
+    del scale  # fixed-size experiment
+    rows = []
+    for backoff in (True, False):
+        cfg = SimConfig().with_overrides(cpu={"sleep_backoff": backoff})
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=1, n_client_machines=1)
+        cluster.start()
+        client = cluster.client()
+        lat: list[int] = []
+
+        def app():
+            yield from client.put(b"k", b"v" * 32)
+            for i in range(300):
+                yield cluster.sim.timeout(200_000)  # light load
+                t0 = cluster.sim.now
+                yield from client.update(b"k", b"v" * 32)
+                lat.append(cluster.sim.now - t0)
+
+        cluster.run(app())
+        shard = cluster.shards()[0]
+        rows.append({
+            "sleep_backoff": backoff,
+            "core_utilization_pct": shard.core.utilization() * 100.0,
+            "avg_update_us": sum(lat) / len(lat) / 1000.0,
+        })
+    return rows
+
+
+def ablation_subsharding(scale: float = 1.0, n_clients: int = 60
+                         ) -> list[dict]:
+    """§6.3 sub-sharding vs plain multi-shard scale-up past the QP wall.
+
+    Read-heavy pointer-cached traffic (the regime where connection count
+    saturates the NIC) plus a message-heavy contrast row where the single
+    dispatcher binds instead.
+    """
+    rows = []
+    for regime, gf, records_mult, ops_mult in (
+            ("read-heavy cached", 1.0, 0.05, 0.6),
+            ("message-heavy", 0.5, 0.3, 0.3)):
+        for label, cfg, shards in (
+                ("8 shards (480 QPs)", SimConfig(), 8),
+                ("1x8 sub-shards (60 QPs)",
+                 SimConfig().with_overrides(hydra={"subshards": 8}), 1)):
+            spec = YcsbSpec(name=f"{regime}",
+                            n_records=max(300, int(BASE_OPS * records_mult
+                                                   * scale)),
+                            n_ops=max(600, int(BASE_OPS * ops_mult * scale)),
+                            get_fraction=gf, distribution="zipfian")
+            workload = YcsbWorkload(spec)
+            cluster = HydraCluster(config=cfg, n_server_machines=1,
+                                   shards_per_server=shards,
+                                   n_client_machines=6)
+            res = run_hydra_ycsb(cluster, workload, n_clients=n_clients,
+                                 clients_per_machine=10)
+            rows.append({
+                "regime": regime,
+                "layout": label,
+                "server_qps": cluster.server_machines[0].nic.active_qps,
+                "throughput_mops": res.throughput_mops,
+                "get_us": res.get_latency.mean_us,
+            })
+    return rows
+
+
+def ablation_lease_length(scale: float = 1.0,
+                          lease_seconds: Sequence[float] = (0.002, 0.05,
+                                                            2.0),
+                          n_clients: int = 20) -> list[dict]:
+    """§4.2.3 / C-Hint [31]: the lease-length trade-off.
+
+    Short leases cap how long retired extents linger (low memory
+    retention) but expire cached pointers quickly (fewer one-sided hits);
+    long leases maximize the fast path at the cost of arena occupancy.
+    The run is stretched in simulated time so short leases actually lapse.
+    """
+    spec = YcsbSpec(name="lease", get_fraction=0.9, distribution="zipfian")
+    workload = YcsbWorkload(_scaled_spec(spec, scale * 0.5))
+    rows = []
+    for secs in lease_seconds:
+        ns = int(secs * 1e9)
+        cfg = SimConfig().with_overrides(
+            hydra={"lease_min_ns": ns, "lease_max_ns": max(ns, ns * 4)},
+            memory={"reclaim_period_ns": max(100_000, ns // 10)},
+        )
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=4, n_client_machines=2)
+        preload_hydra(cluster, workload)
+        cluster.start()
+        clients = [cluster.client(i % 2) for i in range(n_clients)]
+        # Fixed pacing (~5 ms/op): the run spans many short-lease windows
+        # but ends before the longest lease lapses.
+        think_ns = 5_000_000
+
+        def paced(idx, client):
+            ops, keys = workload.slice_for(idx, n_clients)
+            ks = workload.keyspace
+            for j in range(len(ops)):
+                yield cluster.sim.timeout(think_ns)
+                key = ks.key(int(keys[j]))
+                if ops[j] == 0:
+                    yield from client.get(key)
+                else:
+                    yield from client.update(key, ks.value(int(keys[j])))
+
+        cluster.run(*[paced(i, c) for i, c in enumerate(clients)])
+        stats = cluster.rptr_stats()
+        pending = sum(s.store.reclaimer.pending for s in cluster.shards())
+        live = sum(s.store.alloc.live_extents for s in cluster.shards())
+        total_lookups = (stats["successful_hits"] + stats["invalid_hits"]
+                         + stats["expired"] + stats["misses"])
+        rows.append({
+            "lease_s": secs,
+            "fastpath_hit_pct": 100.0 * stats["successful_hits"]
+            / max(1, total_lookups),
+            "expired_lookups": stats["expired"],
+            "retired_pending": pending,
+            "live_extents": live,
+        })
+    return rows
+
+
+def ablation_value_size(sizes: Sequence[int] = (32, 256, 1024, 4096, 65536),
+                        n_clients: int = 20,
+                        ops_per_client: int = 120) -> list[dict]:
+    """§6: 'HydraDB can efficiently support much larger key-value items'.
+
+    GET throughput/latency across value sizes: small items are op-rate
+    bound (server CPU / round trips); large items converge to fabric
+    bandwidth.
+    """
+    rows = []
+    for size in sizes:
+        buf = max(SimConfig().hydra.conn_buf_bytes, size * 2 + 4096)
+        cfg = SimConfig().with_overrides(hydra={"conn_buf_bytes": buf})
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=4, n_client_machines=2)
+        cluster.start()
+        keys = [f"k{i:06d}".encode() for i in range(64)]
+        for key in keys:
+            cluster.route(key).store_for_key(key).upsert(
+                key, bytes(size), Op.PUT)
+        lat: list[int] = []
+        nbytes = {"n": 0}
+
+        def worker(wid, client):
+            import numpy as np
+            rng = np.random.default_rng(wid)
+            picks = rng.integers(0, len(keys), size=ops_per_client)
+            for j in range(ops_per_client):
+                t0 = cluster.sim.now
+                value = yield from client.get(keys[int(picks[j])])
+                lat.append(cluster.sim.now - t0)
+                nbytes["n"] += len(value)
+
+        clients = [cluster.client(i % 2) for i in range(n_clients)]
+        t0 = cluster.sim.now
+        cluster.run(*[worker(i, c) for i, c in enumerate(clients)])
+        elapsed = max(1, cluster.sim.now - t0)
+        total_ops = n_clients * ops_per_client
+        rows.append({
+            "value_bytes": size,
+            "throughput_kops": total_ops / elapsed * 1e6,
+            "goodput_gbps": nbytes["n"] * 8 / elapsed,
+            "get_mean_us": sum(lat) / len(lat) / 1000.0,
+        })
+    return rows
+
+
+def ablation_ack_interval(intervals: Sequence[int] = (1, 8, 32, 128),
+                          inserts: int = 200) -> list[dict]:
+    """How relaxed acknowledgements amortize replication cost (§5.2)."""
+    rows = []
+    for interval in intervals:
+        cfg = SimConfig().with_overrides(
+            replication={"replicas": 1, "ack_interval": interval})
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=1, n_client_machines=1)
+        cluster.start()
+        client = cluster.client()
+        lat = []
+
+        def app():
+            for i in range(inserts):
+                t0 = cluster.sim.now
+                yield from client.insert(f"key-{i:08d}".encode(), b"v" * 32)
+                lat.append(cluster.sim.now - t0)
+
+        cluster.run(app())
+        rows.append({
+            "ack_interval": interval,
+            "avg_insert_us": sum(lat) / len(lat) / 1000.0,
+            "ack_requests": cluster.metrics.counter(
+                "repl.ack_requests").value,
+        })
+    return rows

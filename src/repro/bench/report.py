@@ -1,0 +1,57 @@
+"""Plain-text tables for experiment results (paper-style rows/series)."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+__all__ = ["format_table", "print_table", "format_series"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
+    """Render dict rows as an aligned text table (insertion-ordered cols)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells))
+              for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[dict[str, Any]], title: str = "") -> None:
+    print(format_table(rows, title=title))
+    print()
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[float],
+                  y_label: str = "y") -> str:
+    """One figure series as 'name: (x, y) (x, y) ...'."""
+    pairs = " ".join(f"({x}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name} [{y_label}]: {pairs}"

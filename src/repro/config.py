@@ -1,0 +1,289 @@
+"""Central configuration for the HydraDB reproduction.
+
+Every tunable cost and size lives here as a frozen-by-convention dataclass.
+Defaults are calibrated to the paper's testbed class (2.6 GHz Xeon E5-4650L,
+4 NUMA nodes, 40 Gb/s ConnectX-3 through one IS5030 switch; see DESIGN.md §5).
+All times are integer nanoseconds; all rates are bytes per nanosecond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = [
+    "FabricConfig",
+    "NicConfig",
+    "TcpConfig",
+    "CpuConfig",
+    "MemoryConfig",
+    "HydraConfig",
+    "ReplicationConfig",
+    "CoordConfig",
+    "SimConfig",
+]
+
+
+@dataclass
+class FabricConfig:
+    """Switch / link model (one hop through a single switch)."""
+
+    #: One-way propagation through NIC-link-switch-link-NIC, excluding
+    #: serialization and per-op NIC processing.
+    propagation_ns: int = 500
+    #: NIC-internal loopback between processes on the same machine.
+    loopback_ns: int = 150
+    #: 40 Gb/s InfiniBand QDR payload rate = 5 B/ns.
+    bandwidth_bpns: float = 5.0
+    #: RC transport gives up and completes with RETRY_EXC after this long
+    #: without a response from the peer (dead-node detection path).
+    retry_timeout_ns: int = 2_000_000
+
+    def serialization_ns(self, nbytes: int) -> int:
+        """Wire time for ``nbytes`` at InfiniBand line rate."""
+        return int(nbytes / self.bandwidth_bpns)
+
+
+@dataclass
+class NicConfig:
+    """RDMA-capable NIC model.
+
+    Per-operation processing is serialized inside each engine (TX and RX),
+    which makes the NIC a finite-rate device: ~1/tx_op_ns operations per
+    nanosecond when unloaded.  When the number of live queue pairs exceeds
+    the on-NIC QP state cache, connection state must be fetched from host
+    memory and every operation slows down — this models the connection
+    scalability wall discussed in §6.3 of the paper.
+    """
+
+    #: Initiator-side work per verb (doorbell, WQE fetch, DMA setup).
+    tx_op_ns: int = 90
+    #: Target-side work per inbound verb (RETH decode, DMA).
+    rx_op_ns: int = 70
+    #: Extra target-side work for an inbound RDMA Read (responder fetches
+    #: payload from host memory and generates the response packet) — still
+    #: zero *CPU*, but more NIC work than a write.
+    read_responder_ns: int = 140
+    #: Extra cost for two-sided Send: receive-WQE consumption + CQE DMA.
+    send_recv_extra_ns: int = 250
+    #: QP state cache capacity; past this, each op pays ``qp_miss_ns``
+    #: scaled by how badly the cache is oversubscribed.
+    qp_cache_entries: int = 256
+    qp_miss_ns: int = 120
+    #: Unreliable Datagram loss probability (injected; real IB fabrics
+    #: lose UD packets under congestion/SRQ exhaustion).  UD sends carry
+    #: no QP connection state, so they never pay the QP-cache penalty —
+    #: HERD's scalability argument — but they may silently vanish, the
+    #: reliability gap §3 holds against HERD.
+    ud_drop_probability: float = 0.0
+
+    def qp_penalty_ns(self, active_qps: int) -> int:
+        """Per-op slowdown from QP state cache misses."""
+        if active_qps <= self.qp_cache_entries:
+            return 0
+        over = active_qps - self.qp_cache_entries
+        miss_rate = over / active_qps
+        return int(self.qp_miss_ns * miss_rate * (1.0 + over / self.qp_cache_entries))
+
+
+@dataclass
+class TcpConfig:
+    """Kernel TCP (IPoIB) model for the baselines and HydraDB-TCP mode."""
+
+    #: Socket syscall + kernel stack + copy, charged to the sending CPU.
+    kernel_tx_ns: int = 11_000
+    #: Interrupt + stack + copy to user, charged to the receiving CPU.
+    kernel_rx_ns: int = 13_000
+    #: Serialized interrupt/softirq processing per inbound message: IPoIB
+    #: of the paper's era had no receive-side scaling, so one core drains
+    #: the queue — the machine-level message-rate ceiling (~250 K msg/s).
+    softirq_rx_ns: int = 4_000
+    #: Propagation is the same wire, but IPoIB encapsulation adds latency.
+    propagation_ns: int = 9_000
+    #: Effective IPoIB goodput is far below line rate (~12 Gb/s observed).
+    bandwidth_bpns: float = 1.5
+
+    def serialization_ns(self, nbytes: int) -> int:
+        """Wire time for ``nbytes`` at IPoIB goodput."""
+        return int(nbytes / self.bandwidth_bpns)
+
+
+@dataclass
+class CpuConfig:
+    """Server/client CPU cost model (2.6 GHz-class core)."""
+
+    #: Inspect one request-buffer indicator word (cached poll).
+    poll_probe_ns: int = 25
+    #: Decode a request header / build a response header.
+    parse_ns: int = 120
+    build_response_ns: int = 100
+    #: 64-bit hash of a small key.
+    hash_key_ns: int = 40
+    #: One cacheline fetch from local-NUMA DRAM.
+    cacheline_local_ns: int = 85
+    #: ...and from a remote NUMA domain.
+    cacheline_remote_ns: int = 240
+    #: Streaming copy rate for key/value payloads.
+    memcpy_bpns: float = 12.0
+    #: Allocation from the slab allocator (size-class pop).
+    alloc_ns: int = 100
+    free_ns: int = 60
+    #: Additional write-path work per mutation: slab bookkeeping, lease
+    #: table update, reclaim enqueue, stats.  This is the server-side
+    #: read/write asymmetry §6.1 observes.
+    update_extra_ns: int = 1500
+    #: Full key comparison per 8-byte word (only on signature match).
+    keycmp_word_ns: int = 6
+    #: Post a receive WQE (two-sided mode only).
+    post_recv_ns: int = 110
+    #: Poll a completion queue (two-sided mode) — costlier than a memory
+    #: probe because it is a ring-buffer read + ownership check.
+    cq_poll_ns: int = 90
+    #: Per-request server-side overhead of the two-sided path: completion
+    #: channel handling, CQE consumption, SRQ bookkeeping — why §4.2.1's
+    #: RDMA-Write messaging wins by 75-163%.
+    sendrecv_server_extra_ns: int = 800
+    #: High-resolution sleep the shard enters after idle polling.
+    idle_sleep_ns: int = 100
+    #: Consecutive empty poll sweeps before sleeping.
+    idle_polls_before_sleep: int = 64
+    #: §4.2.1 sleep-mode mitigation: False = pure busy polling (the shard
+    #: core burns 100% CPU when idle, but requests are detected with no
+    #: residual-sleep delay).
+    sleep_backoff: bool = True
+
+    def memcpy_ns(self, nbytes: int) -> int:
+        """Streaming-copy time for a payload."""
+        return int(nbytes / self.memcpy_bpns)
+
+    def cacheline_ns(self, lines: int, remote: bool = False) -> int:
+        """Latency-bound fetch of ``lines`` cachelines."""
+        per = self.cacheline_remote_ns if remote else self.cacheline_local_ns
+        return lines * per
+
+
+@dataclass
+class MemoryConfig:
+    """KV memory substrate sizing."""
+
+    #: Per-shard value arena (bytes).  Items are allocated out-of-place, so
+    #: this must hold live + dead-awaiting-lease-expiry items.
+    arena_bytes: int = 64 << 20
+    #: Slab size classes (bytes); item extents round up to one of these.
+    size_classes: tuple[int, ...] = (64, 96, 128, 192, 256, 512, 1024,
+                                     4096, 65536, 1 << 20, 4 << 20)
+    #: Background reclamation sweep period.
+    reclaim_period_ns: int = 50_000_000
+
+
+@dataclass
+class HydraConfig:
+    """HydraDB protocol parameters."""
+
+    #: Per-connection request/response buffer bytes.
+    conn_buf_bytes: int = 16 << 10
+    #: Client gives up on a response after this long (failover trigger).
+    op_timeout_ns: int = 50_000_000
+    #: Hash-table buckets per shard (power of two).
+    buckets_per_shard: int = 1 << 15
+    #: Lease bounds (paper: 1 s .. 64 s scaled by observed popularity).
+    lease_min_ns: int = 1_000_000_000
+    lease_max_ns: int = 64_000_000_000
+    #: GET count at which a key is considered maximally popular.
+    lease_popularity_saturation: int = 64
+    #: Client-side lease renewal period for keys it deems popular.
+    lease_renew_period_ns: int = 500_000_000
+    #: Enable the RDMA-Read fast path with remote-pointer caching.
+    rptr_cache_enabled: bool = True
+    #: Share the remote-pointer cache among co-located clients (§4.2.4).
+    rptr_sharing: bool = True
+    #: Client rptr cache capacity (entries) when exclusive.
+    rptr_cache_entries: int = 1 << 16
+    #: Use RDMA-Write indicator messaging (False = two-sided Send/Recv).
+    rdma_write_messaging: bool = True
+    #: Transport: "rdma" (the paper's main mode) or "tcp" (the kernel
+    #: TCP/IPoIB fallback HydraDB also supports, §6) — in tcp mode the
+    #: remote-pointer fast path is unavailable and every message costs
+    #: server CPU in the stack.
+    transport: str = "rdma"
+    #: Pipelined (decoupled I/O / worker) shard variant for the §6.2.1
+    #: ablation; False = the paper's single-threaded design.
+    pipelined_shards: bool = False
+    #: Sub-shards per instance (§6.3 future-work feature): 0 disables;
+    #: K > 0 gives each shard instance K independent executor cores behind
+    #: one connection endpoint, cutting the cluster QP count by K.
+    subshards: int = 0
+    #: I/O dispatcher threads per pipelined shard instance.
+    pipeline_io_threads: int = 2
+    pipeline_worker_threads: int = 2
+    #: Pipeline hand-off cost (enqueue + wakeup + cacheline bounce).
+    pipeline_handoff_ns: int = 800
+    #: Per-op shared-store lock acquire/release cost in pipelined mode.
+    pipeline_lock_ns: int = 150
+    #: Store-access inflation in pipelined mode (Fig. 5 discussion):
+    #: reads of the shared partition mostly hit replicated clean lines,
+    #: while writes invalidate them across worker cores.
+    pipeline_read_penalty: float = 1.3
+    pipeline_write_penalty: float = 2.2
+
+
+@dataclass
+class ReplicationConfig:
+    """High-availability / replication parameters (§5)."""
+
+    #: Number of secondary shards per primary (0 disables replication).
+    replicas: int = 0
+    #: "rdma_log" (§5.2) or "strict" (request/ack per record).
+    mode: str = "rdma_log"
+    #: Secondary-exposed replication ring size.
+    log_bytes: int = 8 << 20
+    #: Primary requests an acknowledgement every N records (relaxed model).
+    ack_interval: int = 32
+    #: Secondary merge-thread poll period when idle.
+    merge_poll_ns: int = 200
+    #: Primary CPU cost to build + post one replication record.
+    post_cost_ns: int = 400
+    #: Injected per-record failure probability on the secondary (tests).
+    fault_probability: float = 0.0
+
+
+@dataclass
+class CoordConfig:
+    """ZooKeeper + SWAT parameters."""
+
+    #: Session heartbeat period and expiry multiple.
+    heartbeat_ns: int = 500_000_000
+    session_timeout_ns: int = 2_000_000_000
+    #: ZK request proposal/commit latency (quorum round).
+    zk_op_ns: int = 1_200_000
+    #: SWAT reaction processing time after a failure notification.
+    swat_react_ns: int = 5_000_000
+
+
+@dataclass
+class SimConfig:
+    """Root configuration aggregating every subsystem."""
+
+    seed: int = 42
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    nic: NicConfig = field(default_factory=NicConfig)
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    hydra: HydraConfig = field(default_factory=HydraConfig)
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+    coord: CoordConfig = field(default_factory=CoordConfig)
+
+    def with_overrides(self, **sections: dict[str, Any]) -> "SimConfig":
+        """Return a copy with per-section field overrides.
+
+        Example::
+
+            cfg.with_overrides(hydra={"rptr_cache_enabled": False},
+                               replication={"replicas": 2})
+        """
+        updates: dict[str, Any] = {}
+        for section, fields in sections.items():
+            current = getattr(self, section)
+            updates[section] = replace(current, **fields)
+        return replace(self, **updates)

@@ -1,0 +1,14 @@
+"""Coordination: ZooKeeper-like ensemble and the SWAT failover team."""
+
+from .swat import HaControl, ShardAgent, SwatTeam
+from .zookeeper import WatchEvent, ZkError, ZkSession, ZooKeeper
+
+__all__ = [
+    "ZooKeeper",
+    "ZkSession",
+    "ZkError",
+    "WatchEvent",
+    "SwatTeam",
+    "ShardAgent",
+    "HaControl",
+]

@@ -1,0 +1,287 @@
+"""SWAT — Status Watcher and reAct Team (§5.1).
+
+An independent group of processes that watches the ZooKeeper view of shard
+liveness and reacts to status changes:
+
+* **Leader election**: members race for ephemeral-sequential znodes under
+  ``/swat/members``; the lowest sequence leads, the rest watch their
+  predecessor and take over on its death.
+* **Failure reaction**: every primary shard has a :class:`ShardAgent`
+  holding an ephemeral znode under ``/shards``; when the shard (or its
+  machine) dies, the session expires, the znode vanishes, and the SWAT
+  leader promotes a secondary: its merge thread stops, a fresh primary
+  shard is started around the *same* store, remaining secondaries are
+  resynchronized and re-attached, and the routing metadata is republished.
+* **Node join**: a new server's shards are added to the consistent-hash
+  ring after the keys they now own are migrated out of the old owners.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.api import HydraCluster
+from ..core.shard import Shard
+from ..protocol import Op
+from ..sim import Interrupt, Simulator
+from .zookeeper import ZkError, ZkSession, ZooKeeper
+
+__all__ = ["SwatTeam", "ShardAgent", "HaControl"]
+
+SHARDS_PATH = "/shards"
+ROUTING_PATH = "/routing"
+MEMBERS_PATH = "/swat/members"
+
+
+class ShardAgent:
+    """Holds a shard's ephemeral liveness znode while the shard lives."""
+
+    def __init__(self, sim: Simulator, zk: ZooKeeper, shard: Shard):
+        self.sim = sim
+        self.zk = zk
+        self.shard = shard
+        self.session: Optional[ZkSession] = None
+        self.proc = sim.process(self._run(), name=f"agent.{shard.shard_id}")
+
+    def _run(self):
+        self.session = self.zk.connect(owner=self.shard.shard_id)
+        path = f"{SHARDS_PATH}/{self.shard.shard_id}"
+        while self.shard.alive:
+            try:
+                yield from self.session.create(path, ephemeral=True)
+                break
+            except ZkError:
+                # A predecessor's ephemeral is still lingering; wait for
+                # the ensemble to clear it.
+                if self.zk.node_exists(path):
+                    yield self.zk.watch(path, "deleted")
+        # Heartbeat for as long as the shard process is alive; a crash
+        # stops the heartbeats and the session times out at the ensemble.
+        yield from self.session.keepalive(
+            while_alive=lambda: self.shard.alive and self.shard.nic.alive)
+
+
+class SwatTeam:
+    """The SWAT member group plus its reaction logic."""
+
+    def __init__(self, sim: Simulator, cluster: HydraCluster, zk: ZooKeeper,
+                 n_members: int = 3):
+        self.sim = sim
+        self.cluster = cluster
+        self.zk = zk
+        self.config = cluster.config
+        self.n_members = n_members
+        self.leader_id: Optional[int] = None
+        self.failovers = 0
+        self.member_procs = []
+        self._member_alive = [True] * n_members
+
+    def start(self) -> None:
+        """Bootstrap the znode tree and launch every SWAT member."""
+        boot = self.zk.connect("swat.boot")
+        # Bootstrap the static tree synchronously (no contention at t=0).
+        for path in ("/swat", MEMBERS_PATH, SHARDS_PATH, ROUTING_PATH):
+            if not self.zk.node_exists(path):
+                self.zk._create_node(path, b"", None)
+        del boot
+        for mid in range(self.n_members):
+            self.member_procs.append(
+                self.sim.process(self._member(mid), name=f"swat.m{mid}"))
+
+    def kill_member(self, mid: int) -> None:
+        """Failure-inject a SWAT member (leader death -> re-election)."""
+        self._member_alive[mid] = False
+        proc = self.member_procs[mid]
+        if proc.is_alive:
+            proc.interrupt("killed")
+
+    # -- membership / election ------------------------------------------------
+    def _member(self, mid: int):
+        try:
+            session = self.zk.connect(owner=f"swat.m{mid}")
+            self.sim.process(
+                session.keepalive(
+                    while_alive=lambda: self._member_alive[mid]),
+                name=f"swat.m{mid}.hb")
+            my_path = yield from session.create(
+                f"{MEMBERS_PATH}/m-", ephemeral=True, sequential=True)
+            my_name = my_path.rsplit("/", 1)[1]
+            while self._member_alive[mid]:
+                members = yield from session.get_children(MEMBERS_PATH)
+                if members and members[0] == my_name:
+                    self.leader_id = mid
+                    yield from self._lead(session)
+                    return
+                # Watch my predecessor; on its death, re-evaluate.
+                idx = members.index(my_name)
+                predecessor = f"{MEMBERS_PATH}/{members[idx - 1]}"
+                yield self.zk.watch(predecessor, "deleted")
+        except Interrupt:
+            pass
+
+    # -- leader duties ---------------------------------------------------------
+    def _lead(self, session: ZkSession):
+        # Publish the initial routing map.
+        for shard_id in self.cluster.routing.shard_ids():
+            path = f"{ROUTING_PATH}/{shard_id}"
+            if not self.zk.node_exists(path):
+                yield from session.create(path, self._route_blob(shard_id))
+        pending_register: set[str] = set()
+        while session.alive:
+            registered = set(
+                (yield from session.get_children(SHARDS_PATH)))
+            pending_register -= registered
+            expected = set(self.cluster.routing.shard_ids())
+            missing = sorted(expected - registered - pending_register)
+            for shard_id in missing:
+                yield from self._react_to_failure(session, shard_id)
+                # The replacement agent's registration is in flight; do
+                # not react to this shard again until it lands.
+                pending_register.add(shard_id)
+            if not missing:
+                yield self.zk.watch(SHARDS_PATH, "children")
+
+    def _route_blob(self, shard_id: str) -> bytes:
+        shard = self.cluster.routing.resolve(shard_id)
+        return f"machine={shard.machine.machine_id}".encode()
+
+    def _react_to_failure(self, session: ZkSession, shard_id: str):
+        """Promote a secondary and republish routing (§5.1)."""
+        yield self.sim.timeout(self.config.coord.swat_react_ns)
+        old_primary = self.cluster.routing.resolve(shard_id)
+        if old_primary.alive and old_primary.nic.alive:
+            # Transient flap (agent session expired but shard is healthy):
+            # re-register instead of promoting.
+            ShardAgent(self.sim, self.zk, old_primary)
+            return
+        candidates = [
+            sec for sec in self.cluster.secondaries.get(shard_id, [])
+            if sec.machine.nic.alive
+        ]
+        if not candidates:
+            self.cluster.metrics.counter("swat.data_loss").add()
+            return
+        promoted = candidates[0]
+        remaining = candidates[1:]
+        promoted.stop()
+        new_primary = Shard(self.sim, self.config, shard_id,
+                            promoted.machine, promoted.core,
+                            metrics=self.cluster.metrics,
+                            store=promoted.store)
+        new_primary.start()
+        # Re-wire remaining secondaries to the new primary.
+        if remaining:
+            from ..replication import LogReplicator
+            replicator = LogReplicator(self.sim, self.config, new_primary,
+                                       metrics=self.cluster.metrics)
+            for sec in remaining:
+                nbytes = yield from self._resync(new_primary, sec)
+                sec.rebind()
+                replicator.add_secondary(sec)
+                del nbytes
+            self.cluster.replicators[shard_id] = replicator
+        else:
+            self.cluster.replicators.pop(shard_id, None)
+        self.cluster.secondaries[shard_id] = remaining
+        self.cluster.routing.set(shard_id, new_primary)
+        try:
+            yield from session.set_data(f"{ROUTING_PATH}/{shard_id}",
+                                        self._route_blob(shard_id))
+        except ZkError:  # pragma: no cover - routing node races
+            pass
+        ShardAgent(self.sim, self.zk, new_primary)
+        self.failovers += 1
+        self.cluster.metrics.counter("swat.failovers").add()
+
+    def _resync(self, primary: Shard, sec):
+        """Bulk state transfer: make ``sec``'s store match the new primary."""
+        snapshot = primary.store.dump()
+        stale = set(sec.store.dump()) - set(snapshot)
+        nbytes = sum(len(k) + len(v) for k, v in snapshot.items())
+        # One streaming transfer over the fabric plus per-item apply cost.
+        transfer_ns = (self.config.fabric.serialization_ns(nbytes)
+                       + 2 * self.config.fabric.propagation_ns
+                       + 1_000 * max(1, len(snapshot)))
+        yield self.sim.timeout(transfer_ns)
+        for key in stale:
+            sec.store.remove(key)
+        for key, value in snapshot.items():
+            version = primary.store.get(key).version
+            sec.store.apply(Op.PUT, key, value, version=version)
+        return nbytes
+
+    # -- node join ---------------------------------------------------------
+    def join_server(self, n_shards: int, table_kind: str = "compact"):
+        """Bring a new server machine into the cluster (run as a process).
+
+        Keys whose ring ownership moves to the new shards are migrated
+        before the ring is updated; concurrent writes to migrating arcs
+        are assumed quiescent (the paper does not specify an online
+        migration protocol).
+        """
+        from ..core.server import HydraServer
+        cluster = self.cluster
+        machine = cluster._new_machine(cores_per_numa=8)
+        cluster.server_machines.append(machine)
+        server = HydraServer(self.sim, self.config, machine,
+                             server_id=f"s{len(cluster.servers)}",
+                             n_shards=n_shards, metrics=cluster.metrics,
+                             table_kind=table_kind)
+        cluster.servers.append(server)
+        server.start()
+        # Compute the future ring to find which keys move.
+        future = type(cluster.ring)(vnodes=cluster.ring.vnodes)
+        for sid in cluster.ring.members:
+            future.add(sid)
+        new_ids = []
+        for shard in server.shards:
+            future.add(shard.shard_id)
+            new_ids.append(shard.shard_id)
+            cluster.routing.set(shard.shard_id, shard)
+        moved_bytes = 0
+        moves = 0
+        for old_id in list(cluster.ring.members):
+            old_shard = cluster.routing.resolve(old_id)
+            for key, value in old_shard.store.dump().items():
+                new_owner = future.owner_of_key(key)
+                if new_owner == old_id or new_owner not in new_ids:
+                    continue
+                version = old_shard.store.get(key).version
+                cluster.routing.resolve(new_owner).store.apply(
+                    Op.PUT, key, value, version=version)
+                old_shard.store.remove(key)
+                # Keep the donor's secondaries in step: the migration-away
+                # is a mutation they must also apply, or a later failover
+                # would resurrect orphaned keys.
+                if old_shard.replicator is not None:
+                    rep_cost, wait_ev = old_shard.replicator.replicate(
+                        Op.DELETE, key, b"", 0)
+                    yield self.sim.timeout(rep_cost)
+                    if wait_ev is not None:
+                        yield wait_ev
+                moved_bytes += len(key) + len(value)
+                moves += 1
+        yield self.sim.timeout(
+            self.config.fabric.serialization_ns(moved_bytes)
+            + 1_000 * max(1, moves))
+        for shard in server.shards:
+            cluster.ring.add(shard.shard_id)
+            ShardAgent(self.sim, self.zk, shard)
+        self.cluster.metrics.counter("swat.joins").add()
+        return server
+
+
+class HaControl:
+    """Bundles ZooKeeper + SWAT + shard agents for a cluster."""
+
+    def __init__(self, cluster: HydraCluster, n_swat: int = 3):
+        self.cluster = cluster
+        self.zk = ZooKeeper(cluster.sim, cluster.config.coord)
+        self.swat = SwatTeam(cluster.sim, cluster, self.zk, n_members=n_swat)
+        self.agents: list[ShardAgent] = []
+
+    def start(self) -> None:
+        """Start SWAT and register a liveness agent per primary shard."""
+        self.swat.start()
+        for shard in self.cluster.routing.live_shards():
+            self.agents.append(ShardAgent(self.cluster.sim, self.zk, shard))

@@ -1,0 +1,31 @@
+"""HydraDB core: shards, clients, consistent hashing, leases, the cluster."""
+
+from .api import HydraCluster, RoutingTable
+from .client import HydraClient, RequestTimeout, StaticRouter
+from .lease import LeaseManager, LeaseState
+from .ring import HashRing
+from .rptr import CachedPointer, RptrCache
+from .server import HydraServer
+from .shard import Connection, Shard, WRITE_OPS
+from .subshard import SubShardedShard
+from .store import ShardStore, StoreResult
+
+__all__ = [
+    "HydraCluster",
+    "RoutingTable",
+    "HydraClient",
+    "RequestTimeout",
+    "StaticRouter",
+    "HydraServer",
+    "Shard",
+    "SubShardedShard",
+    "Connection",
+    "WRITE_OPS",
+    "ShardStore",
+    "StoreResult",
+    "HashRing",
+    "LeaseManager",
+    "LeaseState",
+    "RptrCache",
+    "CachedPointer",
+]

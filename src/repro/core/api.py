@@ -1,0 +1,211 @@
+"""Public facade: build and drive a HydraDB cluster in one object.
+
+Quickstart::
+
+    from repro import HydraCluster
+
+    cluster = HydraCluster(n_server_machines=1, shards_per_server=4,
+                           n_client_machines=1)
+    cluster.start()
+    client = cluster.client()
+
+    def app():
+        yield from client.put(b"user:1", b"Ada")
+        value = yield from client.get(b"user:1")
+        assert value == b"Ada"
+
+    cluster.run(app())
+
+The cluster owns the simulator, fabric, machines, servers, the consistent-
+hashing ring, and the routing table that maps ring entries to the shard
+objects currently serving them (updated by SWAT on failover).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..config import SimConfig
+from ..hardware import Machine
+from ..rdma import Fabric, TcpNetwork
+from ..sim import MetricSet, Simulator
+from .client import HydraClient
+from .ring import HashRing
+from .rptr import RptrCache
+from .server import HydraServer
+from .shard import Shard
+
+__all__ = ["HydraCluster", "RoutingTable"]
+
+
+class RoutingTable:
+    """shard-id -> live Shard object; the SWAT failover path swaps entries."""
+
+    def __init__(self) -> None:
+        self._map: dict[str, Shard] = {}
+
+    def set(self, shard_id: str, shard: Shard) -> None:
+        """Install/replace the shard serving ``shard_id``."""
+        self._map[shard_id] = shard
+
+    def resolve(self, shard_id: str) -> Shard:
+        """The live shard currently serving ``shard_id``."""
+        return self._map[shard_id]
+
+    def shard_ids(self) -> list[str]:
+        """Every routable shard id."""
+        return list(self._map)
+
+    def live_shards(self) -> list[Shard]:
+        """Every currently routed shard object."""
+        return list(self._map.values())
+
+
+class HydraCluster:
+    """A complete HydraDB deployment plus its client machines."""
+
+    def __init__(self, config: Optional[SimConfig] = None,
+                 n_server_machines: int = 1, shards_per_server: int = 4,
+                 n_client_machines: int = 1,
+                 table_kind: str = "compact", numa_mode: str = "local",
+                 scribble_on_reclaim: bool = False,
+                 cores_per_numa: int = 8,
+                 sim: Optional[Simulator] = None):
+        self.config = config or SimConfig()
+        self.sim = sim or Simulator()
+        self.metrics = MetricSet(self.sim)
+        self.fabric = Fabric(self.sim, self.config, metrics=self.metrics)
+        self.tcpnet = TcpNetwork(self.sim, self.config)
+        self.server_machines: list[Machine] = []
+        self.client_machines: list[Machine] = []
+        self.servers: list[HydraServer] = []
+        self.ring = HashRing()
+        self.routing = RoutingTable()
+        self._machine_counter = 0
+        #: Per-client-machine shared remote-pointer caches (§4.2.4).
+        self._shared_caches: dict[int, RptrCache] = {}
+        self._started = False
+        for _ in range(n_server_machines):
+            machine = self._new_machine(cores_per_numa)
+            self.server_machines.append(machine)
+            server = HydraServer(
+                self.sim, self.config, machine,
+                server_id=f"s{len(self.servers)}",
+                n_shards=shards_per_server, metrics=self.metrics,
+                table_kind=table_kind, numa_mode=numa_mode,
+                scribble_on_reclaim=scribble_on_reclaim,
+            )
+            self.servers.append(server)
+            for shard in server.shards:
+                self.ring.add(shard.shard_id)
+                self.routing.set(shard.shard_id, shard)
+        for _ in range(n_client_machines):
+            self.client_machines.append(self._new_machine(cores_per_numa))
+        #: Replication state (populated when config.replication.replicas > 0):
+        #: dedicated replica machines, per-primary replicators/secondaries.
+        self.replica_machines: list[Machine] = []
+        self.replicators: dict[str, object] = {}
+        self.secondaries: dict[str, list] = {}
+        if self.config.replication.replicas > 0:
+            self._wire_replication(cores_per_numa)
+
+    def _wire_replication(self, cores_per_numa: int) -> None:
+        from ..replication import LogReplicator, SecondaryShard
+
+        replicas = self.config.replication.replicas
+        for _ in range(replicas):
+            self.replica_machines.append(self._new_machine(cores_per_numa))
+        for server in self.servers:
+            for shard in server.shards:
+                replicator = LogReplicator(self.sim, self.config, shard,
+                                           metrics=self.metrics)
+                secs = []
+                for k in range(replicas):
+                    machine = self.replica_machines[k]
+                    sec_id = f"{shard.shard_id}.r{k}"
+                    core = machine.allocate_core(sec_id)
+                    sec = SecondaryShard(self.sim, self.config, sec_id,
+                                         machine, core, metrics=self.metrics)
+                    replicator.add_secondary(sec)
+                    secs.append(sec)
+                self.replicators[shard.shard_id] = replicator
+                self.secondaries[shard.shard_id] = secs
+
+    def _new_machine(self, cores_per_numa: int) -> Machine:
+        machine = Machine(self.sim, self._machine_counter, self.config,
+                          cores_per_numa=cores_per_numa)
+        self._machine_counter += 1
+        self.fabric.attach(machine)
+        self.tcpnet.attach(machine)
+        return machine
+
+    # -- router protocol (used by HydraClient) -----------------------------
+    def route(self, key: bytes) -> Shard:
+        """The shard owning ``key`` (ring lookup + routing table)."""
+        from ..index.hashing import hash64
+        return self.routing.resolve(self.ring.owner(hash64(key)))
+
+    def shards(self) -> list[Shard]:
+        """All live shards, in ring-member order."""
+        return [self.routing.resolve(sid) for sid in self.ring.members]
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Launch every shard (and secondary) process."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        for server in self.servers:
+            server.start()
+        for secs in self.secondaries.values():
+            for sec in secs:
+                sec.start()
+
+    def run(self, *processes: Generator, until=None):
+        """Spawn processes and run the simulation until they all finish."""
+        procs = [self.sim.process(p) for p in processes]
+        if until is not None:
+            return self.sim.run(until=until)
+        if len(procs) == 1:
+            return self.sim.run(until=procs[0])
+        return self.sim.run(until=self.sim.all_of(procs))
+
+    def enable_ha(self, n_swat: int = 3):
+        """Attach the ZooKeeper + SWAT control plane (call before start())."""
+        from ..coord import HaControl
+        self.ha = HaControl(self, n_swat=n_swat)
+        self.ha.start()
+        return self.ha
+
+    # -- clients ---------------------------------------------------------
+    def client(self, machine_index: int = 0,
+               connect: bool = True) -> HydraClient:
+        """Create a client on the i-th client machine."""
+        machine = self.client_machines[machine_index]
+        return self.client_on(machine, connect=connect)
+
+    def client_on(self, machine: Machine, connect: bool = True) -> HydraClient:
+        """Create a client on an arbitrary machine (co-location allowed)."""
+        cache = None
+        if (self.config.hydra.rptr_cache_enabled
+                and self.config.hydra.rptr_sharing):
+            cache = self._shared_caches.get(machine.machine_id)
+            if cache is None:
+                cache = RptrCache(self.config.hydra.rptr_cache_entries)
+                self._shared_caches[machine.machine_id] = cache
+            else:
+                cache.add_sharer()
+        client = HydraClient(self.sim, self.config, machine, router=self,
+                             metrics=self.metrics, rptr_cache=cache)
+        if connect:
+            client.connect_all()
+        return client
+
+    def rptr_stats(self) -> dict[str, int]:
+        """Aggregate remote-pointer cache counters across shared caches."""
+        agg = {"successful_hits": 0, "invalid_hits": 0, "expired": 0,
+               "misses": 0, "entries": 0, "evictions": 0}
+        for cache in self._shared_caches.values():
+            for k, v in cache.stats().items():
+                agg[k] += v
+        return agg

@@ -1,0 +1,276 @@
+"""The HydraDB client library (§4.2).
+
+Clients are generator coroutines: every operation is used as
+``value = yield from client.get(key)`` inside a simulation process.
+
+GET fast path: if the remote-pointer cache holds a fresh-leased pointer,
+the client issues a single one-sided RDMA Read, validates the fetched bytes
+(magic, key match, guardian word), and never touches the server CPU.  A
+dead/garbage result counts as an *invalid hit*: the entry is dropped and
+the GET falls back to the message path, which also returns a fresh pointer
+and lease.
+
+Message path: the request is indicator-framed and RDMA-Written into the
+shard's per-connection request buffer; the client then polls its response
+buffer (Send/Recv mode posts a receive and polls the CQ instead).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional, TYPE_CHECKING
+
+from ..config import SimConfig
+from ..hardware import Machine
+from ..kvmem import parse_item
+from ..protocol import (Op, Request, Response, Status, clear, consume,
+                         frame, frame_len, response_wire_len)
+from ..rdma import Nic, QpError
+from ..sim import MetricSet, Simulator
+from .rptr import CachedPointer, RptrCache
+from .shard import Connection, Shard
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["HydraClient", "RequestTimeout", "StaticRouter"]
+
+_client_ids = count(1)
+
+
+class RequestTimeout(Exception):
+    """No response within the operation timeout (dead shard suspected)."""
+
+
+class StaticRouter:
+    """Trivial router for single/few-shard setups and unit tests."""
+
+    def __init__(self, shards: list[Shard]):
+        if not shards:
+            raise ValueError("need at least one shard")
+        self._shards = list(shards)
+
+    def route(self, key: bytes) -> Shard:
+        """The shard owning ``key``."""
+        if len(self._shards) == 1:
+            return self._shards[0]
+        from ..index.hashing import hash64
+        return self._shards[hash64(key) % len(self._shards)]
+
+    def shards(self) -> list[Shard]:
+        """All shards this router can reach."""
+        return list(self._shards)
+
+
+class HydraClient:
+    """One client endpoint (the paper's 'client library' instance)."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
+                 router, metrics: Optional[MetricSet] = None,
+                 rptr_cache: Optional[RptrCache] = None,
+                 client_id: Optional[str] = None):
+        self.sim = sim
+        self.config = config
+        self.hydra = config.hydra
+        self.cpu = config.cpu
+        self.machine = machine
+        self.nic: Nic = machine.nic
+        self.router = router
+        self.metrics = metrics or MetricSet(sim)
+        self.client_id = client_id or f"client{next(_client_ids)}"
+        if not self.hydra.rptr_cache_enabled or self.hydra.transport != "rdma":
+            # No one-sided reads over TCP: the pointer cache is moot.
+            self.cache: Optional[RptrCache] = None
+        elif rptr_cache is not None:
+            self.cache = rptr_cache
+        else:
+            self.cache = RptrCache(self.hydra.rptr_cache_entries)
+        #: Keyed by Shard object identity: after a failover promotion the
+        #: router returns a *new* Shard for the same shard id, and a fresh
+        #: connection is created transparently on the next operation.
+        self.conns: dict[Shard, Connection] = {}
+        self._tcp_conns: dict[Shard, object] = {}
+        self._req_ids = count(1)
+
+    # -- connections ---------------------------------------------------------
+    def connection_to(self, shard: Shard) -> Connection:
+        """The (lazily created) RDMA connection to a shard."""
+        conn = self.conns.get(shard)
+        if conn is None:
+            conn = shard.connect(self.nic)
+            self.conns[shard] = conn
+        return conn
+
+    def connect_all(self) -> None:
+        """Eagerly connect to every shard the router knows."""
+        if self.hydra.transport != "rdma":
+            return  # TCP connections are established lazily (handshakes
+                    # need simulation time)
+        for shard in self.router.shards():
+            self.connection_to(shard)
+
+    def drop_connection(self, shard: Shard) -> None:
+        """Tear down the connection to one shard."""
+        conn = self.conns.pop(shard, None)
+        if conn is not None:
+            conn.close()
+
+    # -- public operations (generator API) ---------------------------------
+    def get(self, key: bytes):
+        """GET: RDMA-Read fast path, else message path. Returns bytes|None."""
+        shard = self.router.route(key)
+        if self.cache is not None:
+            value = yield from self._try_rdma_read(shard, key)
+            if value is not None:
+                return value
+        resp = yield from self._request(shard, Request(op=Op.GET, key=key))
+        if resp.status is Status.NOT_FOUND:
+            return None
+        if resp.status is not Status.OK:
+            raise RuntimeError(f"GET failed: {resp.status.name}")
+        self._maybe_cache(key, resp)
+        return resp.value
+
+    def put(self, key: bytes, value: bytes):
+        """Insert-or-update; returns the response Status."""
+        return (yield from self._mutate(Op.PUT, key, value))
+
+    def insert(self, key: bytes, value: bytes):
+        """Insert; EXISTS if the key is already present."""
+        return (yield from self._mutate(Op.INSERT, key, value))
+
+    def update(self, key: bytes, value: bytes):
+        """Update; NOT_FOUND if the key is absent."""
+        return (yield from self._mutate(Op.UPDATE, key, value))
+
+    def delete(self, key: bytes):
+        """Delete; NOT_FOUND if the key is absent."""
+        return (yield from self._mutate(Op.DELETE, key, b""))
+
+    def lease_renew(self, key: bytes):
+        """Explicitly extend the lease of a (popular) key."""
+        shard = self.router.route(key)
+        resp = yield from self._request(
+            shard, Request(op=Op.LEASE_RENEW, key=key))
+        if resp.status is Status.OK:
+            self._maybe_cache(key, resp)
+        return resp.status
+
+    # -- internals ---------------------------------------------------------
+    def _mutate(self, op: Op, key: bytes, value: bytes):
+        shard = self.router.route(key)
+        resp = yield from self._request(
+            shard, Request(op=op, key=key, value=value))
+        if self.cache is not None and resp.status is Status.OK:
+            # Our own pointer is now stale (out-of-place update).  A shared
+            # cache also spares co-located clients the invalid read.
+            self.cache.invalidate(key)
+        return resp.status
+
+    def _try_rdma_read(self, shard: Shard, key: bytes):
+        """One-sided GET attempt; returns the value or None on any miss."""
+        cache = self.cache
+        yield self.sim.timeout(cache.op_cost_ns())
+        entry = cache.lookup(key, self.sim.now)
+        if entry is None:
+            return None
+        conn = self.connection_to(shard)
+        self.metrics.counter("client.rdma_reads").add()
+        try:
+            read_ev = conn.client_qp.post_read(entry.rptr)
+        except QpError:
+            # The pointer no longer matches this route (e.g. the shard was
+            # promoted onto another machine after a failover): unusable.
+            cache.record_invalid(key)
+            return None
+        wc = yield read_ev
+        yield self.sim.timeout(self.cpu.parse_ns)
+        if wc.ok:
+            item = parse_item(wc.data)
+            if item is not None and item.live and item.key == key:
+                cache.record_successful()
+                return item.value
+        cache.record_invalid(key)
+        return None
+
+    def _maybe_cache(self, key: bytes, resp: Response) -> None:
+        if self.cache is None or not resp.remote_pointer_valid:
+            return
+        from ..rdma import RemotePointer
+        self.cache.store(key, CachedPointer(
+            rptr=RemotePointer(resp.rkey, resp.roffset, resp.rlen),
+            lease_expiry_ns=resp.lease_expiry_ns,
+            version=resp.version,
+        ))
+
+    def _request(self, shard: Shard, req: Request):
+        """Message path: send the request, await the framed response."""
+        req = Request(op=req.op, key=req.key, value=req.value,
+                      req_id=next(self._req_ids))
+        self.metrics.counter("client.messages").add()
+        data = req.encode()
+        yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
+        if self.hydra.transport == "tcp":
+            resp = yield from self._tcp_request(shard, req, data)
+            return resp
+        buf = self.hydra.conn_buf_bytes
+        if frame_len(len(data)) > buf:
+            raise ValueError(
+                f"request of {len(data)}B exceeds the {buf}B connection "
+                f"buffer; raise hydra.conn_buf_bytes for large items")
+        conn = self.connection_to(shard)
+        if self.hydra.rdma_write_messaging:
+            conn.client_qp.post_write(conn.req_rptr, frame(data))
+        else:
+            conn.client_qp.post_recv()
+            conn.client_qp.post_send(data)
+        payload = yield from self._await_response(conn)
+        resp = Response.decode(payload)
+        if resp.req_id != req.req_id:
+            raise RuntimeError(
+                f"response/request id mismatch ({resp.req_id} != {req.req_id})"
+            )
+        return resp
+
+    def _await_response(self, conn: Connection):
+        deadline = self.sim.now + self.hydra.op_timeout_ns
+        while True:
+            if self.hydra.rdma_write_messaging:
+                payload = consume(conn.resp_region, 0)
+                if payload is not None:
+                    clear(conn.resp_region, 0, len(payload))
+                    yield self.sim.timeout(self.cpu.poll_probe_ns)
+                    return payload
+            else:
+                cqe = conn.client_qp.recv_cq.poll_one()
+                if cqe is not None and cqe.ok:
+                    yield self.sim.timeout(self.cpu.cq_poll_ns)
+                    return cqe.data
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                raise RequestTimeout(
+                    f"{self.client_id}: no response from shard "
+                    f"(conn {conn.conn_id})"
+                )
+            ev = yield self.sim.any_of([
+                conn.client_doorbell.wait(),
+                self.sim.timeout(remaining),
+            ])
+            del ev  # loop re-probes regardless of which event fired
+
+    def _tcp_request(self, shard: Shard, req: Request, data: bytes):
+        """Kernel-TCP request path (transport == "tcp")."""
+        conn = self._tcp_conns.get(shard)
+        if conn is None:
+            if shard.tcp_port < 0:
+                raise RuntimeError(f"{shard.shard_id} has no TCP listener "
+                                   "(is the cluster started?)")
+            conn = yield self.machine.tcp.connect(shard.machine.tcp,
+                                                  shard.tcp_port)
+            self._tcp_conns[shard] = conn
+        yield conn.send(data, req.wire_len + 40)
+        payload, _n = yield conn.recv()
+        resp = Response.decode(payload)
+        if resp.req_id != req.req_id:
+            raise RuntimeError("response/request id mismatch over TCP")
+        return resp

@@ -1,0 +1,80 @@
+"""Popularity-scaled leases for RDMA-readable items (§4.2.3, C-Hint [31]).
+
+A lease is the server's promise that the extent behind a remote pointer
+stays mapped (even if the item is retired) until the expiry timestamp, so
+clients may RDMA-Read it without server coordination.  Every server-aware
+GET extends the lease by 1–64 s depending on the key's observed
+popularity; retiring an item *freezes* its lease, and the reclaimer frees
+the extent only after the frozen lease lapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HydraConfig
+from ..sim import Simulator
+
+__all__ = ["LeaseManager", "LeaseState"]
+
+
+@dataclass
+class LeaseState:
+    expiry_ns: int
+    get_count: int = 0
+
+
+class LeaseManager:
+    """Per-shard lease bookkeeping, keyed by arena offset."""
+
+    def __init__(self, sim: Simulator, config: HydraConfig):
+        self.sim = sim
+        self.config = config
+        self._leases: dict[int, LeaseState] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def duration_ns(self, get_count: int) -> int:
+        """Lease term for a key with ``get_count`` observed GETs.
+
+        Doubles with popularity: 1 s, 2 s, 4 s ... capped at 64 s
+        (``lease_max_ns``), saturating at ``lease_popularity_saturation``.
+        """
+        capped = max(1, min(get_count, self.config.lease_popularity_saturation))
+        term = self.config.lease_min_ns << (capped.bit_length() - 1)
+        return min(term, self.config.lease_max_ns)
+
+    def on_insert(self, offset: int) -> int:
+        """Fresh item: baseline lease."""
+        st = LeaseState(expiry_ns=self.sim.now + self.config.lease_min_ns)
+        self._leases[offset] = st
+        return st.expiry_ns
+
+    def on_get(self, offset: int) -> int:
+        """Server-aware GET: bump popularity and extend the lease."""
+        st = self._leases.get(offset)
+        if st is None:  # defensive: treat as fresh
+            st = LeaseState(expiry_ns=0)
+            self._leases[offset] = st
+        st.get_count += 1
+        st.expiry_ns = max(st.expiry_ns,
+                           self.sim.now + self.duration_ns(st.get_count))
+        return st.expiry_ns
+
+    def renew(self, offset: int) -> int:
+        """Explicit client renewal (LEASE_RENEW message)."""
+        return self.on_get(offset)
+
+    def expiry(self, offset: int) -> int:
+        st = self._leases.get(offset)
+        return st.expiry_ns if st else 0
+
+    def freeze(self, offset: int) -> int:
+        """Retire an item: drop its state and return the frozen expiry.
+
+        A frozen lease is never extended again (§4.2.3); the returned value
+        is the earliest safe reclamation time for the extent.
+        """
+        st = self._leases.pop(offset, None)
+        return st.expiry_ns if st else self.sim.now

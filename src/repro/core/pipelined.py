@@ -1,0 +1,173 @@
+"""Pipelined (decoupled I/O / compute) shard — the §6.2.1 ablation.
+
+The design the paper argues *against* when RDMA is available (Fig. 5a):
+dedicated I/O dispatcher threads detect requests and hand them over a
+queue to worker threads that execute them.  Per request this pays a
+hand-off (enqueue + wake-up + cacheline bounce) and, because two workers
+now share one partition, a lock around the store.  It consumes
+``io_threads + worker_threads`` cores per instance — 4x the single-
+threaded design in the paper's configuration — yet delivers strictly
+worse latency and throughput, which Fig. 10's "Pipeline + RDMA Write"
+series quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..hardware import Core, Machine
+from ..protocol import Request, Response, Status
+from ..protocol import Op
+from ..sim import Interrupt, MetricSet, RwLock, Simulator, Store
+from .shard import Connection, Shard, WRITE_OPS
+from .store import ShardStore
+
+__all__ = ["PipelinedShard"]
+
+
+class PipelinedShard(Shard):
+    """Shard with decoupled request detection and handling."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, shard_id: str,
+                 machine: Machine, core: Core,
+                 metrics: Optional[MetricSet] = None,
+                 table_kind: str = "compact", numa_mode: str = "local",
+                 scribble_on_reclaim: bool = False,
+                 store: Optional[ShardStore] = None):
+        super().__init__(sim, config, shard_id, machine, core,
+                         metrics=metrics, table_kind=table_kind,
+                         numa_mode=numa_mode,
+                         scribble_on_reclaim=scribble_on_reclaim, store=store)
+        h = self.hydra
+        #: The base-class core is I/O dispatcher 0; allocate the rest in
+        #: the same NUMA domain (the paper pins whole instances per domain).
+        self.io_cores: list[Core] = [core]
+        for i in range(1, h.pipeline_io_threads):
+            self.io_cores.append(machine.allocate_core(
+                f"{shard_id}.io{i}", numa_domain=core.numa_domain))
+        self.worker_cores: list[Core] = [
+            machine.allocate_core(f"{shard_id}.w{i}",
+                                  numa_domain=core.numa_domain)
+            for i in range(h.pipeline_worker_threads)
+        ]
+        self._queue = Store(sim)
+        self._store_lock = RwLock(sim)
+        self._procs: list = []
+
+    @property
+    def cores_used(self) -> int:
+        return len(self.io_cores) + len(self.worker_cores)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError(f"{self.shard_id} already running")
+        self.alive = True
+        for tid, io_core in enumerate(self.io_cores):
+            self._procs.append(self.sim.process(
+                self._io_loop(tid, io_core), name=f"{self.shard_id}.io{tid}"))
+        for wid, w_core in enumerate(self.worker_cores):
+            self._procs.append(self.sim.process(
+                self._worker_loop(w_core), name=f"{self.shard_id}.w{wid}"))
+        self._proc = self._procs[0]
+        if self.store.reclaimer._proc is None:
+            self.store.reclaimer.start()
+
+    def kill(self) -> None:
+        self.alive = False
+        self.store.reclaimer.stop()
+        for p in self._procs:
+            if p.is_alive:
+                p.interrupt("killed")
+
+    # -- I/O dispatchers ------------------------------------------------------
+    def _my_conns(self, tid: int) -> list[Connection]:
+        n = len(self.io_cores)
+        return [c for c in self.conns if c.conn_id % n == tid]
+
+    def _io_loop(self, tid: int, core: Core):
+        h = self.hydra
+        idle_sweeps = 0
+        try:
+            while self.alive:
+                conns = self._my_conns(tid)
+                if not conns:
+                    yield self.doorbell.wait()
+                    continue
+                yield core.execute(self.cpu.poll_probe_ns * len(conns))
+                processed = 0
+                for conn in conns:
+                    payload = self._poll_conn(conn)
+                    if payload is None:
+                        continue
+                    # Hand off to a worker: queueing + cacheline bounce.
+                    yield core.execute(h.pipeline_handoff_ns)
+                    self._queue.put((conn, payload))
+                    processed += 1
+                if processed:
+                    idle_sweeps = 0
+                    continue
+                idle_sweeps += 1
+                if idle_sweeps < self.cpu.idle_polls_before_sleep:
+                    continue
+                yield self.doorbell.wait()
+                yield core.execute(self.cpu.idle_sleep_ns // 2)
+                idle_sweeps = 0
+        except Interrupt:
+            self.alive = False
+
+    # -- workers ---------------------------------------------------------
+    def _worker_loop(self, core: Core):
+        h = self.hydra
+        try:
+            while self.alive:
+                conn, payload = yield self._queue.get()
+                self.metrics.counter("shard.requests").add()
+                try:
+                    req = Request.decode(payload)
+                except (ValueError, KeyError):
+                    self.metrics.counter("shard.bad_requests").add()
+                    continue
+                # Workers share the partition: GETs take the lock shared,
+                # mutations exclusive, and mutations bounce the partition's
+                # cachelines between the worker cores.
+                is_write = req.op in WRITE_OPS
+                if is_write:
+                    yield self._store_lock.write_acquire()
+                    penalty = h.pipeline_write_penalty
+                else:
+                    yield self._store_lock.read_acquire()
+                    penalty = h.pipeline_read_penalty
+                yield core.execute(h.pipeline_lock_ns)
+                result = self._execute(req)
+                cost = (self.cpu.parse_ns + int(result.cost_ns * penalty)
+                        + self.cpu.build_response_ns)
+                if not self.hydra.rdma_write_messaging:
+                    cost += self.cpu.sendrecv_server_extra_ns
+                yield core.execute(cost)
+                if (self.replicator is not None and is_write
+                        and result.status is Status.OK):
+                    rep_cost, wait_ev = self.replicator.replicate(
+                        req.op, req.key, req.value, result.version)
+                    yield core.execute(rep_cost)
+                    if wait_ev is not None:
+                        yield wait_ev
+                if is_write:
+                    self._store_lock.write_release()
+                else:
+                    self._store_lock.read_release()
+                resp = Response(
+                    op=req.op, status=result.status, req_id=req.req_id,
+                    value=result.value,
+                    rkey=(self.store.region.rkey
+                          if result.status is Status.OK and result.offset >= 0
+                          else 0),
+                    roffset=max(result.offset, 0),
+                    rlen=result.extent,
+                    lease_expiry_ns=result.lease_expiry_ns,
+                    version=result.version,
+                )
+                self._respond(conn, resp)
+        except Interrupt:
+            self.alive = False

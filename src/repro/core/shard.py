@@ -1,0 +1,349 @@
+"""The shard: HydraDB's single-threaded server-side execution unit (§4.1.1).
+
+One shard = one pinned core + one exclusively-owned :class:`ShardStore`.
+The thread does *everything*: it sweeps its per-connection request buffers
+(or receive CQs in the Send/Recv ablation mode), executes the operation
+against the store, replicates mutations, and RDMA-Writes the response —
+no hand-offs, no locks, no context switches.
+
+Polling model: requests are detected by sustained polling with the
+indicator format.  After ``idle_polls_before_sleep`` empty sweeps the
+thread enters high-resolution sleep (§4.2.1); in the simulator the sleep
+phase blocks on a doorbell and charges half a sleep quantum of detection
+latency on wake-up, so the latency/CPU trade-off of the real design is
+preserved without simulating dead sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+from ..config import SimConfig
+from ..hardware import Core, Machine
+from ..protocol import (
+    Op,
+    Request,
+    Response,
+    Status,
+    clear,
+    consume,
+    frame,
+    frame_len,
+)
+from ..rdma import MemoryRegion, Nic, QueuePair, RemotePointer
+from ..sim import Gate, MetricSet, Interrupt, Simulator, Store
+from .store import ShardStore, StoreResult
+
+__all__ = ["Shard", "Connection", "WRITE_OPS"]
+
+WRITE_OPS = frozenset({Op.PUT, Op.INSERT, Op.UPDATE, Op.DELETE})
+_conn_ids = count(1)
+
+
+@dataclass
+class Connection:
+    """One client<->shard link: QP pair + the two message buffers."""
+
+    conn_id: int
+    shard_qp: QueuePair
+    client_qp: QueuePair
+    #: Request buffer: lives on the server, written by the client.
+    req_region: MemoryRegion
+    req_rptr: RemotePointer
+    #: Response buffer: lives on the client, written by the shard.
+    resp_region: MemoryRegion
+    resp_rptr: RemotePointer
+    #: Client-side doorbell (fires on response-buffer writes / CQ pushes).
+    client_doorbell: Gate = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def close(self) -> None:
+        self.shard_qp.destroy()
+        self.client_qp.destroy()
+
+
+class Shard:
+    """A primary shard process."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, shard_id: str,
+                 machine: Machine, core: Core,
+                 metrics: Optional[MetricSet] = None,
+                 table_kind: str = "compact", numa_mode: str = "local",
+                 scribble_on_reclaim: bool = False,
+                 store: Optional[ShardStore] = None):
+        self.sim = sim
+        self.config = config
+        self.hydra = config.hydra
+        self.cpu = config.cpu
+        self.shard_id = shard_id
+        self.machine = machine
+        self.nic: Nic = machine.nic
+        self.core = core
+        self.metrics = metrics or MetricSet(sim)
+        self.store = store or ShardStore(
+            sim, config, self.nic, core.numa_domain, shard_id,
+            table_kind=table_kind, numa_mode=numa_mode,
+            scribble_on_reclaim=scribble_on_reclaim,
+        )
+        self.conns: list[Connection] = []
+        self.doorbell = Gate(sim)
+        #: TCP-mode state (transport == "tcp"): epoll-style ready queue.
+        self.tcp_port: int = -1
+        self._tcp_ready = Store(sim)
+        self._tcp_conns: list = []
+        #: Replication hook; installed by the HA wiring (repro.replication).
+        self.replicator = None
+        self.alive = False
+        self._proc = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError(f"{self.shard_id} already running")
+        self.alive = True
+        if self.hydra.transport == "tcp":
+            stack = self.machine.tcp
+            port = 7100
+            while port in stack.listeners:
+                port += 1
+            self.tcp_port = port
+            listener = stack.listen(port)
+            self.sim.process(self._tcp_acceptor(listener),
+                             name=f"{self.shard_id}.accept")
+        self._proc = self.sim.process(self._run(), name=self.shard_id)
+        if self.store.reclaimer._proc is None:
+            self.store.reclaimer.start()
+
+    def kill(self) -> None:
+        """Crash the shard process (failure injection)."""
+        self.alive = False
+        self.store.reclaimer.stop()
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("killed")
+
+    def store_for_key(self, key: bytes) -> ShardStore:
+        """The store an out-of-band loader should install ``key`` into
+        (sub-sharded instances override to route by key hash)."""
+        return self.store
+
+    # -- connection setup ------------------------------------------------
+    def connect(self, client_nic: Nic) -> Connection:
+        """Establish a client connection (QP pair + message buffers)."""
+        fabric = self.nic.fabric
+        client_qp, shard_qp = fabric.connect(client_nic, self.nic)
+        buf = self.hydra.conn_buf_bytes
+        req_region = MemoryRegion(buf, numa_domain=self.core.numa_domain,
+                                  name=f"{self.shard_id}.req")
+        self.nic.register(req_region)
+        resp_region = MemoryRegion(buf, name=f"{self.shard_id}.resp")
+        client_nic.register(resp_region)
+        conn = Connection(
+            conn_id=next(_conn_ids),
+            shard_qp=shard_qp,
+            client_qp=client_qp,
+            req_region=req_region,
+            req_rptr=RemotePointer(req_region.rkey, 0, buf),
+            resp_region=resp_region,
+            resp_rptr=RemotePointer(resp_region.rkey, 0, buf),
+            client_doorbell=Gate(self.sim),
+        )
+        if self.hydra.rdma_write_messaging:
+            req_region.subscribe(lambda _r: self.doorbell.fire())
+            resp_region.subscribe(lambda _r, c=conn: c.client_doorbell.fire())
+        else:
+            # Two-sided mode: pre-post receives, doorbell on CQ pushes.
+            for _ in range(16):
+                shard_qp.post_recv()
+            shard_qp.recv_cq.on_push.append(lambda _cq: self.doorbell.fire())
+            client_qp.recv_cq.on_push.append(
+                lambda _cq, c=conn: c.client_doorbell.fire())
+        self.conns.append(conn)
+        return conn
+
+    def disconnect(self, conn: Connection) -> None:
+        if conn in self.conns:
+            self.conns.remove(conn)
+        conn.close()
+
+    # -- main loop ---------------------------------------------------------
+    def _poll_conn(self, conn: Connection) -> Optional[bytes]:
+        """Non-blocking request fetch for one connection."""
+        if self.hydra.rdma_write_messaging:
+            payload = consume(conn.req_region, 0)
+            if payload is not None:
+                clear(conn.req_region, 0, len(payload))
+            return payload
+        cqe = conn.shard_qp.recv_cq.poll_one()
+        if cqe is None or not cqe.ok:
+            return None
+        conn.shard_qp.post_recv()  # replenish
+        return cqe.data
+
+    def _sweep_cost(self) -> int:
+        per = (self.cpu.poll_probe_ns if self.hydra.rdma_write_messaging
+               else self.cpu.cq_poll_ns)
+        extra = 0 if self.hydra.rdma_write_messaging else self.cpu.post_recv_ns
+        return per * max(1, len(self.conns)) + extra
+
+    def _tcp_acceptor(self, listener):
+        while self.alive:
+            conn = yield listener.get()
+            self._tcp_conns.append(conn)
+            self.sim.process(self._tcp_reader(conn),
+                             name=f"{self.shard_id}.rd")
+
+    def _tcp_reader(self, conn):
+        # Kernel-side socket readiness: payloads surface on the epoll-style
+        # ready queue the (single) shard thread drains.
+        while self.alive and conn.open:
+            payload, _n = yield conn.recv()
+            self._tcp_ready.put((conn, payload))
+
+    def _tcp_run(self):
+        try:
+            while self.alive:
+                conn, payload = yield self._tcp_ready.get()
+                yield self.core.execute(self.cpu.poll_probe_ns)  # epoll wake
+                yield from self._handle_tcp(conn, payload)
+        except Interrupt:
+            self.alive = False
+
+    def _handle_tcp(self, conn, payload: bytes):
+        self.metrics.counter("shard.requests").add()
+        try:
+            req = Request.decode(payload)
+        except (ValueError, KeyError):
+            self.metrics.counter("shard.bad_requests").add()
+            return
+        self.metrics.counter(f"shard.op.{req.op.name}").add()
+        result = self._execute(req)
+        yield self.core.execute(
+            self.cpu.parse_ns + result.cost_ns + self.cpu.build_response_ns)
+        if (self.replicator is not None and req.op in WRITE_OPS
+                and result.status is Status.OK):
+            rep_cost, wait_ev = self.replicator.replicate(
+                req.op, req.key, req.value, result.version)
+            yield self.core.execute(rep_cost)
+            if wait_ev is not None:
+                yield wait_ev
+        # No remote pointer over TCP: one-sided reads are impossible.
+        resp = Response(op=req.op, status=result.status, req_id=req.req_id,
+                        value=result.value, version=result.version)
+        data = resp.encode()
+        # send() charges the kernel TX path to this (single) shard thread —
+        # the CPU toll that separates TCP mode from RDMA-Write messaging.
+        yield conn.send(data, resp.wire_len + 40)
+
+    def _run(self):
+        if self.hydra.transport == "tcp":
+            yield from self._tcp_run()
+            return
+        idle_sweeps = 0
+        try:
+            while self.alive:
+                if not self.conns:
+                    yield self.doorbell.wait()
+                    continue
+                yield self.core.execute(self._sweep_cost())
+                processed = 0
+                for conn in list(self.conns):
+                    payload = self._poll_conn(conn)
+                    if payload is None:
+                        continue
+                    yield from self._handle(conn, payload)
+                    processed += 1
+                if processed:
+                    idle_sweeps = 0
+                    continue
+                idle_sweeps += 1
+                if idle_sweeps < self.cpu.idle_polls_before_sleep:
+                    continue
+                if self.cpu.sleep_backoff:
+                    # High-resolution sleep phase: block until a doorbell,
+                    # then pay the average residual sleep before detection.
+                    yield self.doorbell.wait()
+                    yield self.core.execute(self.cpu.idle_sleep_ns // 2)
+                else:
+                    # Pure busy polling: the core stays pegged while idle
+                    # (modeled by accounting the whole wait as busy) but a
+                    # request is picked up by the very next probe.
+                    self.core.busy.add(1.0)
+                    yield self.doorbell.wait()
+                    self.core.busy.add(-1.0)
+                    yield self.core.execute(self.cpu.poll_probe_ns)
+                idle_sweeps = 0
+        except Interrupt:
+            self.alive = False
+
+    # -- request execution ---------------------------------------------------
+    def _execute(self, req: Request) -> StoreResult:
+        if req.op is Op.GET:
+            return self.store.get(req.key)
+        if req.op in (Op.PUT, Op.INSERT, Op.UPDATE):
+            return self.store.upsert(req.key, req.value, req.op)
+        if req.op is Op.DELETE:
+            return self.store.remove(req.key)
+        if req.op is Op.LEASE_RENEW:
+            return self.store.lease_renew(req.key)
+        return StoreResult(status=Status.ERROR, cost_ns=self.cpu.parse_ns)
+
+    def _handle(self, conn: Connection, payload: bytes):
+        self.metrics.counter("shard.requests").add()
+        try:
+            req = Request.decode(payload)
+        except (ValueError, KeyError):
+            self.metrics.counter("shard.bad_requests").add()
+            return
+        self.metrics.counter(f"shard.op.{req.op.name}").add()
+        result = self._execute(req)
+        cost = (self.cpu.parse_ns + result.cost_ns
+                + self.cpu.build_response_ns)
+        if not self.hydra.rdma_write_messaging:
+            cost += self.cpu.sendrecv_server_extra_ns
+        yield self.core.execute(cost)
+        if (self.replicator is not None and req.op in WRITE_OPS
+                and result.status is Status.OK):
+            # Replication is issued after local processing; in rdma_log
+            # mode the shard moves on immediately and the secondary's merge
+            # overlaps with the *next* requests, while strict mode blocks
+            # for the full request/acknowledge round trip.
+            rep_cost, wait_ev = self.replicator.replicate(
+                req.op, req.key, req.value, result.version)
+            yield self.core.execute(rep_cost)
+            if wait_ev is not None:
+                yield wait_ev
+        resp = Response(
+            op=req.op, status=result.status, req_id=req.req_id,
+            value=result.value,
+            rkey=(self.store.region.rkey
+                  if result.status is Status.OK and result.offset >= 0
+                  else 0),
+            roffset=max(result.offset, 0),
+            rlen=result.extent,
+            lease_expiry_ns=result.lease_expiry_ns,
+            version=result.version,
+        )
+        self._respond(conn, resp)
+
+    def _respond(self, conn: Connection, resp: Response) -> None:
+        data = resp.encode()
+        if self.hydra.rdma_write_messaging:
+            if frame_len(len(data)) > conn.resp_rptr.length:
+                # The item outgrew the response buffer (e.g. it was PUT over
+                # a bigger-buffered connection): degrade to an ERROR reply
+                # rather than silently dropping — the client sees a clean
+                # failure instead of a timeout.
+                self.metrics.counter("shard.resp_overflow").add()
+                resp = Response(op=resp.op, status=Status.ERROR,
+                                req_id=resp.req_id)
+                data = resp.encode()
+            conn.shard_qp.post_write(conn.resp_rptr, frame(data))
+        else:
+            conn.shard_qp.post_send(data)
+        # Fire-and-forget: the shard moves to the next request buffer
+        # without waiting for the completion (§4.1.1).
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Shard {self.shard_id} conns={len(self.conns)} " \
+               f"{'up' if self.alive else 'down'}>"

@@ -1,0 +1,192 @@
+"""Sub-sharded shard instance — the §6.3 proposal, implemented.
+
+The scale-up experiment (Fig. 12c,d) shows HydraDB hitting a wall once
+``shards x clients`` RDMA connections overflow the NIC's QP state cache.
+The paper proposes sub-sharding as the mitigation: *"allow a single shard
+instance to use multiple cores for independent sub-shards while the main
+process maintains all the connections"*.
+
+This class implements it: one instance owns all client connections (so
+the QP count stays ``clients``, not ``clients x cores``) and a dispatcher
+thread routes each request by key hash to one of ``n_subshards``
+independent single-threaded executors.  Unlike the pipelined ablation,
+sub-shards share *nothing* — each exclusively owns its own
+:class:`~repro.core.store.ShardStore` — so the lock-free execution model
+is preserved; the only added costs are the dispatch hand-off and a short
+send-queue lock when executors post responses on shared QPs.
+
+The ablation bench ``ablation_subsharding`` compares this against plain
+multi-shard scale-up past the QP wall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..hardware import Core, Machine
+from ..index.hashing import hash64
+from ..protocol import Op, Request, Response, Status
+from ..sim import Interrupt, MetricSet, Simulator, Store
+from .shard import Connection, Shard, WRITE_OPS
+from .store import ShardStore
+
+__all__ = ["SubShardedShard"]
+
+#: Serializing response posts from multiple executor cores onto one QP.
+SEND_LOCK_NS = 60
+#: Dispatcher hand-off (cheaper than the pipelined path: no shared store,
+#: the request routes straight to its owning core's queue).
+DISPATCH_NS = 250
+
+
+class SubShardedShard(Shard):
+    """One connection endpoint, ``n_subshards`` independent executors."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, shard_id: str,
+                 machine: Machine, core: Core, n_subshards: int,
+                 metrics: Optional[MetricSet] = None,
+                 table_kind: str = "compact", numa_mode: str = "local",
+                 scribble_on_reclaim: bool = False):
+        if n_subshards < 1:
+            raise ValueError("need at least one sub-shard")
+        super().__init__(sim, config, shard_id, machine, core,
+                         metrics=metrics, table_kind=table_kind,
+                         numa_mode=numa_mode,
+                         scribble_on_reclaim=scribble_on_reclaim)
+        # The base-class store becomes sub-shard 0; the rest get their own
+        # stores and cores within the same NUMA domain where possible.
+        self.substores: list[ShardStore] = [self.store]
+        self.subcores: list[Core] = []
+        self._queues: list[Store] = [Store(sim) for _ in range(n_subshards)]
+        for k in range(1, n_subshards):
+            self.substores.append(ShardStore(
+                sim, config, self.nic, core.numa_domain,
+                f"{shard_id}.sub{k}", table_kind=table_kind,
+                numa_mode=numa_mode,
+                scribble_on_reclaim=scribble_on_reclaim))
+        for k in range(n_subshards):
+            self.subcores.append(machine.allocate_core(
+                f"{shard_id}.sub{k}"))
+        self.n_subshards = n_subshards
+        self._procs: list = []
+
+    @property
+    def cores_used(self) -> int:
+        return 1 + self.n_subshards
+
+    def _substore_for(self, key: bytes) -> int:
+        # Decorrelated from the cluster ring (which uses the low bits).
+        return (hash64(key) >> 32) % self.n_subshards
+
+    def store_for_key(self, key: bytes) -> ShardStore:
+        return self.substores[self._substore_for(key)]
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError(f"{self.shard_id} already running")
+        if self.replicator is not None:
+            raise RuntimeError(
+                "sub-sharded instances do not support replication hooks")
+        self.alive = True
+        self._procs = [self.sim.process(self._dispatch_loop(),
+                                        name=f"{self.shard_id}.dispatch")]
+        for k in range(self.n_subshards):
+            self._procs.append(self.sim.process(
+                self._executor_loop(k), name=f"{self.shard_id}.sub{k}"))
+        self._proc = self._procs[0]
+        for store in self.substores:
+            if store.reclaimer._proc is None:
+                store.reclaimer.start()
+
+    def kill(self) -> None:
+        self.alive = False
+        for store in self.substores:
+            store.reclaimer.stop()
+        for p in self._procs:
+            if p.is_alive:
+                p.interrupt("killed")
+
+    # -- dispatcher (owns every connection) --------------------------------
+    def _dispatch_loop(self):
+        idle_sweeps = 0
+        try:
+            while self.alive:
+                if not self.conns:
+                    yield self.doorbell.wait()
+                    continue
+                yield self.core.execute(self._sweep_cost())
+                processed = 0
+                for conn in list(self.conns):
+                    payload = self._poll_conn(conn)
+                    if payload is None:
+                        continue
+                    self.metrics.counter("shard.requests").add()
+                    try:
+                        req = Request.decode(payload)
+                    except (ValueError, KeyError):
+                        self.metrics.counter("shard.bad_requests").add()
+                        continue
+                    yield self.core.execute(self.cpu.parse_ns + DISPATCH_NS)
+                    self._queues[self._substore_for(req.key)].put((conn, req))
+                    processed += 1
+                if processed:
+                    idle_sweeps = 0
+                    continue
+                idle_sweeps += 1
+                if idle_sweeps < self.cpu.idle_polls_before_sleep:
+                    continue
+                yield self.doorbell.wait()
+                yield self.core.execute(self.cpu.idle_sleep_ns // 2)
+                idle_sweeps = 0
+        except Interrupt:
+            self.alive = False
+
+    # -- executors (exclusive sub-partition owners) ------------------------
+    def _execute_on(self, store: ShardStore, req: Request):
+        if req.op is Op.GET:
+            return store.get(req.key)
+        if req.op in (Op.PUT, Op.INSERT, Op.UPDATE):
+            return store.upsert(req.key, req.value, req.op)
+        if req.op is Op.DELETE:
+            return store.remove(req.key)
+        if req.op is Op.LEASE_RENEW:
+            return store.lease_renew(req.key)
+        from .store import StoreResult
+        return StoreResult(status=Status.ERROR, cost_ns=self.cpu.parse_ns)
+
+    def _executor_loop(self, k: int):
+        store = self.substores[k]
+        core = self.subcores[k]
+        try:
+            while self.alive:
+                conn, req = yield self._queues[k].get()
+                result = self._execute_on(store, req)
+                yield core.execute(result.cost_ns
+                                   + self.cpu.build_response_ns
+                                   + SEND_LOCK_NS)
+                resp = Response(
+                    op=req.op, status=result.status, req_id=req.req_id,
+                    value=result.value,
+                    rkey=(store.region.rkey
+                          if result.status is Status.OK
+                          and result.offset >= 0 else 0),
+                    roffset=max(result.offset, 0),
+                    rlen=result.extent,
+                    lease_expiry_ns=result.lease_expiry_ns,
+                    version=result.version,
+                )
+                self._respond(conn, resp)
+        except Interrupt:
+            self.alive = False
+
+    # -- introspection (the facade sums sub-stores) --------------------------
+    def total_items(self) -> int:
+        return sum(len(s) for s in self.substores)
+
+    def dump_all(self) -> dict[bytes, bytes]:
+        out: dict[bytes, bytes] = {}
+        for s in self.substores:
+            out.update(s.dump())
+        return out

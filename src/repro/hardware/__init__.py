@@ -1,0 +1,7 @@
+"""Hardware model: machines, cores, NUMA domains."""
+
+from .cpu import Core, CoreExhausted
+from .machine import Machine
+from .numa import NumaTopology
+
+__all__ = ["Core", "CoreExhausted", "Machine", "NumaTopology"]

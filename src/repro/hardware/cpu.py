@@ -1,0 +1,73 @@
+"""Core model: pinning, exclusive ownership, busy-time accounting.
+
+A :class:`Core` does not schedule — HydraDB pins exactly one shard thread
+per core (§4.1.1), so a core either belongs to one process or is free.  The
+busy gauge feeds the polling-CPU-overhead ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, TYPE_CHECKING
+
+from ..sim import Simulator, TimeWeighted
+from ..sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = ["Core", "CoreExhausted"]
+
+
+class CoreExhausted(RuntimeError):
+    """Raised when a machine has no free core for a new pinned thread."""
+
+
+class Core:
+    """One physical core within a NUMA domain."""
+
+    def __init__(self, sim: Simulator, machine: "Machine", core_id: int,
+                 numa_domain: int):
+        self.sim = sim
+        self.machine = machine
+        self.core_id = core_id
+        self.numa_domain = numa_domain
+        self.owner: Optional[str] = None
+        self.busy = TimeWeighted(f"core{core_id}.busy", sim)
+
+    @property
+    def pinned(self) -> bool:
+        return self.owner is not None
+
+    def pin(self, owner: str) -> None:
+        if self.owner is not None:
+            raise CoreExhausted(
+                f"core {self.core_id} already pinned to {self.owner!r}"
+            )
+        self.owner = owner
+
+    def unpin(self) -> None:
+        self.owner = None
+        self.busy.set(0.0)
+
+    def execute(self, cost_ns: int) -> Event:
+        """Burn ``cost_ns`` of CPU; accounts busy time.
+
+        Returns a timeout event; the calling process must yield it.  Zero
+        cost is allowed and completes at the current instant.
+        """
+        self.busy.add(1.0)
+        ev = self.sim.timeout(cost_ns)
+        ev.callbacks.append(lambda _e: self.busy.add(-1.0))
+        return ev
+
+    def run(self, cost_ns: int) -> Generator[Event, None, None]:
+        """Generator form of :meth:`execute` for ``yield from`` call sites."""
+        yield self.execute(cost_ns)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time this core spent executing."""
+        return self.busy.time_average()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        who = self.owner or "free"
+        return f"<Core {self.core_id} numa={self.numa_domain} {who}>"

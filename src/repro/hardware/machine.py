@@ -1,0 +1,76 @@
+"""Machine: NUMA domains, cores, and an attachment point for a NIC.
+
+Mirrors the paper's testbed nodes: 4 NUMA domains x 8 cores, one RDMA NIC
+per machine shared by every process on it (which is what couples co-located
+clients and servers in the Fig. 12 scale-out experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..config import SimConfig
+from ..sim import Simulator
+from .cpu import Core, CoreExhausted
+from .numa import NumaTopology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rdma.nic import Nic
+    from ..rdma.tcp import TcpStack
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A cluster node."""
+
+    def __init__(self, sim: Simulator, machine_id: int, config: SimConfig,
+                 n_numa: int = 4, cores_per_numa: int = 8):
+        self.sim = sim
+        self.machine_id = machine_id
+        self.config = config
+        self.numa = NumaTopology(n_numa, config.cpu)
+        self.cores: list[Core] = []
+        cid = 0
+        for dom in range(n_numa):
+            for _ in range(cores_per_numa):
+                self.cores.append(Core(sim, self, cid, dom))
+                cid += 1
+        #: Attached by the fabric / TCP network at cluster build time.
+        self.nic: Optional["Nic"] = None
+        self.tcp: Optional["TcpStack"] = None
+
+    def allocate_core(self, owner: str,
+                      numa_domain: Optional[int] = None) -> Core:
+        """Pin a free core (optionally within one NUMA domain) to ``owner``."""
+        for core in self.cores:
+            if core.pinned:
+                continue
+            if numa_domain is not None and core.numa_domain != numa_domain:
+                continue
+            core.pin(owner)
+            return core
+        where = f" in NUMA domain {numa_domain}" if numa_domain is not None else ""
+        raise CoreExhausted(
+            f"machine {self.machine_id} has no free core{where} for {owner!r}"
+        )
+
+    def free_cores(self, numa_domain: Optional[int] = None) -> int:
+        return sum(
+            1
+            for c in self.cores
+            if not c.pinned
+            and (numa_domain is None or c.numa_domain == numa_domain)
+        )
+
+    def least_loaded_domain(self) -> int:
+        """NUMA domain with the most free cores (shard placement policy)."""
+        best_dom, best_free = 0, -1
+        for dom in range(self.numa.n_domains):
+            free = self.free_cores(dom)
+            if free > best_free:
+                best_dom, best_free = dom, free
+        return best_dom
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Machine {self.machine_id} cores={len(self.cores)}>"

@@ -1,0 +1,46 @@
+"""NUMA topology and memory-access cost model.
+
+HydraDB shards confine their arena and hash table to the NUMA domain of the
+core they are pinned to (§4.1.2).  The ablation benchmark compares that
+against interleaved allocation, where every access averages local and remote
+latency across the memory controllers.
+"""
+
+from __future__ import annotations
+
+from ..config import CpuConfig
+
+__all__ = ["NumaTopology"]
+
+
+class NumaTopology:
+    """A machine's NUMA domains with uniform remote-access penalty."""
+
+    def __init__(self, n_domains: int, cpu: CpuConfig):
+        if n_domains < 1:
+            raise ValueError("need at least one NUMA domain")
+        self.n_domains = n_domains
+        self.cpu = cpu
+
+    def access_ns(self, cpu_domain: int, mem_domain: int, lines: int = 1) -> int:
+        """Cost for ``lines`` cacheline fetches from ``mem_domain``."""
+        self._check(cpu_domain)
+        self._check(mem_domain)
+        remote = cpu_domain != mem_domain
+        return self.cpu.cacheline_ns(lines, remote=remote)
+
+    def interleaved_ns(self, cpu_domain: int, lines: int = 1) -> int:
+        """Cost under page-interleaved allocation: 1/N local, rest remote."""
+        self._check(cpu_domain)
+        if self.n_domains == 1:
+            return self.cpu.cacheline_ns(lines, remote=False)
+        local = self.cpu.cacheline_local_ns
+        remote = self.cpu.cacheline_remote_ns
+        avg = (local + (self.n_domains - 1) * remote) / self.n_domains
+        return int(lines * avg)
+
+    def _check(self, domain: int) -> None:
+        if not (0 <= domain < self.n_domains):
+            raise ValueError(
+                f"NUMA domain {domain} out of range [0, {self.n_domains})"
+            )

@@ -1,0 +1,104 @@
+"""Baseline chained hash table for the §4.1.3 ablation.
+
+The naive design the paper argues against: each bucket heads a linked list
+of nodes, every node visited is a pointer dereference (one cacheline), and
+every node visit requires a full key comparison because nothing filters
+candidates.  API-compatible with :class:`~repro.index.compact.CompactHashTable`
+so the shard can run on either.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .hashing import bucket_index
+
+__all__ = ["ChainedHashTable"]
+
+
+class _Node:
+    __slots__ = ("hashcode", "offset", "next")
+
+    def __init__(self, hashcode: int, offset: int, nxt: Optional["_Node"]):
+        self.hashcode = hashcode
+        self.offset = offset
+        self.next = nxt
+
+
+class ChainedHashTable:
+    """Separate-chaining table with per-op cacheline accounting."""
+
+    def __init__(self, n_buckets: int, key_at: Callable[[int], bytes]):
+        if n_buckets <= 0 or n_buckets & (n_buckets - 1):
+            raise ValueError("n_buckets must be a positive power of two")
+        self.n_buckets = n_buckets
+        self.key_at = key_at
+        self._heads: list[Optional[_Node]] = [None] * n_buckets
+        self.entries = 0
+        self.last_lines = 0
+        self.last_keycmps = 0
+        self.total_lines = 0
+        self.total_keycmps = 0
+
+    def _begin_op(self) -> None:
+        self.last_lines = 0
+        self.last_keycmps = 0
+
+    def _walk(self, key: bytes, hashcode: int
+              ) -> tuple[Optional[_Node], Optional[_Node]]:
+        """Returns (node, predecessor); counts every dereference."""
+        b = bucket_index(hashcode, self.n_buckets)
+        self.last_lines += 1  # the bucket head array line
+        self.total_lines += 1
+        prev: Optional[_Node] = None
+        node = self._heads[b]
+        while node is not None:
+            self.last_lines += 1
+            self.total_lines += 1
+            # The naive design §4.1.3 argues against: nothing filters
+            # candidates, so every node visited costs a full key compare.
+            self.last_keycmps += 1
+            self.total_keycmps += 1
+            if self.key_at(node.offset) == key:
+                return node, prev
+            prev, node = node, node.next
+        return None, prev
+
+    def lookup(self, key: bytes, hashcode: int) -> Optional[int]:
+        self._begin_op()
+        node, _ = self._walk(key, hashcode)
+        return node.offset if node else None
+
+    def put(self, key: bytes, hashcode: int, offset: int) -> Optional[int]:
+        self._begin_op()
+        node, _ = self._walk(key, hashcode)
+        if node is not None:
+            old = node.offset
+            node.offset = offset
+            return old
+        b = bucket_index(hashcode, self.n_buckets)
+        self._heads[b] = _Node(hashcode, offset, self._heads[b])
+        self.entries += 1
+        return None
+
+    def remove(self, key: bytes, hashcode: int) -> Optional[int]:
+        self._begin_op()
+        node, prev = self._walk(key, hashcode)
+        if node is None:
+            return None
+        if prev is None:
+            self._heads[bucket_index(hashcode, self.n_buckets)] = node.next
+        else:
+            prev.next = node.next
+        self.entries -= 1
+        return node.offset
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        for head in self._heads:
+            node = head
+            while node is not None:
+                yield node.hashcode >> 48, node.offset
+                node = node.next
+
+    def __len__(self) -> int:
+        return self.entries

@@ -1,0 +1,264 @@
+"""The compact cache-friendly hash table of §4.1.3.
+
+The main branch is a contiguous array of 64-byte buckets, each one
+cacheline: an 8-byte header (7 occupancy filter bits + a 56-bit link to a
+dynamically allocated overflow bucket) followed by 7 slots of
+``16-bit signature | 48-bit item offset``.  Lookups read one cacheline,
+compare signatures, and only dereference the arena for a full key compare
+when a signature matches.  After removals, tail overflow buckets are merged
+back into earlier buckets of the chain and freed.
+
+The table stores *offsets into the shard arena*, never data; the caller
+supplies ``key_at(offset)`` for full-key comparison.  Per-operation cost
+observables (``last_lines``, ``last_keycmps``) feed the shard's CPU model
+and the compact-vs-chained ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from .hashing import bucket_index, signature16
+
+__all__ = ["CompactHashTable"]
+
+SLOTS_PER_BUCKET = 7
+_WORDS_PER_BUCKET = 8
+_FILTER_MASK = 0x7F
+_LINK_SHIFT = 8
+_SIG_SHIFT = 48
+_OFFSET_MASK = (1 << 48) - 1
+_MAX_LINK = (1 << 56) - 1
+
+
+class CompactHashTable:
+    """Signature-filtered open hash table with 64 B buckets."""
+
+    def __init__(self, n_buckets: int, key_at: Callable[[int], bytes]):
+        if n_buckets <= 0 or n_buckets & (n_buckets - 1):
+            raise ValueError("n_buckets must be a positive power of two")
+        self.n_buckets = n_buckets
+        self.key_at = key_at
+        self._main = np.zeros(n_buckets * _WORDS_PER_BUCKET, dtype=np.uint64)
+        # Overflow buckets live in a growable second array; link fields hold
+        # (overflow_index + 1) so 0 means "no overflow".
+        self._overflow = np.zeros(16 * _WORDS_PER_BUCKET, dtype=np.uint64)
+        self._overflow_cap = 16
+        self._overflow_free: list[int] = list(range(15, -1, -1))
+        self.entries = 0
+        self.overflow_buckets = 0
+        #: Cachelines touched / full key compares by the most recent op.
+        self.last_lines = 0
+        self.last_keycmps = 0
+        #: Lifetime counters for the ablation bench.
+        self.total_lines = 0
+        self.total_keycmps = 0
+
+    # -- word access -------------------------------------------------------
+    def _words(self, bucket_ref: int) -> tuple[np.ndarray, int]:
+        """(array, base word index) for a bucket reference.
+
+        ``bucket_ref`` is ``("main", i)`` flattened: non-negative values are
+        main buckets, negative values are ``-(overflow_index + 1)``.
+        """
+        if bucket_ref >= 0:
+            return self._main, bucket_ref * _WORDS_PER_BUCKET
+        return self._overflow, (-bucket_ref - 1) * _WORDS_PER_BUCKET
+
+    def _header(self, ref: int) -> int:
+        arr, base = self._words(ref)
+        return int(arr[base])
+
+    def _set_header(self, ref: int, value: int) -> None:
+        arr, base = self._words(ref)
+        arr[base] = value
+
+    def _slot(self, ref: int, i: int) -> int:
+        arr, base = self._words(ref)
+        return int(arr[base + 1 + i])
+
+    def _set_slot(self, ref: int, i: int, value: int) -> None:
+        arr, base = self._words(ref)
+        arr[base + 1 + i] = value
+
+    @staticmethod
+    def _link_of(header: int) -> int:
+        """Next bucket ref encoded in a header (0 terminates)."""
+        link = header >> _LINK_SHIFT
+        return -link if link else 0
+
+    def _chain(self, main_bucket: int) -> Iterator[int]:
+        ref = main_bucket
+        while True:
+            yield ref
+            link = self._link_of(self._header(ref))
+            if link == 0:
+                return
+            ref = link
+
+    # -- overflow management ---------------------------------------------
+    def _alloc_overflow(self) -> int:
+        if not self._overflow_free:
+            old_cap = self._overflow_cap
+            self._overflow_cap *= 2
+            grown = np.zeros(self._overflow_cap * _WORDS_PER_BUCKET,
+                             dtype=np.uint64)
+            grown[: old_cap * _WORDS_PER_BUCKET] = self._overflow
+            self._overflow = grown
+            self._overflow_free.extend(
+                range(self._overflow_cap - 1, old_cap - 1, -1)
+            )
+        idx = self._overflow_free.pop()
+        if idx + 1 > _MAX_LINK:  # pragma: no cover - 56-bit bound
+            raise OverflowError("overflow link exceeds 56 bits")
+        self.overflow_buckets += 1
+        base = idx * _WORDS_PER_BUCKET
+        self._overflow[base:base + _WORDS_PER_BUCKET] = 0
+        return -(idx + 1)
+
+    def _free_overflow(self, ref: int) -> None:
+        assert ref < 0
+        self._overflow_free.append(-ref - 1)
+        self.overflow_buckets -= 1
+
+    # -- operations --------------------------------------------------------
+    def _begin_op(self) -> None:
+        self.last_lines = 0
+        self.last_keycmps = 0
+
+    def _touch(self) -> None:
+        self.last_lines += 1
+        self.total_lines += 1
+
+    def _keycmp(self) -> None:
+        self.last_keycmps += 1
+        self.total_keycmps += 1
+
+    def _find(self, key: bytes, hashcode: int
+              ) -> Optional[tuple[int, int, int]]:
+        """Locate ``key``; returns (bucket_ref, slot_index, offset)."""
+        sig = signature16(hashcode)
+        for ref in self._chain(bucket_index(hashcode, self.n_buckets)):
+            self._touch()
+            header = self._header(ref)
+            filt = header & _FILTER_MASK
+            if not filt:
+                continue
+            for i in range(SLOTS_PER_BUCKET):
+                if not (filt >> i) & 1:
+                    continue
+                word = self._slot(ref, i)
+                if (word >> _SIG_SHIFT) != sig:
+                    continue
+                offset = word & _OFFSET_MASK
+                self._keycmp()
+                if self.key_at(offset) == key:
+                    return ref, i, offset
+        return None
+
+    def lookup(self, key: bytes, hashcode: int) -> Optional[int]:
+        """Arena offset of ``key``, or None."""
+        self._begin_op()
+        found = self._find(key, hashcode)
+        return found[2] if found else None
+
+    def put(self, key: bytes, hashcode: int, offset: int) -> Optional[int]:
+        """Insert or replace; returns the previous offset if key existed."""
+        if offset > _OFFSET_MASK:
+            raise ValueError("offset exceeds 48 bits")
+        self._begin_op()
+        sig = signature16(hashcode)
+        word = (sig << _SIG_SHIFT) | offset
+        found = self._find(key, hashcode)
+        if found is not None:
+            ref, i, old = found
+            self._set_slot(ref, i, word)
+            return old
+        # Not present: first free slot along the chain, extending if needed.
+        last_ref = bucket_index(hashcode, self.n_buckets)
+        for ref in self._chain(last_ref):
+            self._touch()
+            header = self._header(ref)
+            filt = header & _FILTER_MASK
+            for i in range(SLOTS_PER_BUCKET):
+                if not (filt >> i) & 1:
+                    self._set_slot(ref, i, word)
+                    self._set_header(ref, header | (1 << i))
+                    self.entries += 1
+                    return None
+            last_ref = ref
+        new_ref = self._alloc_overflow()
+        self._set_slot(new_ref, 0, word)
+        self._set_header(new_ref, 0x01)
+        tail_header = self._header(last_ref)
+        self._set_header(last_ref,
+                         (tail_header & _FILTER_MASK)
+                         | ((-new_ref) << _LINK_SHIFT))
+        self.entries += 1
+        return None
+
+    def remove(self, key: bytes, hashcode: int) -> Optional[int]:
+        """Delete ``key``; returns its offset or None. Merges tail buckets."""
+        self._begin_op()
+        found = self._find(key, hashcode)
+        if found is None:
+            return None
+        ref, i, offset = found
+        header = self._header(ref)
+        self._set_header(ref, header & ~(1 << i))
+        self._set_slot(ref, i, 0)
+        self.entries -= 1
+        self._merge(bucket_index(hashcode, self.n_buckets))
+        return offset
+
+    def _merge(self, main_bucket: int) -> None:
+        """Fold tail overflow entries into free slots of earlier buckets.
+
+        Repeats while the chain's last bucket can be emptied; this is the
+        "merge multiple buckets after remove" behaviour from §4.1.3.
+        """
+        while True:
+            chain = list(self._chain(main_bucket))
+            if len(chain) < 2:
+                return
+            tail = chain[-1]
+            tail_header = self._header(tail)
+            tail_filt = tail_header & _FILTER_MASK
+            tail_slots = [i for i in range(SLOTS_PER_BUCKET)
+                          if (tail_filt >> i) & 1]
+            # Free slots available in the rest of the chain.
+            homes: list[tuple[int, int]] = []
+            for ref in chain[:-1]:
+                filt = self._header(ref) & _FILTER_MASK
+                homes.extend(
+                    (ref, i)
+                    for i in range(SLOTS_PER_BUCKET)
+                    if not (filt >> i) & 1
+                )
+            if len(homes) < len(tail_slots):
+                return  # cannot empty the tail yet
+            for slot_i, (home_ref, home_i) in zip(tail_slots, homes):
+                self._set_slot(home_ref, home_i, self._slot(tail, slot_i))
+                home_header = self._header(home_ref)
+                self._set_header(home_ref, home_header | (1 << home_i))
+            # Unlink and free the tail.
+            prev = chain[-2]
+            prev_header = self._header(prev)
+            self._set_header(prev, prev_header & _FILTER_MASK)
+            self._free_overflow(tail)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield (signature, offset) of every entry — migration/debug."""
+        for b in range(self.n_buckets):
+            for ref in self._chain(b):
+                header = self._header(ref)
+                filt = header & _FILTER_MASK
+                for i in range(SLOTS_PER_BUCKET):
+                    if (filt >> i) & 1:
+                        word = self._slot(ref, i)
+                        yield word >> _SIG_SHIFT, word & _OFFSET_MASK
+
+    def __len__(self) -> int:
+        return self.entries

@@ -1,0 +1,42 @@
+"""Key hashing: 64-bit hashcodes and 16-bit slot signatures.
+
+The same 64-bit hashcode drives three things, exactly as in the paper:
+consistent-hashing placement (client side), bucket selection within a
+shard, and the 16-bit signature stored in compact-table slots that filters
+out full-key comparisons (§4.1.3).
+"""
+
+from __future__ import annotations
+
+__all__ = ["hash64", "signature16", "bucket_index"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def hash64(key: bytes) -> int:
+    """FNV-1a 64-bit hash with an avalanche finalizer.
+
+    Plain FNV-1a keeps low-byte patterns visible in the low bits, which
+    would correlate bucket choice with key suffixes; the xmx finalizer
+    (from splitmix64) scrambles them.
+    """
+    h = _FNV_OFFSET
+    for b in key:
+        h ^= b
+        h = (h * _FNV_PRIME) & _MASK64
+    # splitmix64 finalizer
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (h ^ (h >> 31)) & _MASK64
+
+
+def signature16(hashcode: int) -> int:
+    """The 16-bit short hash stored in a compact-table slot."""
+    return (hashcode >> 48) & 0xFFFF
+
+
+def bucket_index(hashcode: int, n_buckets: int) -> int:
+    """Main-branch bucket for a hashcode (``n_buckets`` power of two)."""
+    return hashcode & (n_buckets - 1)

@@ -1,0 +1,101 @@
+"""Lock-free map for the shared remote-pointer cache (§4.2.4).
+
+Models the IBM lock-free hash table [Michael, SPAA'02] that co-located
+HydraDB clients use to share one remote-pointer cache.  In the simulator a
+machine's clients interleave deterministically, so correctness is trivial;
+what matters is the *cost model*: a lock-free probe costs a near-constant
+``lockfree_op_ns``, while the mutex-protected variant (the ablation
+baseline) pays a contention term that grows with the number of clients
+using the cache.
+
+Capacity is enforced with CLOCK (second-chance) eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator, Optional
+
+__all__ = ["LockFreeMap"]
+
+
+class LockFreeMap:
+    """A bounded hash map with CLOCK eviction and an access cost model."""
+
+    LOCKFREE_OP_NS = 60
+    LOCKED_BASE_NS = 150
+    LOCKED_CONTENTION_NS = 90  # per concurrent sharer beyond the first
+
+    def __init__(self, capacity: int, mode: str = "lockfree"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if mode not in ("lockfree", "locked"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.capacity = capacity
+        self.mode = mode
+        #: key -> value; OrderedDict order is the CLOCK hand sweep order.
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._refbit: dict[Hashable, bool] = {}
+        self.sharers = 1
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- cost model --------------------------------------------------------
+    def op_cost_ns(self) -> int:
+        """CPU cost of one map operation under the current sharing level."""
+        if self.mode == "lockfree":
+            return self.LOCKFREE_OP_NS
+        return (self.LOCKED_BASE_NS
+                + self.LOCKED_CONTENTION_NS * max(0, self.sharers - 1))
+
+    # -- map operations ------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[Any]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._refbit[key] = True
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data[key] = value
+            self._refbit[key] = True
+            return
+        while len(self._data) >= self.capacity:
+            self._evict_one()
+        self._data[key] = value
+        self._refbit[key] = False
+
+    def remove(self, key: Hashable) -> Optional[Any]:
+        self._refbit.pop(key, None)
+        return self._data.pop(key, None)
+
+    def _evict_one(self) -> None:
+        # CLOCK: sweep from the oldest; referenced entries get a second
+        # chance (refbit cleared, moved behind the hand).
+        while True:
+            key, value = self._data.popitem(last=False)
+            if self._refbit.get(key, False):
+                self._refbit[key] = False
+                self._data[key] = value  # reinsert at the tail
+            else:
+                self._refbit.pop(key, None)
+                self.evictions += 1
+                return
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._data.keys())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

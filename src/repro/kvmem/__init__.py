@@ -1,0 +1,39 @@
+"""KV memory substrate: item layout, slab allocation, lease reclamation."""
+
+from .allocator import OutOfMemory, SlabAllocator
+from .layout import (
+    GUARD_DEAD,
+    GUARD_LIVE,
+    GUARDIAN_BYTES,
+    HEADER_BYTES,
+    ITEM_MAGIC,
+    ParsedItem,
+    cachelines,
+    encode_item,
+    item_size,
+    kill_item,
+    parse_item,
+    read_guardian,
+    write_item,
+)
+from .reclaim import POISON_BYTE, LeaseReclaimer
+
+__all__ = [
+    "SlabAllocator",
+    "OutOfMemory",
+    "LeaseReclaimer",
+    "POISON_BYTE",
+    "GUARD_LIVE",
+    "GUARD_DEAD",
+    "GUARDIAN_BYTES",
+    "HEADER_BYTES",
+    "ITEM_MAGIC",
+    "ParsedItem",
+    "cachelines",
+    "encode_item",
+    "item_size",
+    "kill_item",
+    "parse_item",
+    "read_guardian",
+    "write_item",
+]

@@ -1,0 +1,93 @@
+"""Size-class slab allocator over a registered arena.
+
+Each shard owns one arena (NUMA-local, RDMA-registered).  Allocation rounds
+the requested extent up to a size class and pops that class's free list,
+falling back to bumping the high-water mark.  Frees go back to the class
+list — extents are never split or coalesced, which keeps both the model and
+the real system O(1) per op.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..rdma.memory import MemoryRegion
+
+__all__ = ["SlabAllocator", "OutOfMemory"]
+
+
+class OutOfMemory(Exception):
+    """Arena exhausted (live + not-yet-reclaimed items fill it)."""
+
+
+class SlabAllocator:
+    """O(1) size-class allocator; tracks per-extent classes for free()."""
+
+    def __init__(self, region: MemoryRegion,
+                 size_classes: tuple[int, ...]):
+        if not size_classes:
+            raise ValueError("need at least one size class")
+        self.region = region
+        self.classes = tuple(sorted(size_classes))
+        if self.classes[0] <= 0:
+            raise ValueError("size classes must be positive")
+        self._free: dict[int, list[int]] = {c: [] for c in self.classes}
+        self._bump = 0
+        #: offset -> size class of every live extent.
+        self._live: dict[int, int] = {}
+        self.live_bytes = 0
+        self.allocated_ops = 0
+        self.freed_ops = 0
+
+    def class_for(self, nbytes: int) -> int:
+        """Smallest size class holding ``nbytes``."""
+        i = bisect.bisect_left(self.classes, nbytes)
+        if i == len(self.classes):
+            raise ValueError(
+                f"extent of {nbytes}B exceeds largest size class "
+                f"{self.classes[-1]}B"
+            )
+        return self.classes[i]
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate an extent of at least ``nbytes``; returns its offset."""
+        cls = self.class_for(nbytes)
+        free_list = self._free[cls]
+        if free_list:
+            offset = free_list.pop()
+        else:
+            if self._bump + cls > self.region.nbytes:
+                raise OutOfMemory(
+                    f"arena full: {self._bump}B bumped of "
+                    f"{self.region.nbytes}B, wanted {cls}B"
+                )
+            offset = self._bump
+            self._bump += cls
+        self._live[offset] = cls
+        self.live_bytes += cls
+        self.allocated_ops += 1
+        return offset
+
+    def free(self, offset: int) -> None:
+        cls = self._live.pop(offset, None)
+        if cls is None:
+            raise ValueError(f"free of unallocated offset {offset}")
+        self._free[cls].append(offset)
+        self.live_bytes -= cls
+        self.freed_ops += 1
+
+    def extent_class(self, offset: int) -> int:
+        """Size class of a live extent (KeyError if not live)."""
+        return self._live[offset]
+
+    @property
+    def live_extents(self) -> int:
+        return len(self._live)
+
+    @property
+    def utilization(self) -> float:
+        return self.live_bytes / self.region.nbytes
+
+    def live_ranges(self) -> list[tuple[int, int]]:
+        """Sorted (offset, length) of live extents — test/debug helper."""
+        return sorted((off, cls) for off, cls in self._live.items())

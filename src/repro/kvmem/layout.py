@@ -1,0 +1,142 @@
+"""On-arena key-value item layout (§4.2.3).
+
+Every RDMA-readable item is stored out-of-place with a trailing *guardian
+word*.  Updates never modify an item: the shard writes a fresh item
+elsewhere and atomically flips the old guardian to DEAD.  A one-sided RDMA
+Read always fetches the guardian along with the data, so a client can tell
+that its remote pointer is stale without any server involvement.
+
+Layout (little-endian)::
+
+    0   u16  magic      0x4B56 ("KV")
+    2   u16  klen
+    4   u32  vlen
+    8   u64  version    monotonically increasing per key
+    16  key  bytes      klen
+    ..  val  bytes      vlen
+    ..  u64  guardian   LIVE / DEAD
+
+Parsing is defensive: a reclaimed-and-reused extent may contain anything,
+and the client must classify such bytes as *invalid* rather than crash or
+silently return garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rdma.memory import MemoryRegion
+
+__all__ = [
+    "GUARD_LIVE",
+    "GUARD_DEAD",
+    "ITEM_MAGIC",
+    "HEADER_BYTES",
+    "GUARDIAN_BYTES",
+    "item_size",
+    "encode_item",
+    "write_item",
+    "read_guardian",
+    "kill_item",
+    "parse_item",
+    "ParsedItem",
+    "cachelines",
+]
+
+ITEM_MAGIC = 0x4B56
+GUARD_LIVE = 0x600D600D600D600D
+GUARD_DEAD = 0xDEADDEADDEADDEAD
+HEADER_BYTES = 16
+GUARDIAN_BYTES = 8
+MAX_KLEN = 0xFFFF
+MAX_VLEN = 0xFFFFFFFF
+
+_HEADER = struct.Struct("<HHIQ")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class ParsedItem:
+    """Result of decoding item bytes."""
+
+    key: bytes
+    value: bytes
+    version: int
+    live: bool
+
+
+def item_size(klen: int, vlen: int) -> int:
+    """Total arena bytes for a key/value of the given lengths."""
+    return HEADER_BYTES + klen + vlen + GUARDIAN_BYTES
+
+
+def cachelines(nbytes: int, line: int = 64) -> int:
+    """Cachelines spanned by ``nbytes`` (cost-model helper)."""
+    return max(1, -(-nbytes // line))
+
+
+def encode_item(key: bytes, value: bytes, version: int,
+                live: bool = True) -> bytes:
+    """Serialize an item to its on-arena representation."""
+    if len(key) > MAX_KLEN:
+        raise ValueError(f"key too long ({len(key)} bytes)")
+    if len(value) > MAX_VLEN:
+        raise ValueError(f"value too long ({len(value)} bytes)")
+    guard = GUARD_LIVE if live else GUARD_DEAD
+    return (
+        _HEADER.pack(ITEM_MAGIC, len(key), len(value), version)
+        + key
+        + value
+        + _U64.pack(guard)
+    )
+
+
+def write_item(region: MemoryRegion, offset: int, key: bytes, value: bytes,
+               version: int) -> int:
+    """Write a live item at ``offset``; returns the extent length."""
+    blob = encode_item(key, value, version, live=True)
+    region.write(offset, blob)
+    return len(blob)
+
+
+def _guardian_offset(klen: int, vlen: int) -> int:
+    return HEADER_BYTES + klen + vlen
+
+
+def read_guardian(region: MemoryRegion, offset: int, klen: int,
+                  vlen: int) -> int:
+    return region.read_u64(offset + _guardian_offset(klen, vlen))
+
+
+def kill_item(region: MemoryRegion, offset: int, klen: int,
+              vlen: int) -> None:
+    """Atomically flip the guardian word to DEAD (out-of-place update)."""
+    region.write_u64(offset + _guardian_offset(klen, vlen), GUARD_DEAD)
+
+
+def parse_item(data: bytes) -> Optional[ParsedItem]:
+    """Decode bytes fetched by an RDMA Read.
+
+    Returns ``None`` when the bytes cannot possibly be a well-formed item
+    (wrong magic, inconsistent lengths) — the caller treats that the same
+    as a DEAD guardian: fall back to a message-based GET.
+    """
+    if len(data) < HEADER_BYTES + GUARDIAN_BYTES:
+        return None
+    magic, klen, vlen, version = _HEADER.unpack_from(data, 0)
+    if magic != ITEM_MAGIC:
+        return None
+    if item_size(klen, vlen) != len(data):
+        return None
+    key = data[HEADER_BYTES:HEADER_BYTES + klen]
+    value = data[HEADER_BYTES + klen:HEADER_BYTES + klen + vlen]
+    (guard,) = _U64.unpack_from(data, HEADER_BYTES + klen + vlen)
+    if guard == GUARD_LIVE:
+        live = True
+    elif guard == GUARD_DEAD:
+        live = False
+    else:
+        return None
+    return ParsedItem(key=key, value=value, version=version, live=live)

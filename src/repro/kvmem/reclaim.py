@@ -1,0 +1,80 @@
+"""Lease-deferred memory reclamation (§4.2.3).
+
+When a shard retires an item (update or remove), the extent cannot be freed
+immediately: clients may hold remote pointers and the lease is the server's
+promise that one-sided reads stay safe until it expires.  Retired extents
+are parked here with their *frozen* lease expiry (retired keys never get
+extensions), and a background process frees them once the lease has lapsed.
+
+``scribble=True`` fills freed extents with a poison pattern, which test
+suites use to prove that a protocol violation (reading past the lease)
+would actually be observable rather than silently benign.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..sim import Counter, Simulator
+from ..sim.process import Process
+from .allocator import SlabAllocator
+
+__all__ = ["LeaseReclaimer", "POISON_BYTE"]
+
+POISON_BYTE = 0xA5
+
+
+class LeaseReclaimer:
+    """Priority queue of retired extents + the background free thread."""
+
+    def __init__(self, sim: Simulator, allocator: SlabAllocator,
+                 period_ns: int, scribble: bool = False):
+        self.sim = sim
+        self.allocator = allocator
+        self.period_ns = period_ns
+        self.scribble = scribble
+        #: (lease_expiry_ns, seq, offset) — seq breaks ties deterministically.
+        self._pending: list[tuple[int, int, int]] = []
+        self._seq = 0
+        self.reclaimed = Counter("reclaimed")
+        self._proc: Optional[Process] = None
+        self._stopped = False
+
+    def retire(self, offset: int, lease_expiry_ns: int) -> None:
+        """Park a dead extent until its (frozen) lease expires."""
+        heapq.heappush(self._pending, (lease_expiry_ns, self._seq, offset))
+        self._seq += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def sweep(self) -> int:
+        """Free every extent whose lease has lapsed; returns count freed."""
+        now = self.sim.now
+        n = 0
+        while self._pending and self._pending[0][0] <= now:
+            _, _, offset = heapq.heappop(self._pending)
+            if self.scribble:
+                cls = self.allocator.extent_class(offset)
+                self.allocator.region.write(offset, bytes([POISON_BYTE]) * cls)
+            self.allocator.free(offset)
+            n += 1
+        self.reclaimed.add(n)
+        return n
+
+    def start(self) -> Process:
+        """Launch the background reclamation process."""
+        if self._proc is not None:
+            raise RuntimeError("reclaimer already started")
+        self._proc = self.sim.process(self._run(), name="reclaimer")
+        return self._proc
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        while not self._stopped:
+            yield self.sim.timeout(self.period_ns)
+            self.sweep()

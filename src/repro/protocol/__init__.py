@@ -1,0 +1,44 @@
+"""Wire protocol: messages, indicator framing, replication ring buffer."""
+
+from .indicator import (
+    FRAME_OVERHEAD,
+    HEAD_MAGIC,
+    TAIL_MAGIC,
+    clear,
+    consume,
+    frame,
+    frame_len,
+    max_payload,
+    probe,
+)
+from .messages import (
+    Op,
+    Request,
+    Response,
+    Status,
+    request_wire_len,
+    response_wire_len,
+)
+from .ringbuf import RingFull, RingReader, RingWriter, WRAP_MAGIC
+
+__all__ = [
+    "Op",
+    "Status",
+    "Request",
+    "Response",
+    "request_wire_len",
+    "response_wire_len",
+    "frame",
+    "frame_len",
+    "max_payload",
+    "probe",
+    "consume",
+    "clear",
+    "FRAME_OVERHEAD",
+    "HEAD_MAGIC",
+    "TAIL_MAGIC",
+    "RingWriter",
+    "RingReader",
+    "RingFull",
+    "WRAP_MAGIC",
+]

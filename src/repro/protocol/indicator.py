@@ -1,0 +1,93 @@
+"""Indicator-encapsulated message framing (§4.2.1, Fig. 7).
+
+One-sided RDMA Writes deliver no receive notification, so HydraDB frames
+every message with polling indicators, relying on the RC in-order write
+guarantee (first introduced for RDMA MPI [Liu et al. 2004]):
+
+* **head word** — arrival indicator fused with the 4-byte message size, so
+  observing the indicator set also guarantees the size field is consistent;
+* **payload** — ``size`` bytes;
+* **tail word** — written last in increasing memory order; once the poller
+  sees it, the whole message is guaranteed complete.
+
+The poller probes the head word; on a hit it "skips the next Msg-Size
+bytes" and probes the tail word; only when both match does it consume the
+payload and zero the frame for reuse.
+
+In the simulator a single RDMA Write lands atomically, which is a strict
+strengthening of "last byte lands last"; the two-phase poll is still
+exercised because a frame can also be *absent* or recycled.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..rdma.memory import MemoryRegion
+
+__all__ = [
+    "HEAD_MAGIC",
+    "TAIL_MAGIC",
+    "FRAME_OVERHEAD",
+    "frame",
+    "frame_len",
+    "max_payload",
+    "probe",
+    "consume",
+    "clear",
+]
+
+HEAD_MAGIC = 0xB1FF0001
+TAIL_MAGIC = 0xE00FE00FE00FE00F
+FRAME_OVERHEAD = 16  # 8B head word + 8B tail word
+
+_U64 = struct.Struct("<Q")
+
+
+def frame_len(payload_len: int) -> int:
+    """Total frame bytes for a payload (head + payload + tail words)."""
+    return FRAME_OVERHEAD + payload_len
+
+
+def max_payload(buffer_len: int) -> int:
+    """Largest payload a buffer of ``buffer_len`` bytes can frame."""
+    return buffer_len - FRAME_OVERHEAD
+
+
+def frame(payload: bytes) -> bytes:
+    """Build the on-wire frame for ``payload``."""
+    head = (HEAD_MAGIC << 32) | len(payload)
+    return _U64.pack(head) + payload + _U64.pack(TAIL_MAGIC)
+
+
+def probe(region: MemoryRegion, offset: int = 0) -> Optional[int]:
+    """Phase-1+2 poll at ``offset``.
+
+    Returns the payload length when a complete frame is present, else
+    ``None``.  Mirrors the paper's sequence: check head indicator (which
+    validates the size field), skip the payload, check the tail word.
+    """
+    head = region.read_u64(offset)
+    if (head >> 32) != HEAD_MAGIC:
+        return None
+    size = head & 0xFFFFFFFF
+    tail_off = offset + 8 + size
+    if tail_off + 8 > region.nbytes:
+        return None  # corrupt size; treat as not-yet-arrived
+    if region.read_u64(tail_off) != TAIL_MAGIC:
+        return None  # body still in flight
+    return size
+
+
+def consume(region: MemoryRegion, offset: int = 0) -> Optional[bytes]:
+    """Probe and, on success, return the payload *without* clearing."""
+    size = probe(region, offset)
+    if size is None:
+        return None
+    return region.read(offset + 8, size)
+
+
+def clear(region: MemoryRegion, offset: int, payload_len: int) -> None:
+    """Zero a consumed frame so the slot can be reused."""
+    region.zero(offset, frame_len(payload_len))

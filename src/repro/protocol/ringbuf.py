@@ -1,0 +1,133 @@
+"""Single-writer ring buffer over a registered region (§5.2).
+
+The replication log: the secondary exposes a large memory chunk; the
+primary RDMA-Writes indicator-framed records into it in a log-structured,
+wrapping fashion.  The writer never reads remote memory — it tracks its own
+write position and learns reclaimed space from acknowledgements — and the
+reader never writes to the network — it polls locally and zeroes consumed
+frames.
+
+Frames are 8-byte aligned.  When a frame does not fit before the end of
+the region, the writer emits a WRAP marker and the reader treats the tail
+gap as consumed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..rdma.memory import MemoryRegion
+from .indicator import HEAD_MAGIC, TAIL_MAGIC, frame, frame_len
+
+__all__ = ["RingWriter", "RingReader", "WRAP_MAGIC", "RingFull"]
+
+WRAP_MAGIC = 0x77AA0002
+_U64 = struct.Struct("<Q")
+
+
+class RingFull(Exception):
+    """The writer has no credit for the next record (reader lagging)."""
+
+
+def _aligned(n: int) -> int:
+    return (n + 7) & ~7
+
+
+class RingWriter:
+    """Primary-side ring state; produces the RDMA writes to issue.
+
+    Flow control is credit-based: ``written`` counts every byte the writer
+    has laid down (frames, padding, wrap gaps) and ``acked`` is the
+    cumulative consumed count carried in the secondary's acknowledgements.
+    """
+
+    def __init__(self, size: int):
+        if size < 64 or size % 8:
+            raise ValueError("ring size must be >=64 and 8-byte aligned")
+        self.size = size
+        self.head = 0
+        self.written = 0
+        self.acked = 0
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining write credit (capacity minus unacked bytes)."""
+        return self.size - (self.written - self.acked)
+
+    def ack(self, consumed_cumulative: int) -> None:
+        """Apply a credit update from the secondary's acknowledgement."""
+        if consumed_cumulative < self.acked:
+            return  # stale/duplicate ack
+        if consumed_cumulative > self.written:
+            raise ValueError("ack beyond written bytes")
+        self.acked = consumed_cumulative
+
+    def rewind_to(self, head: int, written: int) -> None:
+        """Roll the write cursor back (resend path after a secondary NACK)."""
+        self.head = head % self.size
+        self.written = written
+
+    def place(self, payload: bytes) -> list[tuple[int, bytes]]:
+        """Reserve space and return ``[(ring_offset, bytes), ...]`` to write.
+
+        Possibly two writes: a WRAP marker then the frame at offset 0.
+        Raises :class:`RingFull` when credit is insufficient; the caller
+        must solicit an ack and retry.
+        """
+        need = _aligned(frame_len(len(payload)))
+        if need > self.size:
+            raise ValueError("record larger than the ring")
+        writes: list[tuple[int, bytes]] = []
+        gap = self.size - self.head
+        total = need if gap >= need else gap + need
+        if total > self.free_bytes:
+            raise RingFull(
+                f"need {total}B, only {self.free_bytes}B of credit"
+            )
+        if gap < need:
+            # The gap is always >=8 (everything is 8-aligned).
+            writes.append((self.head, _U64.pack(WRAP_MAGIC << 32)))
+            self.written += gap
+            self.head = 0
+        blob = frame(payload)
+        writes.append((self.head, blob + bytes(need - len(blob))))
+        self.head = (self.head + need) % self.size
+        self.written += need
+        return writes
+
+
+class RingReader:
+    """Secondary-side poller over the locally owned ring region."""
+
+    def __init__(self, region: MemoryRegion):
+        self.region = region
+        self.pos = 0
+        #: Cumulative consumed bytes — the value carried back in acks.
+        self.consumed = 0
+
+    def poll(self) -> Optional[bytes]:
+        """Return the next payload if one is complete, advancing the ring."""
+        head = self.region.read_u64(self.pos)
+        magic = head >> 32
+        if magic == WRAP_MAGIC:
+            gap = self.region.nbytes - self.pos
+            self.region.zero(self.pos, 8)
+            self.consumed += gap
+            self.pos = 0
+            head = self.region.read_u64(0)
+            magic = head >> 32
+        if magic != HEAD_MAGIC:
+            return None
+        size = head & 0xFFFFFFFF
+        tail_off = self.pos + 8 + size
+        if tail_off + 8 > self.region.nbytes:
+            return None
+        if self.region.read_u64(tail_off) != TAIL_MAGIC:
+            return None
+        payload = self.region.read(self.pos + 8, size)
+        need = _aligned(frame_len(size))
+        self.region.zero(self.pos, min(need, self.region.nbytes - self.pos))
+        self.pos = (self.pos + need) % self.region.nbytes
+        self.consumed += need
+        return payload

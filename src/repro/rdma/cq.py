@@ -1,0 +1,61 @@
+"""Completion queues.
+
+HydraDB's data path never blocks on a CQ — shards poll request buffers in
+memory — but the Send/Recv baseline mode (§6.2) and the RAMCloud baseline
+drain CQs, and unsignaled-write bookkeeping uses them for flow control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..sim import Gate, Simulator
+from ..sim.events import Event
+from .verbs import Completion
+
+__all__ = ["CompletionQueue"]
+
+
+class CompletionQueue:
+    """An unbounded FIFO of completions with optional blocking wait."""
+
+    def __init__(self, sim: Simulator, name: str = "cq"):
+        self.sim = sim
+        self.name = name
+        self._entries: Deque[Completion] = deque()
+        self._gate = Gate(sim)
+        #: Persistent push notifications (simulation doorbells for pollers).
+        self.on_push: list = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, completion: Completion) -> None:
+        self._entries.append(completion)
+        self._gate.fire()
+        for cb in self.on_push:
+            cb(self)
+
+    def poll(self, max_entries: int = 16) -> list[Completion]:
+        """Non-blocking drain of up to ``max_entries`` completions."""
+        out: list[Completion] = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def poll_one(self) -> Optional[Completion]:
+        return self._entries.popleft() if self._entries else None
+
+    def wait(self) -> Event:
+        """Event that fires when the CQ is (or becomes) non-empty.
+
+        The waiter must still :meth:`poll`; multiple waiters may race for
+        the same entry, exactly like event-channel wakeups on real verbs.
+        """
+        ev = Event(self.sim)
+        if self._entries:
+            ev.succeed(None)
+        else:
+            self._gate._waiters.append(ev)
+        return ev

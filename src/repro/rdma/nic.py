@@ -1,0 +1,309 @@
+"""The RDMA NIC model.
+
+Each NIC has two serial engines — TX and RX — that give it a finite
+operation rate and make payload serialization occupy the port.  All verbs
+are orchestrated as callback chains (not processes) to keep the event count
+per operation small; a 4-verb round trip costs ~6 calendar entries.
+
+Two properties the higher layers depend on:
+
+* **Per-QP in-order delivery** (RC): both engines are FIFO and the switch
+  delay is constant, so writes posted on one QP land in the target region
+  in post order.  The indicator-encapsulated message format (§4.2.1) is
+  only correct because of this.
+* **Connection-count sensitivity**: every op pays
+  :meth:`~repro.config.NicConfig.qp_penalty_ns` for the current number of
+  live QPs, reproducing the scale-up wall of §6.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, TYPE_CHECKING
+
+from ..config import SimConfig
+from ..sim import MetricSet, Simulator, TimeWeighted
+from ..sim.events import Event
+from .memory import AccessViolation, MemoryRegion
+from .verbs import Completion, Opcode, WcStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hardware.machine import Machine
+    from .fabric import Fabric
+    from .qp import QueuePair
+
+__all__ = ["Nic", "NicDown"]
+
+
+class NicDown(Exception):
+    """Posting through a failed NIC."""
+
+
+class _Engine:
+    """A serial work engine: jobs run one at a time, FIFO.
+
+    Job costs are computed when service *starts*, so load-dependent terms
+    (QP cache penalty) reflect conditions at execution time.
+    """
+
+    __slots__ = ("sim", "busy", "_q", "_active")
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.busy = TimeWeighted(name, sim)
+        self._q: Deque[tuple[Callable[[], int], Callable[[], None]]] = deque()
+        self._active = False
+
+    def submit(self, cost_fn: Callable[[], int],
+               done: Callable[[], None]) -> None:
+        self._q.append((cost_fn, done))
+        if not self._active:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._q:
+            return
+        cost_fn, done = self._q.popleft()
+        self._active = True
+        self.busy.set(1.0)
+        ev = self.sim.timeout(cost_fn())
+
+        def _finish(_ev: Event) -> None:
+            self._active = False
+            self.busy.set(0.0)
+            done()
+            self._start_next()
+
+        ev.callbacks.append(_finish)
+
+    @property
+    def depth(self) -> int:
+        return len(self._q)
+
+
+class Nic:
+    """One RDMA adapter, attached to one machine, cabled to the fabric."""
+
+    def __init__(self, sim: Simulator, machine: "Machine", nic_id: int,
+                 config: SimConfig, fabric: "Fabric",
+                 metrics: Optional[MetricSet] = None):
+        self.sim = sim
+        self.machine = machine
+        self.nic_id = nic_id
+        self.config = config
+        self.cfg = config.nic
+        self.fabric = fabric
+        self.metrics = metrics or MetricSet(sim)
+        self.tx = _Engine(sim, f"nic{nic_id}.tx")
+        self.rx = _Engine(sim, f"nic{nic_id}.rx")
+        self.qps: list["QueuePair"] = []
+        self.alive = True
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def active_qps(self) -> int:
+        return len(self.qps)
+
+    def fail(self) -> None:
+        """Take the NIC (and effectively its machine's RDMA path) down."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def register(self, region: MemoryRegion) -> MemoryRegion:
+        """Register a memory region for remote access; assigns its rkey."""
+        return self.fabric.register(self, region)
+
+    # -- cost terms ----------------------------------------------------------
+    def _penalty(self) -> int:
+        return self.cfg.qp_penalty_ns(self.active_qps)
+
+    def _tx_cost(self, payload: int, extra: int = 0) -> int:
+        return (self.cfg.tx_op_ns + self._penalty() + extra
+                + self.config.fabric.serialization_ns(payload))
+
+    def _rx_cost(self, extra: int = 0) -> int:
+        return self.cfg.rx_op_ns + self._penalty() + extra
+
+    # -- verb orchestration ----------------------------------------------
+    # Each issue_* returns an Event that fires with a Completion.  The
+    # caller (QueuePair) has already validated QP state.
+
+    def _fail_completion(self, ev: Event, op: Opcode, status: WcStatus,
+                         wr_id: int, qp_num: int) -> None:
+        ev.succeed(Completion(opcode=op, status=status, wr_id=wr_id,
+                              qp_num=qp_num))
+
+    def _arm_retry_timer(self, ev: Event, op: Opcode, wr_id: int,
+                         qp_num: int) -> None:
+        """Complete with RETRY_EXC if nothing else finishes the op first."""
+        timer = self.sim.timeout(self.config.fabric.retry_timeout_ns)
+
+        def _expire(_t: Event) -> None:
+            if not ev.triggered:
+                self._fail_completion(ev, op, WcStatus.RETRY_EXC, wr_id,
+                                      qp_num)
+
+        timer.callbacks.append(_expire)
+
+    def issue_write(self, qp: "QueuePair", region: MemoryRegion, offset: int,
+                    data: bytes, wr_id: int) -> Event:
+        ev = self.sim.event()
+        op = Opcode.RDMA_WRITE
+        if not self.alive:
+            self._fail_completion(ev, op, WcStatus.LOCAL_QP_ERR, wr_id,
+                                  qp.qp_num)
+            return ev
+        self.metrics.counter("rdma.write.ops").add()
+        self.metrics.counter("rdma.write.bytes").add(len(data))
+        peer_nic: "Nic" = qp.peer.nic
+        prop = self.fabric.prop_ns(self, peer_nic)
+        self._arm_retry_timer(ev, op, wr_id, qp.qp_num)
+
+        def after_tx() -> None:
+            fly = self.sim.timeout(prop)
+            fly.callbacks.append(lambda _e: arrive())
+
+        def arrive() -> None:
+            if not peer_nic.alive:
+                return  # silently lost; retry timer fires
+            peer_nic.rx.submit(lambda: peer_nic._rx_cost(), deliver)
+
+        def deliver() -> None:
+            try:
+                region.write(offset, data)
+            except AccessViolation:
+                status = WcStatus.REM_ACCESS_ERR
+            else:
+                status = WcStatus.SUCCESS
+            ack = self.sim.timeout(prop)
+
+            def _acked(_e: Event) -> None:
+                if not ev.triggered:
+                    ev.succeed(Completion(opcode=op, status=status,
+                                          wr_id=wr_id, byte_len=len(data),
+                                          qp_num=qp.qp_num))
+
+            ack.callbacks.append(_acked)
+
+        self.tx.submit(lambda: self._tx_cost(len(data)), after_tx)
+        return ev
+
+    def issue_read(self, qp: "QueuePair", region: MemoryRegion, offset: int,
+                   length: int, wr_id: int) -> Event:
+        ev = self.sim.event()
+        op = Opcode.RDMA_READ
+        if not self.alive:
+            self._fail_completion(ev, op, WcStatus.LOCAL_QP_ERR, wr_id,
+                                  qp.qp_num)
+            return ev
+        self.metrics.counter("rdma.read.ops").add()
+        self.metrics.counter("rdma.read.bytes").add(length)
+        peer_nic: "Nic" = qp.peer.nic
+        prop = self.fabric.prop_ns(self, peer_nic)
+        self._arm_retry_timer(ev, op, wr_id, qp.qp_num)
+        state: dict[str, object] = {}
+
+        def after_tx() -> None:
+            fly = self.sim.timeout(prop)
+            fly.callbacks.append(lambda _e: arrive())
+
+        def arrive() -> None:
+            if not peer_nic.alive:
+                return
+            peer_nic.rx.submit(
+                lambda: peer_nic._rx_cost(extra=peer_nic.cfg.read_responder_ns),
+                responder_done,
+            )
+
+        def responder_done() -> None:
+            # The DMA engine snapshots host memory *now* — this is the
+            # instant that matters for read/write races.
+            try:
+                state["data"] = region.read(offset, length)
+            except AccessViolation:
+                if not ev.triggered:
+                    self._fail_completion(ev, op, WcStatus.REM_ACCESS_ERR,
+                                          wr_id, qp.qp_num)
+                return
+            peer_nic.tx.submit(lambda: peer_nic._tx_cost(length), response_sent)
+
+        def response_sent() -> None:
+            fly = self.sim.timeout(prop)
+            fly.callbacks.append(lambda _e: back_home())
+
+        def back_home() -> None:
+            if not self.alive:
+                return
+            self.rx.submit(lambda: self._rx_cost(), complete)
+
+        def complete() -> None:
+            if not ev.triggered:
+                ev.succeed(Completion(opcode=op, status=WcStatus.SUCCESS,
+                                      wr_id=wr_id, byte_len=length,
+                                      data=state["data"],  # type: ignore[arg-type]
+                                      qp_num=qp.qp_num))
+
+        self.tx.submit(lambda: self._tx_cost(0), after_tx)
+        return ev
+
+    def issue_ud_send(self, src_qp, dst_qp, data: bytes,
+                      wr_id: int) -> Event:
+        """Connectionless datagram send (see :mod:`repro.rdma.ud`)."""
+        from .ud import issue_ud_send
+        return issue_ud_send(self, src_qp, dst_qp, data, wr_id)
+
+    def issue_send(self, qp: "QueuePair", data: bytes, wr_id: int) -> Event:
+        ev = self.sim.event()
+        op = Opcode.SEND
+        if not self.alive:
+            self._fail_completion(ev, op, WcStatus.LOCAL_QP_ERR, wr_id,
+                                  qp.qp_num)
+            return ev
+        self.metrics.counter("rdma.send.ops").add()
+        self.metrics.counter("rdma.send.bytes").add(len(data))
+        peer_qp: "QueuePair" = qp.peer
+        peer_nic: "Nic" = peer_qp.nic
+        prop = self.fabric.prop_ns(self, peer_nic)
+        self._arm_retry_timer(ev, op, wr_id, qp.qp_num)
+
+        def after_tx() -> None:
+            fly = self.sim.timeout(prop)
+            fly.callbacks.append(lambda _e: arrive())
+
+        def arrive() -> None:
+            if not peer_nic.alive:
+                return
+            peer_nic.rx.submit(
+                lambda: peer_nic._rx_cost(extra=peer_nic.cfg.send_recv_extra_ns),
+                deliver,
+            )
+
+        def deliver() -> None:
+            if not peer_qp.recv_queue:
+                status = WcStatus.RNR_RETRY_EXC
+            else:
+                recv_wr_id = peer_qp.recv_queue.popleft()
+                peer_qp.recv_cq.push(
+                    Completion(opcode=Opcode.RECV, status=WcStatus.SUCCESS,
+                               wr_id=recv_wr_id, byte_len=len(data),
+                               data=data, qp_num=peer_qp.qp_num)
+                )
+                status = WcStatus.SUCCESS
+            ack = self.sim.timeout(prop)
+
+            def _acked(_e: Event) -> None:
+                if not ev.triggered:
+                    ev.succeed(Completion(opcode=op, status=status,
+                                          wr_id=wr_id, byte_len=len(data),
+                                          qp_num=qp.qp_num))
+
+            ack.callbacks.append(_acked)
+
+        self.tx.submit(lambda: self._tx_cost(len(data)), after_tx)
+        return ev
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Nic {self.nic_id} qps={self.active_qps} " \
+               f"{'up' if self.alive else 'DOWN'}>"

@@ -1,0 +1,108 @@
+"""Reliable-connected queue pairs.
+
+A QP is the application-facing handle: it validates destinations, resolves
+remote pointers against the fabric's registration table, and hands the op
+to its NIC.  Receive queues live here (two-sided mode only).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, TYPE_CHECKING
+
+from ..sim.events import Event
+from .cq import CompletionQueue
+from .memory import MemoryRegion
+from .verbs import RemotePointer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .nic import Nic
+
+__all__ = ["QueuePair", "QpError"]
+
+
+class QpError(Exception):
+    """Misuse of a queue pair (bad peer, unresolvable rkey, dead QP)."""
+
+
+class QueuePair:
+    """One end of an RC connection."""
+
+    def __init__(self, sim, nic: "Nic", qp_num: int):
+        self.sim = sim
+        self.nic = nic
+        self.qp_num = qp_num
+        self.peer: "QueuePair" = None  # type: ignore[assignment]
+        self.send_cq = CompletionQueue(sim, f"qp{qp_num}.scq")
+        self.recv_cq = CompletionQueue(sim, f"qp{qp_num}.rcq")
+        self.recv_queue: Deque[int] = deque()
+        self.connected = False
+        self._wr_seq = 0
+
+    # -- wiring ------------------------------------------------------------
+    def _connect(self, peer: "QueuePair") -> None:
+        self.peer = peer
+        self.connected = True
+        self.nic.qps.append(self)
+
+    def destroy(self) -> None:
+        """Tear the QP down (e.g. on connection close / process death)."""
+        if self in self.nic.qps:
+            self.nic.qps.remove(self)
+        self.connected = False
+
+    def _next_wr(self, wr_id: int) -> int:
+        if wr_id:
+            return wr_id
+        self._wr_seq += 1
+        return self._wr_seq
+
+    def _resolve(self, rptr: RemotePointer) -> MemoryRegion:
+        nic, region = self.nic.fabric.lookup(rptr.rkey)
+        if nic is not self.peer.nic:
+            raise QpError(
+                f"rkey {rptr.rkey} belongs to nic {nic.nic_id}, but this QP "
+                f"connects to nic {self.peer.nic.nic_id}"
+            )
+        return region
+
+    def _check_connected(self) -> None:
+        if not self.connected or self.peer is None:
+            raise QpError("queue pair is not connected")
+
+    # -- verbs ---------------------------------------------------------------
+    def post_write(self, rptr: RemotePointer, data: bytes,
+                   wr_id: int = 0) -> Event:
+        """One-sided RDMA Write of ``data`` at the remote pointer.
+
+        Returns the completion event; the write is visible at the target at
+        remote-delivery time (earlier than the initiator's completion).
+        """
+        self._check_connected()
+        if len(data) > rptr.length:
+            raise QpError(
+                f"write of {len(data)}B exceeds remote extent {rptr.length}B"
+            )
+        region = self._resolve(rptr)
+        return self.nic.issue_write(self, region, rptr.offset, data,
+                                    self._next_wr(wr_id))
+
+    def post_read(self, rptr: RemotePointer, wr_id: int = 0) -> Event:
+        """One-sided RDMA Read of the full remote-pointer extent."""
+        self._check_connected()
+        region = self._resolve(rptr)
+        return self.nic.issue_read(self, region, rptr.offset, rptr.length,
+                                   self._next_wr(wr_id))
+
+    def post_send(self, data: bytes, wr_id: int = 0) -> Event:
+        """Two-sided Send; consumes a posted receive at the peer."""
+        self._check_connected()
+        return self.nic.issue_send(self, bytes(data), self._next_wr(wr_id))
+
+    def post_recv(self, wr_id: int = 0) -> None:
+        """Post a receive WQE (two-sided mode)."""
+        self.recv_queue.append(self._next_wr(wr_id))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        peer = self.peer.qp_num if self.peer else None
+        return f"<QP {self.qp_num} nic={self.nic.nic_id} peer={peer}>"

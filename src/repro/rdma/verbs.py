@@ -1,0 +1,73 @@
+"""Verb-layer types: opcodes, work completions, remote pointers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+__all__ = ["Opcode", "WcStatus", "Completion", "RemotePointer", "RdmaError"]
+
+
+class Opcode(Enum):
+    RDMA_WRITE = auto()
+    RDMA_READ = auto()
+    SEND = auto()
+    RECV = auto()
+
+
+class WcStatus(Enum):
+    SUCCESS = auto()
+    #: Remote access error (bad rkey / out-of-bounds).
+    REM_ACCESS_ERR = auto()
+    #: Receiver had no posted receive (RNR retries exhausted).
+    RNR_RETRY_EXC = auto()
+    #: Peer NIC/machine unreachable (retry exceeded) — failover trigger.
+    RETRY_EXC = auto()
+    #: QP transitioned to error state locally.
+    LOCAL_QP_ERR = auto()
+
+
+class RdmaError(Exception):
+    """Raised into a process that waits on a failed completion."""
+
+    def __init__(self, completion: "Completion"):
+        super().__init__(f"RDMA {completion.opcode.name} failed: "
+                         f"{completion.status.name}")
+        self.completion = completion
+
+
+@dataclass
+class Completion:
+    """A work completion (CQE)."""
+
+    opcode: Opcode
+    status: WcStatus
+    wr_id: int = 0
+    byte_len: int = 0
+    #: For RDMA_READ and RECV completions: the fetched / received bytes.
+    data: Optional[bytes] = None
+    #: QP number the completion belongs to.
+    qp_num: int = -1
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS
+
+
+@dataclass(frozen=True)
+class RemotePointer:
+    """A one-sided-access capability: (rkey, offset, length).
+
+    HydraDB servers hand these to clients for RDMA-Read GETs (§4.2.2);
+    the replication log exposes one for the whole ring (§5.2).
+    """
+
+    rkey: int
+    offset: int
+    length: int
+
+    def slice(self, rel_offset: int, length: int) -> "RemotePointer":
+        if rel_offset < 0 or rel_offset + length > self.length:
+            raise ValueError("slice outside remote pointer extent")
+        return RemotePointer(self.rkey, self.offset + rel_offset, length)

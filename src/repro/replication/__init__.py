@@ -1,0 +1,15 @@
+"""High-availability replication: RDMA logging, strict ack, secondaries."""
+
+from .log import ACK_SLOT_BYTES, Ack, LogRecord, RecordType
+from .logrep import LogReplicator, SecondaryLink
+from .secondary import SecondaryShard
+
+__all__ = [
+    "LogRecord",
+    "RecordType",
+    "Ack",
+    "ACK_SLOT_BYTES",
+    "LogReplicator",
+    "SecondaryLink",
+    "SecondaryShard",
+]

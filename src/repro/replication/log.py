@@ -1,0 +1,91 @@
+"""Replication log records and acknowledgements (§5.2).
+
+Records travel primary -> secondary inside the indicator-framed ring
+buffer; acknowledgements travel secondary -> primary as a single RDMA
+Write into a small ack slot registered on the primary.  Both are real byte
+encodings.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..protocol import Op
+
+__all__ = ["RecordType", "LogRecord", "Ack", "ACK_SLOT_BYTES"]
+
+
+class RecordType(IntEnum):
+    DATA = 1
+    ACK_REQUEST = 2
+
+
+_REC = struct.Struct("<BBHIQQ")   # type, op, klen, vlen, seq, version
+_ACK = struct.Struct("<QQQB7x")   # applied_seq, consumed, epoch, failed
+
+ACK_SLOT_BYTES = 32
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One replicated mutation (or an ack solicitation)."""
+
+    rtype: RecordType
+    seq: int
+    op: Op = Op.PUT
+    key: bytes = b""
+    value: bytes = b""
+    version: int = 0
+
+    def encode(self) -> bytes:
+        return (
+            _REC.pack(self.rtype, self.op, len(self.key), len(self.value),
+                      self.seq, self.version)
+            + self.key
+            + self.value
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LogRecord":
+        rtype, op, klen, vlen, seq, version = _REC.unpack_from(data, 0)
+        base = _REC.size
+        if len(data) != base + klen + vlen:
+            raise ValueError("log record length mismatch")
+        return cls(rtype=RecordType(rtype), seq=seq, op=Op(op),
+                   key=data[base:base + klen],
+                   value=data[base + klen:base + klen + vlen],
+                   version=version)
+
+    @classmethod
+    def ack_request(cls, seq: int) -> "LogRecord":
+        """Solicit an acknowledgement covering everything up to ``seq``."""
+        return cls(rtype=RecordType.ACK_REQUEST, seq=seq)
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Secondary -> primary acknowledgement state.
+
+    ``applied_seq`` is the highest contiguously applied record;
+    ``consumed`` is the cumulative ring-byte count (write credit);
+    ``failed`` signals that the secondary is discarding records and needs a
+    resend starting at ``applied_seq + 1``.  ``epoch`` makes each ack write
+    distinguishable from the previous slot contents.
+    """
+
+    applied_seq: int
+    consumed: int
+    epoch: int
+    failed: bool = False
+
+    def encode(self) -> bytes:
+        return _ACK.pack(self.applied_seq, self.consumed, self.epoch,
+                         int(self.failed))
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ack":
+        applied, consumed, epoch, failed = _ACK.unpack_from(data, 0)
+        return cls(applied_seq=applied, consumed=consumed, epoch=epoch,
+                   failed=bool(failed))

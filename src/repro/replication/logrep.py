@@ -1,0 +1,211 @@
+"""Primary-side replication: RDMA Logging and strict request/ack (§5.2).
+
+Star-formed primary/backup: the primary drives every secondary directly.
+
+**rdma_log mode** (the paper's contribution): each mutation is placed into
+every secondary's exposed ring with one-sided RDMA Writes and the shard
+moves on immediately — no per-record acknowledgement.  Every
+``ack_interval`` records the primary appends an ACK_REQUEST; the returning
+ack replenishes write credit and, if it reports a failure, triggers
+rollback: every unacknowledged record is re-placed in order, then
+re-solicited.  The shard blocks only when the ring is out of credit.
+
+**strict mode** (the Fig. 13 baseline): every record is followed by an
+ACK_REQUEST and the shard blocks until every secondary has applied it —
+one full round trip plus secondary merge time per mutation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..config import SimConfig
+from ..protocol import Op, RingFull, RingWriter
+from ..rdma import MemoryRegion, QueuePair, RemotePointer
+from ..sim import Gate, MetricSet, Simulator
+from ..sim.events import Event
+from ..core.shard import Shard
+from .log import ACK_SLOT_BYTES, Ack, LogRecord, RecordType
+from .secondary import SecondaryShard
+
+__all__ = ["LogReplicator", "SecondaryLink"]
+
+
+class SecondaryLink:
+    """Primary-side state for one secondary."""
+
+    def __init__(self, sim: Simulator, secondary: SecondaryShard,
+                 qp: QueuePair, ring_rptr: RemotePointer,
+                 ack_region: MemoryRegion, log_bytes: int):
+        self.sim = sim
+        self.secondary = secondary
+        self.qp = qp
+        self.ring_rptr = ring_rptr
+        self.ack_region = ack_region
+        self.writer = RingWriter(log_bytes)
+        self.ack_doorbell = Gate(sim)
+        ack_region.subscribe(lambda _r: self.ack_doorbell.fire())
+        self.applied_seq = 0
+        self.last_epoch = 0
+        #: Records placed but not yet covered by an ack (for rollback).
+        self.unacked: Deque[tuple[int, bytes]] = deque()
+        #: Strict-mode waiters: (seq, event).
+        self.waiters: list[tuple[int, Event]] = []
+        self.resends = 0
+
+    def place_and_write(self, payload: bytes) -> None:
+        """Reserve ring space and issue the RDMA write(s). May raise RingFull."""
+        for offset, blob in self.writer.place(payload):
+            self.qp.post_write(self.ring_rptr.slice(offset, len(blob)), blob)
+
+
+class LogReplicator:
+    """Replicates one primary shard's mutations to its secondaries."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, primary: Shard,
+                 metrics: Optional[MetricSet] = None):
+        self.sim = sim
+        self.config = config
+        self.rep = config.replication
+        if self.rep.mode not in ("rdma_log", "strict"):
+            raise ValueError(f"unknown replication mode {self.rep.mode!r}")
+        self.primary = primary
+        self.metrics = metrics or MetricSet(sim)
+        self.links: list[SecondaryLink] = []
+        self.seq = 0
+        self._last_ackreq_seq = 0
+        self.alive = True
+        primary.replicator = self
+
+    # -- wiring ---------------------------------------------------------
+    def add_secondary(self, secondary: SecondaryShard) -> SecondaryLink:
+        """Connect a secondary: QP pair, ack slot, and the monitor process."""
+        fabric = self.primary.nic.fabric
+        primary_qp, secondary_qp = fabric.connect(self.primary.nic,
+                                                  secondary.machine.nic)
+        ack_region = MemoryRegion(ACK_SLOT_BYTES,
+                                  name=f"{self.primary.shard_id}.ack"
+                                       f"{len(self.links)}")
+        self.primary.nic.register(ack_region)
+        secondary.attach(secondary_qp,
+                         RemotePointer(ack_region.rkey, 0, ACK_SLOT_BYTES))
+        link = SecondaryLink(self.sim, secondary, primary_qp,
+                             secondary.ring_rptr(), ack_region,
+                             self.rep.log_bytes)
+        self.links.append(link)
+        self.sim.process(self._ack_monitor(link),
+                         name=f"{self.primary.shard_id}.ackmon")
+        return link
+
+    # -- the shard-facing hook -----------------------------------------------
+    def replicate(self, op: Op, key: bytes, value: bytes,
+                  version: int) -> tuple[int, Optional[Event]]:
+        """Returns (cpu_cost_ns, optional event the shard must wait on)."""
+        if not self.links:
+            return 0, None
+        self.seq += 1
+        record = LogRecord(rtype=RecordType.DATA, seq=self.seq, op=op,
+                           key=key, value=value, version=version).encode()
+        want_ack = (self.rep.mode == "strict"
+                    or self.seq - self._last_ackreq_seq >= self.rep.ack_interval)
+        # CPU: build + post one record per secondary, plus the ack request
+        # when one is due — soliciting every record costs every record.
+        cost = self.rep.post_cost_ns * len(self.links) * (2 if want_ack else 1)
+        blocked: list[SecondaryLink] = []
+        for link in self.links:
+            try:
+                link.place_and_write(record)
+                link.unacked.append((self.seq, record))
+            except RingFull:
+                blocked.append(link)
+        if want_ack and not blocked:
+            self._solicit_acks()
+        if self.rep.mode == "strict" or blocked:
+            ev = self.sim.process(
+                self._synchronize(self.seq, record, blocked),
+                name=f"{self.primary.shard_id}.repwait",
+            )
+            return cost, ev
+        self.metrics.counter("repl.records").add()
+        return cost, None
+
+    # -- internals ---------------------------------------------------------
+    def _solicit_acks(self) -> None:
+        ackreq = LogRecord.ack_request(self.seq).encode()
+        for link in self.links:
+            try:
+                link.place_and_write(ackreq)
+            except RingFull:
+                # Credit will return via an earlier outstanding ack request.
+                pass
+        self._last_ackreq_seq = self.seq
+        self.metrics.counter("repl.ack_requests").add()
+
+    def _synchronize(self, seq: int, record: bytes,
+                     blocked: list[SecondaryLink]):
+        """Slow path: finish placement on full rings and/or await acks."""
+        # First, push the record into any ring that was full.
+        for link in blocked:
+            while True:
+                try:
+                    link.place_and_write(record)
+                    link.unacked.append((seq, record))
+                    break
+                except RingFull:
+                    self._solicit_acks()
+                    yield link.ack_doorbell.wait()
+        if blocked:
+            self._solicit_acks()
+        if self.rep.mode != "strict":
+            self.metrics.counter("repl.records").add()
+            return
+        # Strict: wait until every secondary has applied this sequence.
+        for link in self.links:
+            if link.applied_seq >= seq:
+                continue
+            ev = Event(self.sim)
+            link.waiters.append((seq, ev))
+            yield ev
+        self.metrics.counter("repl.records").add()
+
+    def _ack_monitor(self, link: SecondaryLink):
+        """Consume ack-slot writes: credit, progress, rollback."""
+        while self.alive:
+            ack = Ack.decode(link.ack_region.read(0, ACK_SLOT_BYTES))
+            if ack.epoch == link.last_epoch:
+                yield link.ack_doorbell.wait()
+                continue
+            link.last_epoch = ack.epoch
+            link.writer.ack(ack.consumed)
+            link.applied_seq = max(link.applied_seq, ack.applied_seq)
+            while link.unacked and link.unacked[0][0] <= link.applied_seq:
+                link.unacked.popleft()
+            if ack.failed and link.unacked:
+                self._resend(link)
+            if link.waiters:
+                ready = [ev for s, ev in link.waiters
+                         if s <= link.applied_seq]
+                link.waiters = [(s, ev) for s, ev in link.waiters
+                                if s > link.applied_seq]
+                for ev in ready:
+                    ev.succeed(None)
+            # Doorbell may already hold another epoch; loop re-probes.
+
+    def _resend(self, link: SecondaryLink) -> None:
+        """Rollback: re-place every unacknowledged record, in order."""
+        link.resends += 1
+        self.metrics.counter("repl.resends").add()
+        for _seq, payload in link.unacked:
+            try:
+                link.place_and_write(payload)
+            except RingFull:  # pragma: no cover - ring sized to prevent this
+                break
+        try:
+            link.place_and_write(LogRecord.ack_request(self.seq).encode())
+        except RingFull:  # pragma: no cover
+            pass
+
+    @property
+    def min_applied_seq(self) -> int:
+        return min((l.applied_seq for l in self.links), default=self.seq)

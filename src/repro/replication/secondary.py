@@ -1,0 +1,152 @@
+"""The secondary shard: Single-Writer Zero-Reader backup target (§5).
+
+A secondary serves no client requests.  It exposes its replication ring to
+one primary, and a dedicated merge thread polls the ring and folds records
+into its own :class:`~repro.core.store.ShardStore`.  On a processing
+failure (injectable for tests) it stops advancing ``applied_seq``,
+discards subsequent records, and waits for the primary's ack request to
+report the first failed sequence — exactly the §5.2 recovery protocol.
+
+On promotion (SWAT failover) the merge thread stops and the store is
+handed to a fresh primary :class:`~repro.core.shard.Shard`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..hardware import Core, Machine
+from ..protocol import RingReader
+from ..rdma import MemoryRegion, QueuePair, RemotePointer
+from ..sim import Gate, Interrupt, MetricSet, Simulator
+from ..core.store import ShardStore
+from .log import Ack, LogRecord, RecordType
+
+__all__ = ["SecondaryShard"]
+
+
+class SecondaryShard:
+    """A backup replica dedicated to a single primary."""
+
+    def __init__(self, sim: Simulator, config: SimConfig, shard_id: str,
+                 machine: Machine, core: Core,
+                 metrics: Optional[MetricSet] = None,
+                 fault_rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.config = config
+        self.rep = config.replication
+        self.cpu = config.cpu
+        self.shard_id = shard_id
+        self.machine = machine
+        self.core = core
+        self.metrics = metrics or MetricSet(sim)
+        self.store = ShardStore(sim, config, machine.nic, core.numa_domain,
+                                shard_id)
+        self.ring_region = MemoryRegion(self.rep.log_bytes,
+                                        numa_domain=core.numa_domain,
+                                        name=f"{shard_id}.ring")
+        machine.nic.register(self.ring_region)
+        self.reader = RingReader(self.ring_region)
+        self.doorbell = Gate(sim)
+        self.ring_region.subscribe(lambda _r: self.doorbell.fire())
+        #: Wired by the primary-side replicator at attach time.
+        self.qp: Optional[QueuePair] = None
+        self.ack_rptr: Optional[RemotePointer] = None
+        self.applied_seq = 0
+        self.failing = False
+        self._ack_epoch = 0
+        self._fault_rng = fault_rng
+        self.alive = False
+        self._proc = None
+
+    # -- wiring ---------------------------------------------------------
+    def ring_rptr(self) -> RemotePointer:
+        return RemotePointer(self.ring_region.rkey, 0, self.rep.log_bytes)
+
+    def attach(self, qp: QueuePair, ack_rptr: RemotePointer) -> None:
+        self.qp = qp
+        self.ack_rptr = ack_rptr
+
+    def rebind(self) -> None:
+        """Reset replication progress for attachment to a new primary.
+
+        Clears any stale ring contents (frames from the dead primary) and
+        restarts sequence tracking; the caller resynchronizes store state
+        separately before records start flowing again.
+        """
+        self.ring_region.zero(0, self.ring_region.nbytes)
+        self.reader = RingReader(self.ring_region)
+        self.applied_seq = 0
+        self.failing = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self.alive:
+            raise RuntimeError(f"{self.shard_id} already running")
+        self.alive = True
+        self._proc = self.sim.process(self._merge_loop(), name=self.shard_id)
+        if self.store.reclaimer._proc is None:
+            self.store.reclaimer.start()
+
+    def stop(self) -> None:
+        """Halt the merge thread (promotion or teardown)."""
+        self.alive = False
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stopped")
+
+    def kill(self) -> None:
+        self.stop()
+        self.store.reclaimer.stop()
+
+    # -- merge thread -------------------------------------------------------
+    def _should_fault(self) -> bool:
+        if self._fault_rng is None or self.rep.fault_probability <= 0:
+            return False
+        return bool(self._fault_rng.random() < self.rep.fault_probability)
+
+    def _send_ack(self) -> None:
+        if self.qp is None or self.ack_rptr is None:
+            return
+        self._ack_epoch += 1
+        ack = Ack(applied_seq=self.applied_seq,
+                  consumed=self.reader.consumed,
+                  epoch=self._ack_epoch, failed=self.failing)
+        self.qp.post_write(self.ack_rptr, ack.encode())
+
+    def _merge_loop(self):
+        try:
+            while self.alive:
+                payload = self.reader.poll()
+                if payload is None:
+                    yield self.doorbell.wait()
+                    yield self.core.execute(self.rep.merge_poll_ns)
+                    continue
+                record = LogRecord.decode(payload)
+                if record.rtype is RecordType.ACK_REQUEST:
+                    # Reply whether healthy or failing; a failing reply
+                    # carries the first missing sequence (applied+1).
+                    yield self.core.execute(self.cpu.build_response_ns)
+                    self._send_ack()
+                    continue
+                expected = self.applied_seq + 1
+                if record.seq != expected or self._should_fault():
+                    # Out-of-order (post-failure stream) or injected fault:
+                    # stop advancing, discard until the primary resends the
+                    # expected sequence (triggered by our failing ack).
+                    self.failing = True
+                    self.metrics.counter("replica.discarded").add()
+                    continue
+                result = self.store.apply(record.op, record.key, record.value,
+                                          version=record.version)
+                yield self.core.execute(result.cost_ns)
+                self.applied_seq = record.seq
+                self.failing = False
+                self.metrics.counter("replica.applied").add()
+        except Interrupt:
+            self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SecondaryShard {self.shard_id} applied={self.applied_seq}>"

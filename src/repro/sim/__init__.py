@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel (integer-nanosecond virtual time).
+
+The kernel is deliberately small: events, generator-coroutine processes,
+FIFO stores / counted resources, measurement instruments, and deterministic
+named random streams.  Everything above it — NICs, shards, clients — is a
+process yielding events.
+"""
+
+from .core import Simulator, UnhandledProcessError
+from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
+from .monitor import Counter, MetricSet, Tally, TimeWeighted
+from .process import Process
+from .resources import Gate, Mutex, Resource, RwLock, Store
+from .rng import StreamRegistry
+
+__all__ = [
+    "Simulator",
+    "UnhandledProcessError",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Process",
+    "Store",
+    "Resource",
+    "Mutex",
+    "RwLock",
+    "Gate",
+    "Counter",
+    "Tally",
+    "TimeWeighted",
+    "MetricSet",
+    "StreamRegistry",
+]

@@ -1,0 +1,135 @@
+"""The discrete-event simulator core.
+
+A single :class:`Simulator` owns a monotonic integer-nanosecond clock and a
+binary-heap event calendar.  Determinism: ties in time are broken by a
+monotonically increasing sequence number, so two runs with the same seeds
+produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional
+
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process, ProcessGenerator
+
+__all__ = ["Simulator", "UnhandledProcessError"]
+
+
+class UnhandledProcessError(SimulationError):
+    """A process died with an exception nobody was waiting on."""
+
+    def __init__(self, event: Event):
+        cause = event.value
+        super().__init__(f"unhandled failure in simulation: {cause!r}")
+        self.event = event
+        self.__cause__ = cause
+
+
+class Simulator:
+    """Event loop with integer-nanosecond virtual time."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def process(self, gen: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, tuple(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, tuple(events))
+
+    # -- scheduling ---------------------------------------------------------
+    def _enqueue(self, delay: int, event: Event) -> None:
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def _report_orphan_failure(self, event: Event) -> None:
+        # A failure absorbed by an already-triggered condition; schedule a
+        # crash so silent data loss cannot occur.
+        raise UnhandledProcessError(event)
+
+    # -- execution ------------------------------------------------------------
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or ``None`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event calendar")
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - invariant guard
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise UnhandledProcessError(event)
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the calendar drains), an integer
+        time (run up to and including that instant), or an :class:`Event`
+        (run until it is processed and return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[int] = None
+        if isinstance(until, Event):
+            stop_event = until
+            # run() re-raises the stop event's failure itself; keep step()
+            # from treating it as an orphaned error.
+            if not stop_event.processed:
+                stop_event.callbacks.append(
+                    lambda ev: None if ev._ok else ev.defuse()
+                )
+        elif until is not None:
+            stop_time = int(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if stop_time is not None and self._heap[0][0] > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError(
+                    "run() ended before the awaited event triggered"
+                )
+            if stop_event._ok:
+                return stop_event.value
+            stop_event.defuse()
+            raise stop_event.value
+        if stop_time is not None and self._now < stop_time:
+            self._now = stop_time
+        return None

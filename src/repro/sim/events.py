@@ -1,0 +1,199 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+Events are the unit of synchronization: a process yields an event and is
+resumed when the event is *processed* (its callbacks run).  The design
+follows the classic SimPy model but is trimmed to what the HydraDB
+simulation needs and uses integer-nanosecond timestamps throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import Simulator
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a machine-failure record).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence within the simulation.
+
+    Lifecycle: *pending* -> *triggered* (``succeed``/``fail`` called and the
+    event is queued) -> *processed* (callbacks have run).  Callbacks receive
+    the event itself.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked when the event is processed; ``None`` afterwards.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(0, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"{exc!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._enqueue(0, self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay (integer nanoseconds)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(delay, self)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: tuple[Event, ...]):
+        super().__init__(sim)
+        self.events = events
+        self._n_done = 0
+        for ev in events:
+            if ev.sim is not sim:
+                raise SimulationError("events belong to different simulators")
+        if not events:
+            self.succeed(self._collect())
+            return
+        for ev in events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            if not ev._ok and not ev._defused:
+                # Nobody will look at this failure through the condition.
+                ev.defuse()
+                self.sim._report_orphan_failure(ev)
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of ``events`` succeeds (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all of ``events`` have succeeded (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= len(self.events)

@@ -1,0 +1,196 @@
+"""Measurement instruments: counters, tallies, and time-weighted gauges.
+
+The bench harness samples these to produce the per-figure series.  All
+instruments are cheap enough to leave enabled in every run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+__all__ = ["Counter", "Tally", "TimeWeighted", "MetricSet"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Tally:
+    """Collects scalar observations (e.g. per-request latency in ns).
+
+    Keeps raw samples (bounded by ``max_samples`` with uniform reservoir
+    subsampling) plus exact streaming moments, so means are exact while
+    percentiles degrade gracefully on very long runs.
+    """
+
+    def __init__(self, name: str, max_samples: int = 200_000, seed: int = 0x5EED):
+        self.name = name
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._rng = np.random.default_rng(seed)
+        self.count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self._sum += value
+        self._sumsq += value * value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            # Vitter's algorithm R keeps the retained set uniform.
+            j = int(self._rng.integers(0, self.count))
+            if j < self.max_samples:
+                self._samples[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else math.nan
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return math.nan
+        var = (self._sumsq - self._sum * self._sum / self.count) / (self.count - 1)
+        return math.sqrt(max(var, 0.0))
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self.count = 0
+        self._sum = self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Tally({self.name}: n={self.count}, mean={self.mean:.1f})"
+
+
+class TimeWeighted:
+    """A gauge integrated over simulated time (e.g. CPU busy fraction)."""
+
+    def __init__(self, name: str, sim: "Simulator", initial: float = 0.0):
+        self.name = name
+        self.sim = sim
+        self._value = initial
+        self._last_change = sim.now
+        self._area = 0.0
+        self._start = sim.now
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._area += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        now = self.sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_change)
+        return area / elapsed
+
+    def reset(self) -> None:
+        self._area = 0.0
+        self._start = self._last_change = self.sim.now
+
+
+class MetricSet:
+    """A named bundle of instruments with lazy creation.
+
+    Components grab ``metrics.counter("rdma.read.ops")`` etc.; the harness
+    walks the registry when reporting.
+    """
+
+    def __init__(self, sim: Optional["Simulator"] = None):
+        self.sim = sim
+        self.counters: dict[str, Counter] = {}
+        self.tallies: dict[str, Tally] = {}
+        self.gauges: dict[str, TimeWeighted] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def tally(self, name: str, max_samples: int = 200_000) -> Tally:
+        t = self.tallies.get(name)
+        if t is None:
+            t = self.tallies[name] = Tally(name, max_samples=max_samples)
+        return t
+
+    def gauge(self, name: str) -> TimeWeighted:
+        if self.sim is None:
+            raise ValueError("MetricSet needs a Simulator for gauges")
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = TimeWeighted(name, self.sim)
+        return g
+
+    def reset(self) -> None:
+        for c in self.counters.values():
+            c.reset()
+        for t in self.tallies.values():
+            t.reset()
+        for g in self.gauges.values():
+            g.reset()
+
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[name] = float(c.value)
+        for name, t in self.tallies.items():
+            out[f"{name}.mean"] = t.mean
+            out[f"{name}.count"] = float(t.count)
+        for name, g in self.gauges.items():
+            out[f"{name}.avg"] = g.time_average()
+        return out

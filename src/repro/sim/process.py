@@ -1,0 +1,132 @@
+"""Generator-coroutine processes for the simulation kernel.
+
+A process wraps a Python generator that yields :class:`~repro.sim.events.Event`
+instances.  The process suspends on each yielded event and resumes with the
+event's value (or has the event's exception thrown in).  A process is itself
+an event: it triggers when the generator returns (value = ``StopIteration``
+value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from .events import Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+__all__ = ["Process"]
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """An active simulation entity driven by a generator."""
+
+    __slots__ = ("gen", "name", "_target", "_alive")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = ""):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(f"{gen!r} is not a generator")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = None
+        self._alive = True
+        # Kick off at the current time via an immediately-successful event.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._alive
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it handles the first interrupt queues both.
+        """
+        if not self._alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        ev = Event(self.sim)
+        ev.callbacks.append(self._resume_interrupt)
+        ev.succeed(Interrupt(cause))
+
+    # -- internal -------------------------------------------------------
+    def _resume_interrupt(self, trigger: Event) -> None:
+        if not self._alive:
+            return  # finished before the interrupt was delivered
+        # Detach from whatever we were waiting on; its later processing
+        # must not resume us again.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._step(trigger.value, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        if not self._alive:
+            return
+        if event._ok:
+            self._step(event.value, throw=False)
+        else:
+            event.defuse()
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        # Iterative drive loop: yielding an already-processed event resumes
+        # the generator immediately without growing the Python stack.
+        sim = self.sim
+        while True:
+            self._target = None
+            sim._active_process = self
+            try:
+                if throw:
+                    target = self.gen.throw(value)
+                else:
+                    target = self.gen.send(value)
+            except StopIteration as stop:
+                self._alive = False
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._alive = False
+                self.fail(exc)
+                return
+            finally:
+                sim._active_process = None
+            if not isinstance(target, Event):
+                value = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                throw = True
+                continue
+            if target.sim is not sim:
+                value = SimulationError(
+                    "yielded event belongs to another simulator"
+                )
+                throw = True
+                continue
+            if target.callbacks is None:
+                # Already processed: resume immediately with its value.
+                if target._ok:
+                    value, throw = target.value, False
+                else:
+                    target.defuse()
+                    value, throw = target.value, True
+                continue
+            self._target = target
+            target.callbacks.append(self._resume)
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Process {self.name!r} {'alive' if self._alive else 'done'}>"

@@ -1,0 +1,51 @@
+"""Workloads: YCSB generators and the paper's application models."""
+
+from .cdr import CdrProfile, CdrReport, load_subscribers, run_pes
+from .keys import Keyspace, make_key, make_value
+from .cachelayer import CacheLayer, CacheStats
+from .records import Field, RecordError, RecordSchema
+from .mapreduce import (
+    FIG2_APPS,
+    AppProfile,
+    HdfsBackend,
+    HydraBackend,
+    HydraTcpBackend,
+    run_job,
+)
+from .sensemaking import (
+    DbClient,
+    G2Profile,
+    InMemoryDatabase,
+    hydra_g2_cluster,
+    preload_entities,
+    run_engines,
+)
+from .ycsb import (
+    OP_GET,
+    OP_UPDATE,
+    PAPER_WORKLOADS,
+    YcsbSpec,
+    YcsbWorkload,
+    paper_spec,
+)
+from .zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    zeta,
+)
+
+__all__ = [
+    "Keyspace", "make_key", "make_value",
+    "YcsbSpec", "YcsbWorkload", "PAPER_WORKLOADS", "paper_spec",
+    "OP_GET", "OP_UPDATE",
+    "ZipfianGenerator", "ScrambledZipfianGenerator", "UniformGenerator",
+    "zeta",
+    "AppProfile", "FIG2_APPS", "HdfsBackend", "HydraBackend",
+    "HydraTcpBackend", "run_job",
+    "G2Profile", "InMemoryDatabase", "DbClient", "run_engines",
+    "preload_entities", "hydra_g2_cluster",
+    "CdrProfile", "CdrReport", "load_subscribers", "run_pes",
+    "Field", "RecordSchema", "RecordError",
+    "CacheLayer", "CacheStats",
+]

@@ -1,0 +1,119 @@
+"""The HDFS cache layer of §2.1: prefetch, serve, evict.
+
+The paper deploys HydraDB as a *cache* in front of HDFS: a thin layer
+"takes responsibility to prefetch input from HDFS into a HydraDB cluster,
+service the I/O requests from upper-layer applications, [and] conduct
+eviction".  HydraDB itself stays a plain reliable KV store (§1: usable
+"either as a cache or a reliable storage system" — the cache policy lives
+here, above the store).
+
+:class:`CacheLayer` keeps an LRU over chunk keys with a chunk-capacity
+bound; reads that miss are demand-filled from the backing source (paying
+the slow-path fetch latency), evicting the coldest chunk first when full.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from ..core import HydraClient
+from ..protocol import Status
+
+__all__ = ["CacheLayer", "CacheStats"]
+
+
+class CacheStats:
+    __slots__ = ("hits", "misses", "evictions", "prefetched")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.prefetched = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "prefetched": self.prefetched,
+                "hit_rate": self.hit_rate}
+
+
+class CacheLayer:
+    """LRU chunk cache over a HydraDB client.
+
+    ``source_fetch_ns(key) -> (delay_ns, value_bytes)`` models the backing
+    store (HDFS): how long a miss takes and what it returns.
+    """
+
+    def __init__(self, client: HydraClient, capacity_chunks: int,
+                 source_fetch_ns: Callable[[bytes], tuple[int, bytes]]):
+        if capacity_chunks <= 0:
+            raise ValueError("capacity must be positive")
+        self.client = client
+        self.sim = client.sim
+        self.capacity = capacity_chunks
+        self.source_fetch_ns = source_fetch_ns
+        #: LRU order: oldest first. Values are unused (key set only).
+        self._lru: "OrderedDict[bytes, None]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._lru
+
+    # -- internals (generators: they drive the KV protocol) ----------------
+    def _touch(self, key: bytes) -> None:
+        self._lru.move_to_end(key)
+
+    def _admit(self, key: bytes, value: bytes):
+        while len(self._lru) >= self.capacity:
+            victim, _ = self._lru.popitem(last=False)
+            status = yield from self.client.delete(victim)
+            if status is Status.OK:
+                self.stats.evictions += 1
+        status = yield from self.client.put(key, value)
+        if status is not Status.OK:
+            raise RuntimeError(f"cache admit failed: {status.name}")
+        self._lru[key] = None
+
+    # -- public API ------------------------------------------------------
+    def prefetch(self, keys):
+        """§2.1 prefetch phase: pull chunks from the source into the cache
+        (evicting as needed). Run as a generator."""
+        for key in keys:
+            if key in self._lru:
+                self._touch(key)
+                continue
+            delay, value = self.source_fetch_ns(key)
+            yield self.sim.timeout(delay)
+            yield from self._admit(key, value)
+            self.stats.prefetched += 1
+
+    def read(self, key: bytes):
+        """Serve a chunk: HydraDB fast path on hit, demand-fill on miss."""
+        if key in self._lru:
+            value = yield from self.client.get(key)
+            if value is not None:
+                self._touch(key)
+                self.stats.hits += 1
+                return value
+            # Raced with an eviction/delete elsewhere: fall through.
+            self._lru.pop(key, None)
+        self.stats.misses += 1
+        delay, value = self.source_fetch_ns(key)
+        yield self.sim.timeout(delay)
+        yield from self._admit(key, value)
+        return value
+
+    def invalidate(self, key: bytes):
+        """Drop a chunk (e.g. the underlying HDFS file changed)."""
+        if key in self._lru:
+            self._lru.pop(key)
+            yield from self.client.delete(key)

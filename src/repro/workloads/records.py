@@ -1,0 +1,163 @@
+"""Columnar-record codec for the G2 integration (§2.2).
+
+The paper reorganizes relational tables as key-value structures "with the
+help of protobuf to extract attributes residing in different columns".
+This module provides that piece: a tiny schema-driven, tag-length-value
+codec (protobuf-flavoured, no external dependency) that flattens a typed
+record into the value bytes of a key-value pair and back.
+
+Supported field types: ``int`` (zig-zag varint), ``str`` (UTF-8), and
+``bytes``.  Unknown tags are skipped on decode, so schema evolution
+(adding fields) is backward compatible, like protobuf's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["Field", "RecordSchema", "RecordError"]
+
+_WIRE_VARINT = 0
+_WIRE_BYTES = 1
+
+
+class RecordError(Exception):
+    """Malformed record bytes or schema violation."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One schema column: wire tag, name, and Python type."""
+
+    tag: int
+    name: str
+    ftype: type  # int | str | bytes
+
+    def __post_init__(self):
+        if not 1 <= self.tag <= 0x1FFFFFFF:
+            raise ValueError(f"tag {self.tag} out of range")
+        if self.ftype not in (int, str, bytes):
+            raise ValueError(f"unsupported field type {self.ftype!r}")
+
+
+def _encode_zigzag(n: int) -> int:
+    return (n << 1) if n >= 0 else (((-n) << 1) - 1)
+
+
+def _decode_zigzag(z: int) -> int:
+    return (z >> 1) if (z & 1) == 0 else -((z + 1) >> 1)
+
+
+def _write_varint(out: bytearray, n: int) -> None:
+    if n < 0:
+        raise RecordError("varint must be non-negative")
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    shift = 0
+    result = 0
+    while True:
+        if pos >= len(data):
+            raise RecordError("truncated varint")
+        b = data[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise RecordError("varint too long")
+
+
+class RecordSchema:
+    """An ordered set of typed fields with tag-based wire format."""
+
+    def __init__(self, name: str, fields: Iterable[Field]):
+        self.name = name
+        self.fields = tuple(fields)
+        tags = [f.tag for f in self.fields]
+        names = [f.name for f in self.fields]
+        if len(set(tags)) != len(tags):
+            raise ValueError("duplicate field tags")
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names")
+        self._by_tag = {f.tag: f for f in self.fields}
+        self._by_name = {f.name: f for f in self.fields}
+
+    def encode(self, record: dict[str, Any]) -> bytes:
+        """Serialize; missing fields are omitted (decoded as absent)."""
+        out = bytearray()
+        for field in self.fields:
+            if field.name not in record:
+                continue
+            value = record[field.name]
+            if field.ftype is int:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise RecordError(
+                        f"{field.name}: expected int, got {type(value)}")
+                _write_varint(out, (field.tag << 3) | _WIRE_VARINT)
+                _write_varint(out, _encode_zigzag(value))
+            else:
+                if field.ftype is str:
+                    if not isinstance(value, str):
+                        raise RecordError(
+                            f"{field.name}: expected str, got {type(value)}")
+                    blob = value.encode("utf-8")
+                else:
+                    if not isinstance(value, (bytes, bytearray)):
+                        raise RecordError(
+                            f"{field.name}: expected bytes, got "
+                            f"{type(value)}")
+                    blob = bytes(value)
+                _write_varint(out, (field.tag << 3) | _WIRE_BYTES)
+                _write_varint(out, len(blob))
+                out += blob
+        return bytes(out)
+
+    def decode(self, data: bytes) -> dict[str, Any]:
+        """Parse; unknown tags are skipped (forward compatibility)."""
+        record: dict[str, Any] = {}
+        pos = 0
+        while pos < len(data):
+            header, pos = _read_varint(data, pos)
+            tag, wire = header >> 3, header & 0x7
+            if wire == _WIRE_VARINT:
+                z, pos = _read_varint(data, pos)
+                value: Any = _decode_zigzag(z)
+            elif wire == _WIRE_BYTES:
+                length, pos = _read_varint(data, pos)
+                if pos + length > len(data):
+                    raise RecordError("truncated bytes field")
+                value = data[pos:pos + length]
+                pos += length
+            else:
+                raise RecordError(f"unknown wire type {wire}")
+            field = self._by_tag.get(tag)
+            if field is None:
+                continue  # schema evolution: skip unknown fields
+            if field.ftype is int:
+                if wire != _WIRE_VARINT:
+                    raise RecordError(f"{field.name}: wire type mismatch")
+                record[field.name] = value
+            elif field.ftype is str:
+                if wire != _WIRE_BYTES:
+                    raise RecordError(f"{field.name}: wire type mismatch")
+                record[field.name] = value.decode("utf-8")
+            else:
+                if wire != _WIRE_BYTES:
+                    raise RecordError(f"{field.name}: wire type mismatch")
+                record[field.name] = value
+        return record
+
+    def key_for(self, table: str, primary_key: Any) -> bytes:
+        """The KV key a row maps to (table-qualified)."""
+        return f"{table}/{primary_key}".encode("utf-8")

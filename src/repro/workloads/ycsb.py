@@ -1,0 +1,106 @@
+"""YCSB workload specification and pre-generation (§6, Evaluation Benchmark).
+
+The paper pre-generates all requests before measuring (YCSB generation is
+CPU-heavy); we do the same: a :class:`YcsbWorkload` materializes NumPy
+arrays of (op, key-index) pairs, sliced per client.  The six §6 workloads
+are provided as ready-made specs: {50, 90, 100}% GET x {zipfian, uniform}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .keys import Keyspace
+from .zipf import ScrambledZipfianGenerator, UniformGenerator
+
+__all__ = ["OP_GET", "OP_UPDATE", "YcsbSpec", "YcsbWorkload",
+           "PAPER_WORKLOADS", "paper_spec"]
+
+OP_GET = 0
+OP_UPDATE = 1
+
+
+@dataclass(frozen=True)
+class YcsbSpec:
+    """Parameters of one YCSB run."""
+
+    name: str
+    n_records: int = 100_000
+    n_ops: int = 100_000
+    get_fraction: float = 1.0
+    distribution: str = "zipfian"  # "zipfian" | "uniform"
+    theta: float = 0.99
+    key_len: int = 16
+    value_len: int = 32
+    seed: int = 42
+
+    def scaled(self, records: int | None = None,
+               ops: int | None = None) -> "YcsbSpec":
+        return replace(self, n_records=records or self.n_records,
+                       n_ops=ops or self.n_ops)
+
+
+#: The six §6 workloads in the paper's Fig. 10 order:
+#: (a)-(c) Zipfian at 50/90/100% GET, (d)-(f) Uniform likewise.
+PAPER_WORKLOADS: tuple[YcsbSpec, ...] = (
+    YcsbSpec(name="(a) 50% GET zipf", get_fraction=0.5,
+             distribution="zipfian"),
+    YcsbSpec(name="(b) 90% GET zipf", get_fraction=0.9,
+             distribution="zipfian"),
+    YcsbSpec(name="(c) 100% GET zipf", get_fraction=1.0,
+             distribution="zipfian"),
+    YcsbSpec(name="(d) 50% GET unif", get_fraction=0.5,
+             distribution="uniform"),
+    YcsbSpec(name="(e) 90% GET unif", get_fraction=0.9,
+             distribution="uniform"),
+    YcsbSpec(name="(f) 100% GET unif", get_fraction=1.0,
+             distribution="uniform"),
+)
+
+
+def paper_spec(get_fraction: float, distribution: str,
+               **overrides) -> YcsbSpec:
+    for spec in PAPER_WORKLOADS:
+        if (spec.get_fraction == get_fraction
+                and spec.distribution == distribution):
+            return replace(spec, **overrides) if overrides else spec
+    raise KeyError(f"no paper workload with {get_fraction=} {distribution=}")
+
+
+class YcsbWorkload:
+    """Pre-generated request stream over a keyspace."""
+
+    def __init__(self, spec: YcsbSpec):
+        self.spec = spec
+        self.keyspace = Keyspace(spec.n_records, spec.key_len, spec.value_len)
+        rng = np.random.default_rng(spec.seed)
+        if spec.distribution == "zipfian":
+            gen = ScrambledZipfianGenerator(spec.n_records, spec.theta, rng)
+        elif spec.distribution == "uniform":
+            gen = UniformGenerator(spec.n_records, rng)
+        else:
+            raise ValueError(f"unknown distribution {spec.distribution!r}")
+        self.key_indices = gen.sample(spec.n_ops)
+        self.ops = np.where(rng.random(spec.n_ops) < spec.get_fraction,
+                            OP_GET, OP_UPDATE).astype(np.int8)
+
+    def __len__(self) -> int:
+        return self.spec.n_ops
+
+    def slice_for(self, client_idx: int, n_clients: int
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """This client's (ops, key_indices) — contiguous stripes."""
+        if not 0 <= client_idx < n_clients:
+            raise ValueError("client index out of range")
+        per = len(self) // n_clients
+        lo = client_idx * per
+        hi = len(self) if client_idx == n_clients - 1 else lo + per
+        return self.ops[lo:hi], self.key_indices[lo:hi]
+
+    def hot_keys(self, top: int = 10) -> list[int]:
+        """The most frequently accessed key indices (skew diagnostics)."""
+        values, counts = np.unique(self.key_indices, return_counts=True)
+        order = np.argsort(counts)[::-1][:top]
+        return [int(v) for v in values[order]]

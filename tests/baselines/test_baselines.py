@@ -1,0 +1,220 @@
+"""Baseline store models: correctness and architectural cost ordering."""
+
+import pytest
+
+from repro.baselines import (
+    MemcachedClient,
+    MemcachedServer,
+    RamcloudClient,
+    RamcloudServer,
+    RedisClient,
+    RedisServer,
+)
+from repro.config import SimConfig
+from repro.hardware import Machine
+from repro.rdma import Fabric, TcpNetwork
+from repro.sim import Simulator
+
+
+class Rig:
+    def __init__(self, n_machines=2):
+        self.config = SimConfig()
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, self.config)
+        self.tcpnet = TcpNetwork(self.sim, self.config)
+        self.machines = []
+        for i in range(n_machines):
+            m = Machine(self.sim, i, self.config)
+            self.fabric.attach(m)
+            self.tcpnet.attach(m)
+            self.machines.append(m)
+
+
+def build(kind):
+    rig = Rig()
+    if kind == "memcached":
+        server = MemcachedServer(rig.sim, rig.config, rig.machines[0])
+        client = MemcachedClient(rig.sim, rig.config, rig.machines[1], server)
+    elif kind == "redis":
+        server = RedisServer(rig.sim, rig.config, rig.machines[0])
+        client = RedisClient(rig.sim, rig.config, rig.machines[1], server)
+    else:
+        server = RamcloudServer(rig.sim, rig.config, rig.machines[0])
+        client = RamcloudClient(rig.sim, rig.config, rig.machines[1], server)
+    server.start()
+    return rig, server, client
+
+
+@pytest.mark.parametrize("kind", ["memcached", "redis", "ramcloud"])
+def test_set_get_delete_roundtrip(kind):
+    rig, _server, client = build(kind)
+
+    def app():
+        assert (yield from client.put(b"k", b"v")) is not None
+        assert (yield from client.get(b"k")) == b"v"
+        assert (yield from client.get(b"nope")) is None
+        yield from client.delete(b"k")
+        assert (yield from client.get(b"k")) is None
+
+    rig.sim.run(until=rig.sim.process(app()))
+
+
+@pytest.mark.parametrize("kind", ["memcached", "redis", "ramcloud"])
+def test_update_overwrites(kind):
+    rig, _server, client = build(kind)
+
+    def app():
+        yield from client.put(b"k", b"v1")
+        yield from client.update(b"k", b"v2")
+        assert (yield from client.get(b"k")) == b"v2"
+
+    rig.sim.run(until=rig.sim.process(app()))
+
+
+def test_redis_shards_keys_across_instances():
+    rig, server, client = build("redis")
+
+    def app():
+        for i in range(64):
+            yield from client.put(f"key-{i}".encode(), b"v")
+
+    rig.sim.run(until=rig.sim.process(app()))
+    sizes = [len(inst.store) for inst in server.instances]
+    assert sum(sizes) == 64
+    assert sum(1 for s in sizes if s > 0) >= 5
+
+
+def test_ramcloud_latency_far_below_tcp_baselines():
+    def one_get_latency(kind):
+        rig, _server, client = build(kind)
+        out = {}
+
+        def app():
+            yield from client.put(b"k", b"v" * 32)
+            t0 = rig.sim.now
+            yield from client.get(b"k")
+            out["lat"] = rig.sim.now - t0
+
+        rig.sim.run(until=rig.sim.process(app()))
+        return out["lat"]
+
+    lat_rc = one_get_latency("ramcloud")
+    lat_mc = one_get_latency("memcached")
+    lat_rd = one_get_latency("redis")
+    assert lat_rc < lat_mc / 3
+    assert lat_rc < lat_rd / 3
+    assert lat_rc < 30_000  # microsecond class
+
+
+def test_hydradb_latency_below_all_baselines():
+    from repro import HydraCluster
+
+    cluster = HydraCluster(n_server_machines=1, shards_per_server=4)
+    cluster.start()
+    hclient = cluster.client()
+    out = {}
+
+    def app():
+        yield from hclient.put(b"k", b"v" * 32)
+        t0 = cluster.sim.now
+        yield from hclient.get(b"k")
+        out["msg"] = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        yield from hclient.get(b"k")
+        out["read"] = cluster.sim.now - t0
+
+    cluster.run(app())
+
+    def one_get_latency(kind):
+        rig, _server, client = build(kind)
+        res = {}
+
+        def app2():
+            yield from client.put(b"k", b"v" * 32)
+            t0 = rig.sim.now
+            yield from client.get(b"k")
+            res["lat"] = rig.sim.now - t0
+
+        rig.sim.run(until=rig.sim.process(app2()))
+        return res["lat"]
+
+    for kind in ("memcached", "redis", "ramcloud"):
+        assert out["msg"] < one_get_latency(kind)
+    # Unloaded baseline TCP latency is ~50x the RDMA-read GET.
+    assert one_get_latency("memcached") > 20 * out["read"]
+
+
+def test_memcached_global_lock_limits_concurrency():
+    rig, server, client0 = build("memcached")
+    clients = [client0] + [
+        MemcachedClient(rig.sim, rig.config, rig.machines[1], server)
+        for _ in range(7)
+    ]
+    done = {}
+
+    def worker(c, wid):
+        for i in range(20):
+            yield from c.put(f"w{wid}-{i}".encode(), b"x" * 16)
+        done[wid] = rig.sim.now
+
+    procs = [rig.sim.process(worker(c, i)) for i, c in enumerate(clients)]
+    rig.sim.run(until=rig.sim.all_of(procs))
+    assert len(done) == 8
+    assert len(server.store) == 160
+
+
+def test_double_start_rejected():
+    for kind in ("memcached", "ramcloud"):
+        rig, server, _client = build(kind)
+        with pytest.raises(RuntimeError):
+            server.start()
+
+
+def test_redis_skew_degrades_throughput():
+    """§3's critique: without rebalancing, skew rapidly degrades Redis —
+    the hot instance's single thread becomes the whole system's ceiling."""
+    from repro.bench.runner import drive_ycsb, preload_dicts
+    from repro.index.hashing import hash64
+    from repro.workloads.ycsb import YcsbSpec, YcsbWorkload
+
+    def throughput(distribution):
+        rig = Rig(n_machines=6)
+        server = RedisServer(rig.sim, rig.config, rig.machines[0])
+        # A tiny keyspace makes the zipfian head brutal.
+        wl = YcsbWorkload(YcsbSpec(name="t", n_records=60, n_ops=3000,
+                                   get_fraction=0.5,
+                                   distribution=distribution))
+        n_inst = len(server.instances)
+        preload_dicts([i.store for i in server.instances],
+                      lambda k: hash64(k) % n_inst, wl)
+        server.start()
+        clients = [RedisClient(rig.sim, rig.config,
+                               rig.machines[1 + i % 5], server)
+                   for i in range(24)]
+        return drive_ycsb(rig.sim, clients, wl).throughput_mops
+
+    t_unif = throughput("uniform")
+    t_zipf = throughput("zipfian")
+    assert t_zipf < t_unif
+
+
+def test_hydradb_robust_under_same_skew():
+    """§4.1.1's counterpoint: remote-pointer caching absorbs hot reads, so
+    HydraDB degrades far less than Redis under identical skew."""
+    from repro import HydraCluster
+    from repro.bench.runner import run_hydra_ycsb
+    from repro.workloads.ycsb import YcsbSpec, YcsbWorkload
+
+    def throughput(distribution):
+        wl = YcsbWorkload(YcsbSpec(name="t", n_records=60, n_ops=3000,
+                                   get_fraction=0.5,
+                                   distribution=distribution))
+        cluster = HydraCluster(n_server_machines=1, shards_per_server=8,
+                               n_client_machines=5)
+        return run_hydra_ycsb(cluster, wl, n_clients=24,
+                              clients_per_machine=5).throughput_mops
+
+    t_unif = throughput("uniform")
+    t_zipf = throughput("zipfian")
+    # Far gentler degradation than the Redis case above.
+    assert t_zipf > 0.5 * t_unif

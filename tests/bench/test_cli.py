@@ -1,0 +1,41 @@
+"""The `python -m repro.bench` command-line harness."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_every_registered_name_is_unique_and_documented():
+    assert len(EXPERIMENTS) >= 12
+    for name, (title, fn, takes_scale) in EXPERIMENTS.items():
+        assert title and callable(fn)
+        assert isinstance(takes_scale, bool)
+
+
+def test_unknown_figure_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["no-such-figure"])
+
+
+def test_single_figure_runs_and_prints(capsys):
+    rc = main(["ab-sleep", "--scale", "0.1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sleep backoff" in out.lower()
+    assert "rows in" in out
+
+
+def test_out_file_appended(tmp_path, capsys):
+    target = tmp_path / "results.txt"
+    assert main(["ab-ack", "--out", str(target)]) == 0
+    first = target.read_text()
+    assert "ack interval" in first
+    assert main(["ab-ack", "--out", str(target)]) == 0
+    assert len(target.read_text()) > len(first)  # appended, not replaced
+
+
+def test_scale_flag_forwarded(capsys):
+    rc = main(["fig11", "--scale", "0.06"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "remote-pointer" in out.lower() or "hit" in out.lower()

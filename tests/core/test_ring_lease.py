@@ -1,0 +1,161 @@
+"""Consistent hashing ring and lease manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import HydraConfig
+from repro.core import HashRing, LeaseManager
+from repro.index.hashing import hash64
+from repro.sim import Simulator
+
+
+def test_ring_basic_membership():
+    ring = HashRing()
+    ring.add("s0")
+    ring.add("s1")
+    assert len(ring) == 2 and "s0" in ring
+    ring.remove("s0")
+    assert "s0" not in ring
+    assert ring.owner_of_key(b"anything") == "s1"
+
+
+def test_ring_duplicate_and_missing_rejected():
+    ring = HashRing()
+    ring.add("s0")
+    with pytest.raises(ValueError):
+        ring.add("s0")
+    with pytest.raises(ValueError):
+        ring.remove("ghost")
+
+
+def test_ring_empty_lookup_raises():
+    with pytest.raises(LookupError):
+        HashRing().owner(123)
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+
+
+def test_ring_deterministic_ownership():
+    r1, r2 = HashRing(), HashRing()
+    for r in (r1, r2):
+        for s in ("a", "b", "c"):
+            r.add(s)
+    keys = [f"key-{i}".encode() for i in range(100)]
+    assert [r1.owner_of_key(k) for k in keys] == \
+           [r2.owner_of_key(k) for k in keys]
+
+
+def test_ring_balance_with_vnodes():
+    ring = HashRing(vnodes=128)
+    shards = [f"s{i}" for i in range(4)]
+    for s in shards:
+        ring.add(s)
+    counts = {s: 0 for s in shards}
+    for i in range(4000):
+        counts[ring.owner_of_key(f"key-{i}".encode())] += 1
+    for s in shards:
+        assert 0.5 < counts[s] / 1000 < 1.6, f"imbalanced: {counts}"
+
+
+def test_ring_monotonicity_on_add():
+    """Adding a member only steals keys; it never shuffles between others."""
+    ring = HashRing()
+    for s in ("a", "b", "c"):
+        ring.add(s)
+    keys = [f"key-{i}".encode() for i in range(2000)]
+    before = {k: ring.owner_of_key(k) for k in keys}
+    ring.add("d")
+    for k in keys:
+        owner = ring.owner_of_key(k)
+        assert owner == before[k] or owner == "d"
+
+
+def test_ring_remove_redistributes_only_removed_keys():
+    ring = HashRing()
+    for s in ("a", "b", "c"):
+        ring.add(s)
+    keys = [f"key-{i}".encode() for i in range(2000)]
+    before = {k: ring.owner_of_key(k) for k in keys}
+    ring.remove("b")
+    for k in keys:
+        if before[k] != "b":
+            assert ring.owner_of_key(k) == before[k]
+        else:
+            assert ring.owner_of_key(k) in ("a", "c")
+
+
+def test_ring_successor_hint():
+    ring = HashRing()
+    ring.add("only")
+    assert ring.successor("only") is None
+    ring.add("other")
+    assert ring.successor("only") == "other"
+    assert ring.successor("ghost") is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(st.integers(0, 50), min_size=1, max_size=8),
+       st.integers(0, 2**64 - 1))
+def test_ring_owner_always_a_member(members, hashcode):
+    ring = HashRing(vnodes=8)
+    for m in members:
+        ring.add(m)
+    assert ring.owner(hashcode) in members
+
+
+# -- leases ---------------------------------------------------------------
+
+@pytest.fixture()
+def lm():
+    sim = Simulator()
+    return sim, LeaseManager(sim, HydraConfig())
+
+
+def test_lease_duration_scales_with_popularity(lm):
+    _, mgr = lm
+    cfg = HydraConfig()
+    assert mgr.duration_ns(1) == cfg.lease_min_ns
+    assert mgr.duration_ns(2) == 2 * cfg.lease_min_ns
+    assert mgr.duration_ns(4) == 4 * cfg.lease_min_ns
+    assert mgr.duration_ns(64) == cfg.lease_max_ns
+    assert mgr.duration_ns(10**6) == cfg.lease_max_ns  # saturates
+    assert mgr.duration_ns(0) == cfg.lease_min_ns      # clamped
+
+
+def test_lease_insert_then_gets_extend(lm):
+    sim, mgr = lm
+    e0 = mgr.on_insert(100)
+    assert e0 == sim.now + HydraConfig().lease_min_ns
+    e1 = mgr.on_get(100)
+    e2 = mgr.on_get(100)
+    assert e2 >= e1 >= e0
+    assert mgr.expiry(100) == e2
+    assert len(mgr) == 1
+
+
+def test_lease_never_shrinks(lm):
+    sim, mgr = lm
+    mgr.on_insert(7)
+    for _ in range(10):
+        mgr.on_get(7)
+    high = mgr.expiry(7)
+    # A single get later cannot reduce the recorded expiry.
+    assert mgr.on_get(7) >= high
+
+
+def test_lease_freeze_removes_state(lm):
+    sim, mgr = lm
+    mgr.on_insert(5)
+    expiry = mgr.on_get(5)
+    frozen = mgr.freeze(5)
+    assert frozen == expiry
+    assert mgr.expiry(5) == 0
+    assert len(mgr) == 0
+    # Freezing an unknown offset is safe and conservative (now).
+    assert mgr.freeze(999) == sim.now
+
+
+def test_lease_on_get_of_unknown_offset_is_defensive(lm):
+    _, mgr = lm
+    e = mgr.on_get(42)
+    assert e > 0 and len(mgr) == 1

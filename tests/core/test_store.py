@@ -1,0 +1,206 @@
+"""ShardStore: the lock-free single-owner storage engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.core import ShardStore
+from repro.hardware import Machine
+from repro.kvmem import GUARD_DEAD, GUARD_LIVE, parse_item, read_guardian
+from repro.protocol import Op, Status
+from repro.rdma import Fabric
+from repro.sim import Simulator
+
+
+def make_store(config=None, **kw):
+    config = config or SimConfig()
+    sim = Simulator()
+    fabric = Fabric(sim, config)
+    machine = Machine(sim, 0, config)
+    fabric.attach(machine)
+    return sim, ShardStore(sim, config, machine.nic, 0, "s0", **kw)
+
+
+def test_put_then_get():
+    _, store = make_store()
+    res = store.upsert(b"k", b"v1", Op.PUT)
+    assert res.status is Status.OK and res.version == 1
+    got = store.get(b"k")
+    assert got.status is Status.OK and got.value == b"v1"
+    assert got.version == 1 and got.offset == res.offset
+    assert got.lease_expiry_ns > 0
+    assert len(store) == 1
+
+
+def test_get_missing():
+    _, store = make_store()
+    res = store.get(b"nope")
+    assert res.status is Status.NOT_FOUND and res.cost_ns > 0
+
+
+def test_insert_semantics():
+    _, store = make_store()
+    assert store.upsert(b"k", b"v", Op.INSERT).status is Status.OK
+    assert store.upsert(b"k", b"v2", Op.INSERT).status is Status.EXISTS
+    assert store.get(b"k").value == b"v"
+
+
+def test_update_semantics():
+    _, store = make_store()
+    assert store.upsert(b"k", b"v", Op.UPDATE).status is Status.NOT_FOUND
+    store.upsert(b"k", b"v1", Op.PUT)
+    res = store.upsert(b"k", b"v2", Op.UPDATE)
+    assert res.status is Status.OK and res.version == 2
+    assert store.get(b"k").value == b"v2"
+
+
+def test_update_is_out_of_place_and_kills_old_guardian():
+    _, store = make_store()
+    r1 = store.upsert(b"k", b"v1", Op.PUT)
+    r2 = store.upsert(b"k", b"v2", Op.PUT)
+    assert r2.offset != r1.offset
+    assert r2.retired_offset == r1.offset
+    # Old item: guardian flipped to DEAD, content intact (readers detect).
+    assert read_guardian(store.region, r1.offset, 1, 2) == GUARD_DEAD
+    old = parse_item(store.region.read(r1.offset, r1.extent))
+    assert old is not None and not old.live and old.value == b"v1"
+    # New item live.
+    assert read_guardian(store.region, r2.offset, 1, 2) == GUARD_LIVE
+
+
+def test_old_extent_not_reused_before_lease_expiry():
+    sim, store = make_store()
+    r1 = store.upsert(b"k", b"v1", Op.PUT)
+    store.get(b"k")  # give it a lease
+    store.upsert(b"k", b"v2", Op.PUT)
+    # The old extent is retired but still allocated (lease not expired).
+    assert store.alloc.live_extents == 2
+    assert store.reclaimer.pending == 1
+    store.reclaimer.start()
+    sim.run(until=SimConfig().hydra.lease_min_ns * 2)
+    assert store.alloc.live_extents == 1
+    del r1
+
+
+def test_delete():
+    _, store = make_store()
+    store.upsert(b"k", b"v", Op.PUT)
+    res = store.remove(b"k")
+    assert res.status is Status.OK and res.retired_offset >= 0
+    assert store.get(b"k").status is Status.NOT_FOUND
+    assert store.remove(b"k").status is Status.NOT_FOUND
+    assert len(store) == 0
+
+
+def test_lease_renew():
+    _, store = make_store()
+    assert store.lease_renew(b"k").status is Status.NOT_FOUND
+    r = store.upsert(b"k", b"v", Op.PUT)
+    res = store.lease_renew(b"k")
+    assert res.status is Status.OK
+    assert res.lease_expiry_ns >= r.lease_expiry_ns
+    assert res.offset == r.offset and res.extent == r.extent
+
+
+def test_versions_monotonic_per_key():
+    _, store = make_store()
+    for i in range(1, 6):
+        res = store.upsert(b"k", f"v{i}".encode(), Op.PUT)
+        assert res.version == i
+    # Delete + reinsert restarts versioning (fresh key).
+    store.remove(b"k")
+    assert store.upsert(b"k", b"new", Op.PUT).version == 1
+
+
+def test_apply_replica_forces_version():
+    _, store = make_store()
+    res = store.apply(Op.PUT, b"k", b"v", version=17)
+    assert res.status is Status.OK and res.version == 17
+    assert store.get(b"k").version == 17
+    res = store.apply(Op.DELETE, b"k", b"")
+    assert res.status is Status.OK
+    with pytest.raises(ValueError):
+        store.apply(Op.GET, b"k", b"")
+
+
+def test_get_cost_scales_with_value_size():
+    _, store = make_store()
+    store.upsert(b"small", b"v" * 8, Op.PUT)
+    store.upsert(b"large", b"v" * 4000, Op.PUT)
+    c_small = store.get(b"small").cost_ns
+    c_large = store.get(b"large").cost_ns
+    assert c_large > c_small + 200
+
+
+def test_numa_remote_mode_costs_more():
+    _, local = make_store(numa_mode="local")
+    _, remote = make_store(numa_mode="remote")
+    _, inter = make_store(numa_mode="interleaved")
+    for s in (local, remote, inter):
+        s.upsert(b"k", b"v" * 32, Op.PUT)
+    cl = local.get(b"k").cost_ns
+    ci = inter.get(b"k").cost_ns
+    cr = remote.get(b"k").cost_ns
+    assert cl < ci < cr
+
+
+def test_invalid_modes_rejected():
+    with pytest.raises(ValueError):
+        make_store(numa_mode="bogus")
+    with pytest.raises(ValueError):
+        make_store(table_kind="btree")
+
+
+def test_chained_table_kind_works():
+    _, store = make_store(table_kind="chained")
+    store.upsert(b"k", b"v", Op.PUT)
+    assert store.get(b"k").value == b"v"
+
+
+def test_arena_exhaustion_returns_error_status():
+    cfg = SimConfig()
+    cfg = cfg.with_overrides(memory={"arena_bytes": 256,
+                                     "size_classes": (128,)})
+    _, store = make_store(cfg)
+    assert store.upsert(b"a", b"v", Op.PUT).status is Status.OK
+    assert store.upsert(b"b", b"v", Op.PUT).status is Status.OK
+    assert store.upsert(b"c", b"v", Op.PUT).status is Status.ERROR
+
+
+def test_dump_roundtrip():
+    _, store = make_store()
+    expected = {}
+    for i in range(50):
+        k, v = f"k{i}".encode(), f"v{i}".encode()
+        store.upsert(k, v, Op.PUT)
+        expected[k] = v
+    store.remove(b"k7")
+    del expected[b"k7"]
+    assert store.dump() == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["put", "delete", "get"]),
+              st.integers(0, 15), st.binary(max_size=40)),
+    max_size=60,
+))
+def test_store_behaves_like_dict(ops):
+    _, store = make_store()
+    model: dict[bytes, bytes] = {}
+    for op, ki, val in ops:
+        key = f"key-{ki}".encode()
+        if op == "put":
+            assert store.upsert(key, val, Op.PUT).status is Status.OK
+            model[key] = val
+        elif op == "delete":
+            expected = Status.OK if key in model else Status.NOT_FOUND
+            assert store.remove(key).status is expected
+            model.pop(key, None)
+        else:
+            res = store.get(key)
+            if key in model:
+                assert res.status is Status.OK and res.value == model[key]
+            else:
+                assert res.status is Status.NOT_FOUND
+    assert store.dump() == model

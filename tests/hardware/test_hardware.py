@@ -1,0 +1,118 @@
+"""Machine / core / NUMA model tests."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hardware import Core, CoreExhausted, Machine, NumaTopology
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def machine():
+    sim = Simulator()
+    return sim, Machine(sim, 0, SimConfig(), n_numa=2, cores_per_numa=2)
+
+
+def test_machine_core_layout(machine):
+    _, m = machine
+    assert len(m.cores) == 4
+    assert [c.numa_domain for c in m.cores] == [0, 0, 1, 1]
+    assert [c.core_id for c in m.cores] == [0, 1, 2, 3]
+
+
+def test_allocate_core_pins_and_exhausts(machine):
+    _, m = machine
+    c0 = m.allocate_core("shard0")
+    assert c0.pinned and c0.owner == "shard0"
+    m.allocate_core("a")
+    m.allocate_core("b")
+    m.allocate_core("c")
+    with pytest.raises(CoreExhausted):
+        m.allocate_core("overflow")
+
+
+def test_allocate_core_respects_numa_domain(machine):
+    _, m = machine
+    c = m.allocate_core("s", numa_domain=1)
+    assert c.numa_domain == 1
+    m.allocate_core("s2", numa_domain=1)
+    with pytest.raises(CoreExhausted):
+        m.allocate_core("s3", numa_domain=1)
+    # Domain 0 still has room.
+    assert m.allocate_core("s4", numa_domain=0).numa_domain == 0
+
+
+def test_double_pin_rejected(machine):
+    _, m = machine
+    c = m.allocate_core("x")
+    with pytest.raises(CoreExhausted):
+        c.pin("y")
+    c.unpin()
+    c.pin("y")
+    assert c.owner == "y"
+
+
+def test_free_cores_and_least_loaded(machine):
+    _, m = machine
+    assert m.free_cores() == 4
+    m.allocate_core("a", numa_domain=0)
+    assert m.free_cores(0) == 1
+    assert m.least_loaded_domain() == 1
+
+
+def test_core_execute_accounts_busy_time(machine):
+    sim, m = machine
+    core = m.allocate_core("w")
+
+    def worker():
+        yield core.execute(300)
+        yield sim.timeout(700)
+
+    sim.process(worker())
+    sim.run()
+    assert core.utilization() == pytest.approx(0.3)
+
+
+def test_core_run_generator_form(machine):
+    sim, m = machine
+    core = m.allocate_core("w")
+
+    def worker():
+        yield from core.run(100)
+        return sim.now
+
+    p = sim.process(worker())
+    assert sim.run(until=p) == 100
+
+
+def test_numa_local_vs_remote_cost():
+    cfg = SimConfig()
+    topo = NumaTopology(4, cfg.cpu)
+    local = topo.access_ns(0, 0, lines=3)
+    remote = topo.access_ns(0, 2, lines=3)
+    assert local == 3 * cfg.cpu.cacheline_local_ns
+    assert remote == 3 * cfg.cpu.cacheline_remote_ns
+    assert remote > local
+
+
+def test_numa_interleaved_between_local_and_remote():
+    cfg = SimConfig()
+    topo = NumaTopology(4, cfg.cpu)
+    inter = topo.interleaved_ns(0, lines=10)
+    assert topo.access_ns(0, 0, 10) < inter < topo.access_ns(0, 1, 10)
+
+
+def test_numa_single_domain_is_always_local():
+    cfg = SimConfig()
+    topo = NumaTopology(1, cfg.cpu)
+    assert topo.interleaved_ns(0, 4) == topo.access_ns(0, 0, 4)
+
+
+def test_numa_domain_bounds_checked():
+    topo = NumaTopology(2, SimConfig().cpu)
+    with pytest.raises(ValueError):
+        topo.access_ns(0, 2)
+    with pytest.raises(ValueError):
+        topo.access_ns(-1, 0)
+    with pytest.raises(ValueError):
+        NumaTopology(0, SimConfig().cpu)

@@ -1,0 +1,143 @@
+"""Chained baseline table and the lock-free shared map."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import ChainedHashTable, CompactHashTable, LockFreeMap, hash64
+
+from .test_compact import Arena
+
+
+def test_chained_basic_ops():
+    arena = Arena()
+    t = ChainedHashTable(8, arena.key_at)
+    off = arena.store(b"k")
+    assert t.put(b"k", hash64(b"k"), off) is None
+    assert t.lookup(b"k", hash64(b"k")) == off
+    o2 = arena.store(b"k")
+    assert t.put(b"k", hash64(b"k"), o2) == off
+    assert t.remove(b"k", hash64(b"k")) == o2
+    assert len(t) == 0
+
+
+def test_chained_removal_middle_of_chain():
+    arena = Arena()
+    t = ChainedHashTable(1, arena.key_at)
+    keys = [f"k{i}".encode() for i in range(5)]
+    for k in keys:
+        t.put(k, hash64(k), arena.store(k))
+    t.remove(keys[2], hash64(keys[2]))
+    assert t.lookup(keys[2], hash64(keys[2])) is None
+    for k in keys[:2] + keys[3:]:
+        assert t.lookup(k, hash64(k)) is not None
+
+
+def test_chained_power_of_two_required():
+    with pytest.raises(ValueError):
+        ChainedHashTable(3, lambda o: b"")
+
+
+def test_compact_touches_fewer_lines_than_chained_under_collisions():
+    """The §4.1.3 claim: compact resolves collisions in one cacheline."""
+    arena_c, arena_l = Arena(), Arena()
+    compact = CompactHashTable(1, arena_c.key_at)
+    chained = ChainedHashTable(1, arena_l.key_at)
+    keys = [f"key-{i}".encode() for i in range(6)]  # fits one 7-slot bucket
+    for k in keys:
+        compact.put(k, hash64(k), arena_c.store(k))
+        chained.put(k, hash64(k), arena_l.store(k))
+    compact.total_lines = chained.total_lines = 0
+    for k in keys:
+        compact.lookup(k, hash64(k))
+        chained.lookup(k, hash64(k))
+    assert compact.total_lines == len(keys)           # 1 line each
+    assert chained.total_lines > compact.total_lines  # head + node walks
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["put", "remove", "lookup"]),
+              st.integers(min_value=0, max_value=20)),
+    max_size=80,
+))
+def test_chained_behaves_like_dict(ops):
+    arena = Arena()
+    t = ChainedHashTable(2, arena.key_at)
+    model: dict[bytes, int] = {}
+    for op, ki in ops:
+        key = f"key-{ki}".encode()
+        h = hash64(key)
+        if op == "put":
+            off = arena.store(key)
+            assert t.put(key, h, off) == model.get(key)
+            model[key] = off
+        elif op == "remove":
+            assert t.remove(key, h) == model.pop(key, None)
+        else:
+            assert t.lookup(key, h) == model.get(key)
+    assert len(t) == len(model)
+
+
+# -- LockFreeMap ------------------------------------------------------------
+
+def test_lockfree_get_put_remove():
+    m = LockFreeMap(capacity=4)
+    assert m.get("a") is None
+    m.put("a", 1)
+    assert m.get("a") == 1
+    assert "a" in m
+    assert m.remove("a") == 1
+    assert m.remove("a") is None
+    assert m.hits == 1 and m.misses == 1
+
+
+def test_lockfree_capacity_eviction():
+    m = LockFreeMap(capacity=3)
+    for i in range(5):
+        m.put(i, i)
+    assert len(m) == 3
+    assert m.evictions == 2
+
+
+def test_clock_gives_second_chance_to_referenced_entries():
+    m = LockFreeMap(capacity=3)
+    m.put("hot", 1)
+    m.put("b", 2)
+    m.put("c", 3)
+    m.get("hot")  # set refbit
+    m.put("d", 4)  # must evict b (oldest unreferenced), not hot
+    assert "hot" in m and "b" not in m
+
+
+def test_update_existing_does_not_evict():
+    m = LockFreeMap(capacity=2)
+    m.put("a", 1)
+    m.put("b", 2)
+    m.put("a", 10)
+    assert len(m) == 2 and m.get("a") == 10 and m.evictions == 0
+
+
+def test_cost_model_lockfree_vs_locked():
+    lf = LockFreeMap(4, mode="lockfree")
+    lk = LockFreeMap(4, mode="locked")
+    assert lf.op_cost_ns() < lk.op_cost_ns()
+    lf.sharers = lk.sharers = 10
+    assert lf.op_cost_ns() == LockFreeMap.LOCKFREE_OP_NS  # flat
+    assert lk.op_cost_ns() > LockFreeMap.LOCKED_BASE_NS   # contention grows
+
+
+def test_hit_rate():
+    m = LockFreeMap(4)
+    m.put("x", 1)
+    m.get("x")
+    m.get("y")
+    assert m.hit_rate == pytest.approx(0.5)
+    empty = LockFreeMap(4)
+    assert empty.hit_rate == 0.0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        LockFreeMap(0)
+    with pytest.raises(ValueError):
+        LockFreeMap(4, mode="optimistic")

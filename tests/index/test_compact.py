@@ -1,0 +1,189 @@
+"""Compact hash table: correctness, overflow chaining, merge, cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index import CompactHashTable, SLOTS_PER_BUCKET, hash64
+from repro.index.hashing import bucket_index, signature16
+
+
+class Arena:
+    """Minimal arena stub: offset -> key bytes."""
+
+    def __init__(self):
+        self.keys: dict[int, bytes] = {}
+        self._next = 0
+
+    def store(self, key: bytes) -> int:
+        off = self._next
+        self._next += 64
+        self.keys[off] = key
+        return off
+
+    def key_at(self, offset: int) -> bytes:
+        return self.keys[offset]
+
+
+def make_table(n_buckets=16):
+    arena = Arena()
+    return CompactHashTable(n_buckets, arena.key_at), arena
+
+
+def test_put_lookup_remove_basic():
+    t, arena = make_table()
+    off = arena.store(b"alpha")
+    assert t.put(b"alpha", hash64(b"alpha"), off) is None
+    assert len(t) == 1
+    assert t.lookup(b"alpha", hash64(b"alpha")) == off
+    assert t.remove(b"alpha", hash64(b"alpha")) == off
+    assert len(t) == 0
+    assert t.lookup(b"alpha", hash64(b"alpha")) is None
+
+
+def test_put_replaces_and_returns_old_offset():
+    t, arena = make_table()
+    h = hash64(b"k")
+    o1, o2 = arena.store(b"k"), arena.store(b"k")
+    assert t.put(b"k", h, o1) is None
+    assert t.put(b"k", h, o2) == o1
+    assert len(t) == 1
+    assert t.lookup(b"k", h) == o2
+
+
+def test_missing_key_lookup_and_remove():
+    t, _ = make_table()
+    assert t.lookup(b"ghost", hash64(b"ghost")) is None
+    assert t.remove(b"ghost", hash64(b"ghost")) is None
+
+
+def test_collision_chain_via_overflow_buckets():
+    # Force every key into bucket 0 of a 1-bucket table.
+    t, arena = make_table(n_buckets=1)
+    keys = [f"key-{i}".encode() for i in range(SLOTS_PER_BUCKET * 3)]
+    offs = {}
+    for k in keys:
+        offs[k] = arena.store(k)
+        t.put(k, hash64(k), offs[k])
+    assert t.overflow_buckets == 2
+    for k in keys:
+        assert t.lookup(k, hash64(k)) == offs[k]
+
+
+def test_merge_after_removals_frees_overflow():
+    t, arena = make_table(n_buckets=1)
+    keys = [f"key-{i}".encode() for i in range(SLOTS_PER_BUCKET + 3)]
+    for k in keys:
+        t.put(k, hash64(k), arena.store(k))
+    assert t.overflow_buckets == 1
+    # Remove enough entries for the tail to fold back into the main bucket.
+    for k in keys[:4]:
+        t.remove(k, hash64(k))
+    assert t.overflow_buckets == 0
+    for k in keys[4:]:
+        assert t.lookup(k, hash64(k)) is not None
+
+
+def test_single_cacheline_lookup_when_unchained():
+    t, arena = make_table(n_buckets=64)
+    k = b"lonely"
+    t.put(k, hash64(k), arena.store(k))
+    t.lookup(k, hash64(k))
+    assert t.last_lines == 1
+    assert t.last_keycmps == 1
+
+
+def test_signature_filters_key_comparisons():
+    # Two keys in the same bucket with different signatures: looking up one
+    # must not fetch the other's full key.
+    t, arena = make_table(n_buckets=1)
+    a, b = b"aaa", b"bbb"
+    assert signature16(hash64(a)) != signature16(hash64(b))
+    t.put(a, hash64(a), arena.store(a))
+    t.put(b, hash64(b), arena.store(b))
+    t.lookup(a, hash64(a))
+    assert t.last_keycmps == 1
+
+
+def test_chained_lookup_costs_more_lines():
+    t, arena = make_table(n_buckets=1)
+    keys = [f"key-{i}".encode() for i in range(SLOTS_PER_BUCKET * 2)]
+    for k in keys:
+        t.put(k, hash64(k), arena.store(k))
+    # A key that lives in the overflow bucket costs 2 lines.
+    tail_key = keys[-1]
+    t.lookup(tail_key, hash64(tail_key))
+    assert t.last_lines == 2
+
+
+def test_items_enumerates_all_entries():
+    t, arena = make_table(n_buckets=4)
+    keys = [f"k{i}".encode() for i in range(30)]
+    offs = set()
+    for k in keys:
+        o = arena.store(k)
+        offs.add(o)
+        t.put(k, hash64(k), o)
+    enumerated = {off for _sig, off in t.items()}
+    assert enumerated == offs
+
+
+def test_offset_width_limit():
+    t, _ = make_table()
+    with pytest.raises(ValueError):
+        t.put(b"k", hash64(b"k"), 1 << 48)
+
+
+def test_bucket_count_must_be_power_of_two():
+    arena = Arena()
+    with pytest.raises(ValueError):
+        CompactHashTable(12, arena.key_at)
+    with pytest.raises(ValueError):
+        CompactHashTable(0, arena.key_at)
+
+
+def test_overflow_array_growth():
+    t, arena = make_table(n_buckets=1)
+    keys = [f"key-{i:04d}".encode() for i in range(400)]
+    for k in keys:
+        t.put(k, hash64(k), arena.store(k))
+    assert t.overflow_buckets > 16  # grew past the initial capacity
+    for k in keys:
+        assert t.lookup(k, hash64(k)) is not None
+
+
+def test_hash64_deterministic_and_spread():
+    h1 = hash64(b"key-1")
+    assert h1 == hash64(b"key-1")
+    assert h1 != hash64(b"key-2")
+    buckets = {bucket_index(hash64(f"key-{i}".encode()), 1024)
+               for i in range(1000)}
+    assert len(buckets) > 500  # decent spread
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["put", "remove", "lookup"]),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=120,
+))
+def test_behaves_like_dict(ops):
+    arena = Arena()
+    t = CompactHashTable(4, arena.key_at)
+    model: dict[bytes, int] = {}
+    for op, ki in ops:
+        key = f"key-{ki}".encode()
+        h = hash64(key)
+        if op == "put":
+            off = arena.store(key)
+            old = t.put(key, h, off)
+            assert old == model.get(key)
+            model[key] = off
+        elif op == "remove":
+            assert t.remove(key, h) == model.pop(key, None)
+        else:
+            assert t.lookup(key, h) == model.get(key)
+    assert len(t) == len(model)
+    for key, off in model.items():
+        assert t.lookup(key, hash64(key)) == off

@@ -1,0 +1,151 @@
+"""Slab allocator invariants and lease-deferred reclamation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimConfig
+from repro.kvmem import POISON_BYTE, LeaseReclaimer, OutOfMemory, SlabAllocator
+from repro.rdma import MemoryRegion
+from repro.sim import Simulator
+
+
+def make_alloc(arena=4096, classes=(64, 128, 256)):
+    return SlabAllocator(MemoryRegion(arena), classes)
+
+
+def test_alloc_rounds_to_size_class():
+    a = make_alloc()
+    assert a.class_for(1) == 64
+    assert a.class_for(64) == 64
+    assert a.class_for(65) == 128
+    assert a.class_for(256) == 256
+    with pytest.raises(ValueError):
+        a.class_for(257)
+
+
+def test_alloc_free_reuse():
+    a = make_alloc()
+    o1 = a.alloc(100)   # 128-class
+    o2 = a.alloc(100)
+    assert o1 != o2
+    a.free(o1)
+    o3 = a.alloc(120)
+    assert o3 == o1  # reused from the free list
+    assert a.live_extents == 2
+
+
+def test_double_free_rejected():
+    a = make_alloc()
+    o = a.alloc(10)
+    a.free(o)
+    with pytest.raises(ValueError):
+        a.free(o)
+
+
+def test_free_unknown_offset_rejected():
+    a = make_alloc()
+    with pytest.raises(ValueError):
+        a.free(999)
+
+
+def test_out_of_memory():
+    a = SlabAllocator(MemoryRegion(128), (64,))
+    a.alloc(1)
+    a.alloc(1)
+    with pytest.raises(OutOfMemory):
+        a.alloc(1)
+
+
+def test_stats_track_bytes_and_ops():
+    a = make_alloc()
+    o = a.alloc(200)  # 256-class
+    assert a.live_bytes == 256 and a.allocated_ops == 1
+    assert a.extent_class(o) == 256
+    assert 0 < a.utilization < 1
+    a.free(o)
+    assert a.live_bytes == 0 and a.freed_ops == 1
+
+
+@settings(max_examples=50)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=256)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=80,
+))
+def test_live_extents_never_overlap(ops):
+    a = SlabAllocator(MemoryRegion(64 << 10), (64, 128, 256))
+    live: list[int] = []
+    for op, arg in ops:
+        if op == "alloc":
+            try:
+                live.append(a.alloc(arg))
+            except OutOfMemory:
+                pass
+        elif live:
+            a.free(live.pop(arg % len(live)))
+    ranges = a.live_ranges()
+    for (o1, n1), (o2, _n2) in zip(ranges, ranges[1:]):
+        assert o1 + n1 <= o2, "live extents overlap"
+    assert len(ranges) == len(live)
+
+
+# -- reclamation ----------------------------------------------------------
+
+def test_reclaimer_frees_only_after_lease_expiry():
+    sim = Simulator()
+    a = make_alloc()
+    r = LeaseReclaimer(sim, a, period_ns=1000)
+    o = a.alloc(10)
+    r.retire(o, lease_expiry_ns=5000)
+    r.start()
+    sim.run(until=4000)
+    assert a.live_extents == 1 and r.pending == 1
+    sim.run(until=6001)
+    assert a.live_extents == 0 and r.pending == 0
+    assert r.reclaimed.value == 1
+
+
+def test_reclaimer_scribbles_poison():
+    sim = Simulator()
+    region = MemoryRegion(4096)
+    a = SlabAllocator(region, (64,))
+    r = LeaseReclaimer(sim, a, period_ns=100, scribble=True)
+    o = a.alloc(10)
+    region.write(o, b"sensitive")
+    r.retire(o, lease_expiry_ns=50)
+    r.start()
+    sim.run(until=200)
+    assert region.read(o, 64) == bytes([POISON_BYTE]) * 64
+
+
+def test_reclaimer_handles_many_expiries_in_order():
+    sim = Simulator()
+    a = make_alloc(arena=64 << 10, classes=(64,))
+    r = LeaseReclaimer(sim, a, period_ns=10)
+    offsets = [a.alloc(1) for _ in range(20)]
+    for i, o in enumerate(offsets):
+        r.retire(o, lease_expiry_ns=100 * (i + 1))
+    r.start()
+    sim.run(until=1000)
+    assert a.live_extents == 10  # leases 100..1000 expired
+    sim.run(until=2005)
+    assert a.live_extents == 0
+
+
+def test_reclaimer_stop_and_double_start():
+    sim = Simulator()
+    a = make_alloc()
+    r = LeaseReclaimer(sim, a, period_ns=100)
+    r.start()
+    with pytest.raises(RuntimeError):
+        r.start()
+    r.stop()
+    o = a.alloc(1)
+    r.retire(o, lease_expiry_ns=0)
+    sim.run(until=500)
+    assert r.pending == 1  # stopped: nothing reclaimed
+
+    cfg = SimConfig()
+    assert cfg.memory.reclaim_period_ns > 0  # config sanity

@@ -1,0 +1,96 @@
+"""Item layout: encode/parse round trips, guardian semantics, corruption."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kvmem import (
+    GUARD_DEAD,
+    GUARD_LIVE,
+    cachelines,
+    encode_item,
+    item_size,
+    kill_item,
+    parse_item,
+    read_guardian,
+    write_item,
+)
+from repro.rdma import MemoryRegion
+
+
+def test_item_size_accounting():
+    assert item_size(16, 32) == 16 + 16 + 32 + 8
+    blob = encode_item(b"k" * 16, b"v" * 32, 1)
+    assert len(blob) == item_size(16, 32)
+
+
+def test_encode_parse_roundtrip():
+    item = parse_item(encode_item(b"key", b"value", 7))
+    assert item is not None
+    assert item.key == b"key" and item.value == b"value"
+    assert item.version == 7 and item.live
+
+
+def test_dead_item_parses_as_not_live():
+    item = parse_item(encode_item(b"k", b"v", 3, live=False))
+    assert item is not None and not item.live
+
+
+def test_empty_key_and_value_allowed():
+    item = parse_item(encode_item(b"", b"", 0))
+    assert item.key == b"" and item.value == b"" and item.live
+
+
+def test_oversized_key_rejected():
+    with pytest.raises(ValueError):
+        encode_item(b"x" * 70000, b"v", 0)
+
+
+def test_parse_garbage_returns_none():
+    assert parse_item(b"") is None
+    assert parse_item(b"\x00" * 40) is None          # wrong magic
+    assert parse_item(bytes([0xA5]) * 64) is None    # poison pattern
+    blob = encode_item(b"key", b"value", 1)
+    assert parse_item(blob[:-1]) is None             # truncated
+    assert parse_item(blob + b"\x00") is None        # length mismatch
+
+
+def test_parse_corrupted_guardian_returns_none():
+    blob = bytearray(encode_item(b"key", b"value", 1))
+    blob[-8:] = b"\x01\x02\x03\x04\x05\x06\x07\x08"
+    assert parse_item(bytes(blob)) is None
+
+
+def test_write_kill_read_guardian_in_region():
+    region = MemoryRegion(4096)
+    n = write_item(region, 100, b"kk", b"vvv", 5)
+    assert n == item_size(2, 3)
+    assert read_guardian(region, 100, 2, 3) == GUARD_LIVE
+    kill_item(region, 100, 2, 3)
+    assert read_guardian(region, 100, 2, 3) == GUARD_DEAD
+    # The rest of the item is untouched — readers still parse it (as dead).
+    item = parse_item(region.read(100, n))
+    assert item is not None and not item.live and item.value == b"vvv"
+
+
+def test_cachelines_helper():
+    assert cachelines(1) == 1
+    assert cachelines(64) == 1
+    assert cachelines(65) == 2
+    assert cachelines(0) == 1  # an access always touches one line
+
+
+@given(key=st.binary(max_size=128), value=st.binary(max_size=1024),
+       version=st.integers(min_value=0, max_value=2**63))
+def test_roundtrip_property(key, value, version):
+    item = parse_item(encode_item(key, value, version))
+    assert item is not None
+    assert (item.key, item.value, item.version, item.live) == (
+        key, value, version, True)
+
+
+@given(data=st.binary(max_size=256))
+def test_parse_never_crashes_on_arbitrary_bytes(data):
+    item = parse_item(data)
+    if item is not None:
+        # If it parsed, the layout invariants must hold.
+        assert item_size(len(item.key), len(item.value)) == len(data)

@@ -1,0 +1,132 @@
+"""Replication ring buffer: wrap, credit flow control, rewind."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol import RingFull, RingReader, RingWriter
+from repro.rdma import MemoryRegion
+
+
+def pump(writer, reader, region, payload):
+    """Writer places; we apply the writes locally (as RDMA would)."""
+    for off, blob in writer.place(payload):
+        region.write(off, blob)
+    return reader.poll()
+
+
+def test_single_record_roundtrip():
+    region = MemoryRegion(256)
+    w, r = RingWriter(256), RingReader(region)
+    assert pump(w, r, region, b"record-1") == b"record-1"
+    assert r.poll() is None
+
+
+def test_many_records_in_order():
+    region = MemoryRegion(1024)
+    w, r = RingWriter(1024), RingReader(region)
+    payloads = [f"rec-{i}".encode() for i in range(10)]
+    for p in payloads:
+        for off, blob in w.place(p):
+            region.write(off, blob)
+    assert [r.poll() for p in payloads] == payloads
+
+
+def test_wrap_around_with_marker():
+    region = MemoryRegion(128)
+    w, r = RingWriter(128), RingReader(region)
+    # Each frame: aligned(16 + 24) = 40 bytes; three frames force a wrap.
+    for i in range(3):
+        out = pump(w, r, region, bytes([i]) * 24)
+        assert out == bytes([i]) * 24
+        w.ack(r.consumed)
+    # After 3 records (120B) the 4th wraps: place returns two writes.
+    writes = w.place(b"\xFF" * 24)
+    assert len(writes) == 2
+    for off, blob in writes:
+        region.write(off, blob)
+    assert r.poll() == b"\xFF" * 24
+
+
+def test_ring_full_without_acks():
+    region = MemoryRegion(128)
+    w, r = RingWriter(128), RingReader(region)
+    for p in (b"a" * 24, b"b" * 24, b"c" * 24):
+        for off, blob in w.place(p):
+            region.write(off, blob)
+    with pytest.raises(RingFull):
+        w.place(b"d" * 24)  # no credit left for gap+frame
+    # Consume and ack: credit returns.
+    for _ in range(3):
+        assert r.poll() is not None
+    w.ack(r.consumed)
+    assert w.place(b"d" * 24)
+
+
+def test_record_larger_than_ring_rejected():
+    w = RingWriter(128)
+    with pytest.raises(ValueError):
+        w.place(b"x" * 256)
+
+
+def test_invalid_ring_size():
+    with pytest.raises(ValueError):
+        RingWriter(32)
+    with pytest.raises(ValueError):
+        RingWriter(100)  # not 8-aligned
+
+
+def test_stale_ack_ignored_and_bogus_ack_rejected():
+    w = RingWriter(256)
+    w.place(b"x" * 8)
+    consumed_now = 24
+    w.ack(consumed_now)
+    w.ack(10)  # stale: ignored
+    assert w.acked == consumed_now
+    with pytest.raises(ValueError):
+        w.ack(10_000)
+
+
+def test_rewind_to_resend():
+    region = MemoryRegion(256)
+    w, r = RingWriter(256), RingReader(region)
+    mark_head, mark_written = w.head, w.written
+    for off, blob in w.place(b"first"):
+        region.write(off, blob)
+    # Simulate the record being rejected: rewind and resend a new version.
+    w.rewind_to(mark_head, mark_written)
+    for off, blob in w.place(b"retry"):
+        region.write(off, blob)
+    assert r.poll() == b"retry"
+
+
+def test_reader_sees_nothing_mid_gap():
+    region = MemoryRegion(128)
+    r = RingReader(region)
+    assert r.poll() is None
+    assert r.consumed == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=60))
+def test_fifo_property_under_continuous_drain(payloads):
+    region = MemoryRegion(256)
+    w, r = RingWriter(256), RingReader(region)
+    out = []
+    for p in payloads:
+        while True:
+            try:
+                writes = w.place(p)
+                break
+            except RingFull:
+                got = r.poll()
+                assert got is not None, "full ring but nothing to drain"
+                out.append(got)
+                w.ack(r.consumed)
+        for off, blob in writes:
+            region.write(off, blob)
+    while True:
+        got = r.poll()
+        if got is None:
+            break
+        out.append(got)
+    assert out == payloads

@@ -1,0 +1,37 @@
+"""Shared fixtures for RDMA-layer tests: a two-machine fabric."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hardware import Machine
+from repro.rdma import Fabric, MemoryRegion, TcpNetwork
+from repro.sim import Simulator
+
+
+class Rig:
+    """Two machines cabled to one switch, with helpers."""
+
+    def __init__(self, config=None, n_machines=2):
+        self.config = config or SimConfig()
+        self.sim = Simulator()
+        self.fabric = Fabric(self.sim, self.config)
+        self.tcpnet = TcpNetwork(self.sim, self.config)
+        self.machines = []
+        for i in range(n_machines):
+            m = Machine(self.sim, i, self.config)
+            self.fabric.attach(m)
+            self.tcpnet.attach(m)
+            self.machines.append(m)
+
+    def connect(self, a=0, b=1):
+        return self.fabric.connect(self.machines[a].nic, self.machines[b].nic)
+
+    def region(self, machine_idx, nbytes=4096, name="r"):
+        region = MemoryRegion(nbytes, name=name)
+        self.machines[machine_idx].nic.register(region)
+        return region
+
+
+@pytest.fixture()
+def rig():
+    return Rig()

@@ -1,0 +1,160 @@
+"""Kernel TCP (IPoIB) transport model tests."""
+
+import pytest
+
+from repro.rdma import TcpError
+
+from .conftest import Rig
+
+
+def establish(rig, a=0, b=1, port=11211):
+    listener = rig.machines[b].tcp.listen(port)
+    ev = rig.machines[a].tcp.connect(rig.machines[b].tcp, port)
+    client = rig.sim.run(until=ev)
+    ok, server = listener.try_get()
+    assert ok
+    return client, server
+
+
+def test_connect_and_roundtrip(rig):
+    client, server = establish(rig)
+    result = []
+
+    def server_proc():
+        payload, nbytes = yield server.recv()
+        assert nbytes == 100
+        yield server.send(("pong", payload), 64)
+
+    def client_proc():
+        yield client.send("ping", 100)
+        reply, _ = yield client.recv()
+        result.append((reply, rig.sim.now))
+
+    rig.sim.process(server_proc())
+    p = rig.sim.process(client_proc())
+    rig.sim.run(until=p)
+    assert result[0][0] == ("pong", "ping")
+
+
+def test_tcp_rtt_is_tens_of_microseconds(rig):
+    client, server = establish(rig)
+
+    def echo():
+        payload, n = yield server.recv()
+        yield server.send(payload, n)
+
+    def client_proc():
+        t0 = rig.sim.now
+        yield client.send(b"x", 64)
+        yield client.recv()
+        return rig.sim.now - t0
+
+    rig.sim.process(echo())
+    p = rig.sim.process(client_proc())
+    rtt = rig.sim.run(until=p)
+    assert 30_000 < rtt < 200_000
+
+
+def test_tcp_slower_than_rdma_write_by_an_order_of_magnitude(rig):
+    from repro.rdma import RemotePointer
+
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    ev = qa.post_write(RemotePointer(region.rkey, 0, 64), b"r" * 64)
+    rig.sim.run(until=ev)
+    t_rdma = rig.sim.now
+
+    rig2 = Rig()
+    client, server = establish(rig2)
+
+    def sink():
+        yield server.recv()
+
+    def client_proc():
+        t0 = rig2.sim.now
+        yield client.send(b"t" * 64, 64)
+        return rig2.sim.now  # syscall return, cheapest possible measure
+
+    rig2.sim.process(sink())
+    p = rig2.sim.process(client_proc())
+    rig2.sim.run()
+    # Even just handing 64B to the kernel costs ~10x an entire RDMA write.
+    assert rig2.sim.now > 2 * t_rdma
+
+
+def test_connect_refused_without_listener(rig):
+    ev = rig.machines[0].tcp.connect(rig.machines[1].tcp, 9999)
+    with pytest.raises(TcpError):
+        rig.sim.run(until=ev)
+
+
+def test_double_bind_rejected(rig):
+    rig.machines[0].tcp.listen(80)
+    with pytest.raises(TcpError):
+        rig.machines[0].tcp.listen(80)
+
+
+def test_send_on_closed_connection_raises(rig):
+    client, _server = establish(rig)
+    client.close()
+    with pytest.raises(TcpError):
+        client.send(b"x", 1)
+
+
+def test_send_to_dead_stack_is_dropped(rig):
+    client, server = establish(rig)
+    rig.machines[1].tcp.fail()
+    got = []
+
+    def server_proc():
+        got.append((yield server.recv()))
+
+    def client_proc():
+        yield client.send(b"lost", 4)
+
+    rig.sim.process(server_proc())
+    rig.sim.process(client_proc())
+    rig.sim.run(until=rig.sim.now + 10_000_000)
+    assert got == []
+
+
+def test_bandwidth_shapes_large_transfers(rig):
+    client, server = establish(rig)
+    sizes = {}
+
+    def server_proc():
+        for label in ("small", "big"):
+            t0 = rig.sim.now
+            yield server.recv()
+            sizes[label] = rig.sim.now - t0
+
+    def client_proc():
+        yield client.send(b"s", 64)
+        yield client.send(b"b", 4 << 20)
+
+    rig.sim.process(server_proc())
+    rig.sim.process(client_proc())
+    rig.sim.run()
+    # 4 MiB at ~1.5 B/ns adds ~2.8 ms of serialization.
+    assert sizes["big"] > sizes["small"] + 1_000_000
+
+
+def test_try_recv_nonblocking(rig):
+    client, server = establish(rig)
+    ok, _ = server.try_recv()
+    assert not ok
+
+    def client_proc():
+        yield client.send("data", 10)
+
+    rig.sim.process(client_proc())
+    rig.sim.run()
+    ok, (payload, n) = server.try_recv()
+    assert ok and payload == "data" and n == 10
+
+
+def test_double_attach_rejected(rig):
+    with pytest.raises(ValueError):
+        rig.tcpnet.attach(rig.machines[0])
+    with pytest.raises(ValueError):
+        rig.fabric.attach(rig.machines[0])

@@ -1,0 +1,122 @@
+"""Unreliable Datagram endpoints: delivery, loss, no-QP-penalty."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.rdma import UD_MTU, Opcode, WcStatus
+
+from .conftest import Rig
+
+
+def make_pair(rig, a=0, b=1):
+    qa = rig.fabric.create_ud_qp(rig.machines[a].nic)
+    qb = rig.fabric.create_ud_qp(rig.machines[b].nic)
+    return qa, qb
+
+
+def test_datagram_delivery(rig):
+    qa, qb = make_pair(rig)
+    qb.post_recv(wr_id=3)
+    wc = rig.sim.run(until=qa.post_send(qb, b"datagram"))
+    assert wc.ok and wc.opcode is Opcode.SEND
+    rig.sim.run(until=rig.sim.now + 10_000)
+    cqe = qb.recv_cq.poll_one()
+    assert cqe is not None and cqe.data == b"datagram" and cqe.wr_id == 3
+
+
+def test_send_completes_before_delivery():
+    # UD completion is local: it fires before the datagram even lands.
+    rig = Rig()
+    qa, qb = make_pair(rig)
+    qb.post_recv()
+    ev = qa.post_send(qb, b"x" * 64)
+    rig.sim.run(until=ev)
+    t_complete = rig.sim.now
+    while qb.recv_cq.poll_one() is None:
+        rig.sim.step()
+    assert rig.sim.now > t_complete
+
+
+def test_no_posted_recv_silently_drops(rig):
+    qa, qb = make_pair(rig)
+    wc = rig.sim.run(until=qa.post_send(qb, b"lost"))
+    assert wc.ok  # sender never learns
+    rig.sim.run(until=rig.sim.now + 10_000)
+    assert qb.recv_cq.poll_one() is None
+    assert rig.fabric.metrics.counters["rdma.ud_send.no_recv"].value == 1
+
+
+def test_mtu_enforced(rig):
+    qa, qb = make_pair(rig)
+    with pytest.raises(ValueError):
+        qa.post_send(qb, b"x" * (UD_MTU + 1))
+
+
+def test_injected_loss_drops_deterministically():
+    cfg = SimConfig().with_overrides(nic={"ud_drop_probability": 0.5})
+    rig = Rig(config=cfg)
+    qa, qb = make_pair(rig)
+    delivered = 0
+    for i in range(100):
+        qb.post_recv()
+        rig.sim.run(until=qa.post_send(qb, b"d%d" % i))
+    rig.sim.run(until=rig.sim.now + 100_000)
+    while qb.recv_cq.poll_one() is not None:
+        delivered += 1
+    assert 25 < delivered < 75  # ~half lost
+    dropped = rig.fabric.metrics.counters["rdma.ud_send.dropped"].value
+    assert dropped == 100 - delivered
+
+
+def test_ud_pays_no_qp_penalty_under_many_connections():
+    """HERD's scalability argument: UD cost is flat in connection count."""
+    def ud_latency(n_rc_connections):
+        rig = Rig()
+        for _ in range(n_rc_connections):
+            rig.connect()  # blow up the RC QP count on both NICs
+        qa, qb = make_pair(rig)
+        qb.post_recv()
+        t0 = rig.sim.now
+        rig.sim.run(until=qa.post_send(qb, b"x" * 32))
+        # Measure until the datagram is consumed.
+        while qb.recv_cq.poll_one() is None:
+            rig.sim.step()
+        return rig.sim.now - t0
+
+    base = ud_latency(0)
+    loaded = ud_latency(600)  # far past the 256-entry QP cache
+    assert loaded <= base * 1.05
+
+    # Contrast: an RC write at the same connection count pays the penalty.
+    from repro.rdma import RemotePointer
+    rig0, rig1 = Rig(), Rig()
+    for rig, n in ((rig0, 0), (rig1, 600)):
+        for _ in range(n):
+            rig.connect()
+    for rig in (rig0, rig1):
+        rig._qa, _ = rig.connect()
+        rig._region = rig.region(1)
+    t = []
+    for rig in (rig0, rig1):
+        t0 = rig.sim.now
+        rig.sim.run(until=rig._qa.post_write(
+            RemotePointer(rig._region.rkey, 0, 32), b"y" * 32))
+        t.append(rig.sim.now - t0)
+    assert t[1] > t[0] * 1.1
+
+
+def test_send_through_dead_nic_fails_locally(rig):
+    qa, qb = make_pair(rig)
+    rig.machines[0].nic.fail()
+    wc = rig.sim.run(until=qa.post_send(qb, b"x"))
+    assert wc.status is WcStatus.LOCAL_QP_ERR
+
+
+def test_send_to_dead_target_vanishes(rig):
+    qa, qb = make_pair(rig)
+    qb.post_recv()
+    rig.machines[1].nic.fail()
+    wc = rig.sim.run(until=qa.post_send(qb, b"x"))
+    assert wc.ok  # local completion regardless
+    rig.sim.run(until=rig.sim.now + 10_000)
+    assert qb.recv_cq.poll_one() is None

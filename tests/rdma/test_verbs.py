@@ -1,0 +1,344 @@
+"""RDMA verb semantics: write, read, send/recv, errors, ordering."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.rdma import (
+    MemoryRegion,
+    Opcode,
+    QpError,
+    RemotePointer,
+    WcStatus,
+)
+from repro.rdma.memory import AccessViolation
+
+from .conftest import Rig
+
+
+def run_op(rig, ev):
+    rig.sim.run(until=ev)
+    return ev.value
+
+
+def test_write_places_bytes_in_remote_region(rig):
+    qa, _qb = rig.connect()
+    region = rig.region(1, name="server")
+    rptr = RemotePointer(region.rkey, 100, 11)
+    wc = run_op(rig, qa.post_write(rptr, b"hello world"))
+    assert wc.ok and wc.opcode is Opcode.RDMA_WRITE and wc.byte_len == 11
+    assert region.read(100, 11) == b"hello world"
+
+
+def test_write_visible_before_initiator_completion(rig):
+    # Remote delivery happens one propagation earlier than the ack.
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    rptr = RemotePointer(region.rkey, 0, 4)
+    ev = qa.post_write(rptr, b"abcd")
+    seen_at = []
+
+    def watcher():
+        while region.read(0, 4) != b"abcd":
+            yield rig.sim.timeout(50)
+        seen_at.append(rig.sim.now)
+
+    rig.sim.process(watcher())
+    rig.sim.run(until=ev)
+    assert seen_at and seen_at[0] < rig.sim.now
+
+
+def test_read_fetches_remote_bytes(rig):
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    region.write(64, b"payload-bytes")
+    rptr = RemotePointer(region.rkey, 64, 13)
+    wc = run_op(rig, qa.post_read(rptr))
+    assert wc.ok and wc.data == b"payload-bytes"
+
+
+def test_read_latency_exceeds_write_latency(rig):
+    # A read is a full round trip with responder work; a write completes
+    # after its ack but the payload path is one-way.
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    rptr = RemotePointer(region.rkey, 0, 32)
+
+    ev = qa.post_write(rptr, b"x" * 32)
+    rig.sim.run(until=ev)
+    t_write = rig.sim.now
+
+    ev = qa.post_read(rptr)
+    t0 = rig.sim.now
+    rig.sim.run(until=ev)
+    t_read = rig.sim.now - t0
+    assert t_read > t_write
+
+
+def test_small_read_completes_in_microseconds(rig):
+    # Sanity calibration: ~2 us for a small read on an idle fabric.
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    rptr = RemotePointer(region.rkey, 0, 64)
+    ev = qa.post_read(rptr)
+    rig.sim.run(until=ev)
+    assert 1_000 < rig.sim.now < 4_000
+
+
+def test_write_out_of_bounds_completes_with_rem_access_err(rig):
+    qa, _ = rig.connect()
+    region = rig.region(1, nbytes=128)
+    rptr = RemotePointer(region.rkey, 120, 64)
+    wc = run_op(rig, qa.post_write(rptr, b"y" * 64))
+    assert not wc.ok and wc.status is WcStatus.REM_ACCESS_ERR
+
+
+def test_read_out_of_bounds_completes_with_rem_access_err(rig):
+    qa, _ = rig.connect()
+    region = rig.region(1, nbytes=128)
+    wc = run_op(rig, qa.post_read(RemotePointer(region.rkey, 100, 64)))
+    assert wc.status is WcStatus.REM_ACCESS_ERR
+
+
+def test_write_larger_than_extent_rejected_locally(rig):
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    with pytest.raises(QpError):
+        qa.post_write(RemotePointer(region.rkey, 0, 4), b"too long")
+
+
+def test_rkey_of_wrong_nic_rejected(rig):
+    qa, _ = rig.connect()
+    local_region = rig.region(0)  # registered on machine 0, QP points at 1
+    with pytest.raises(QpError):
+        qa.post_read(RemotePointer(local_region.rkey, 0, 8))
+
+
+def test_unknown_rkey_rejected(rig):
+    qa, _ = rig.connect()
+    with pytest.raises(QpError):
+        qa.post_read(RemotePointer(999999, 0, 8))
+
+
+def test_unconnected_qp_rejected(rig):
+    qa, _ = rig.connect()
+    qa.destroy()
+    region = rig.region(1)
+    with pytest.raises(QpError):
+        qa.post_read(RemotePointer(region.rkey, 0, 8))
+
+
+def test_in_order_delivery_per_qp(rig):
+    # Post a large write then a small one: both must land in post order.
+    qa, _ = rig.connect()
+    region = rig.region(1, nbytes=8192)
+    big = RemotePointer(region.rkey, 0, 4096)
+    small = RemotePointer(region.rkey, 4096, 8)
+    order = []
+
+    def watcher():
+        seen_big = seen_small = False
+        while not (seen_big and seen_small):
+            if not seen_big and region.read(0, 4) == b"BBBB":
+                order.append("big")
+                seen_big = True
+            if not seen_small and region.read(4096, 8) == b"SSSSSSSS":
+                order.append("small")
+                seen_small = True
+            yield rig.sim.timeout(20)
+
+    rig.sim.process(watcher())
+    qa.post_write(big, b"BBBB" + b"b" * 4092)
+    ev = qa.post_write(small, b"SSSSSSSS")
+    rig.sim.run(until=ev)
+    rig.sim.run(until=rig.sim.now + 1000)
+    assert order == ["big", "small"]
+
+
+def test_send_recv_roundtrip(rig):
+    qa, qb = rig.connect()
+    qb.post_recv(wr_id=7)
+    wc = run_op(rig, qa.post_send(b"message"))
+    assert wc.ok
+    rcqe = qb.recv_cq.poll_one()
+    assert rcqe is not None and rcqe.data == b"message" and rcqe.wr_id == 7
+
+
+def test_send_without_posted_recv_is_rnr(rig):
+    qa, _qb = rig.connect()
+    wc = run_op(rig, qa.post_send(b"m"))
+    assert wc.status is WcStatus.RNR_RETRY_EXC
+
+
+def test_send_costs_more_than_write(rig):
+    qa, qb = rig.connect()
+    region = rig.region(1)
+    ev = qa.post_write(RemotePointer(region.rkey, 0, 7), b"written")
+    rig.sim.run(until=ev)
+    t_write = rig.sim.now
+    qb.post_recv()
+    t0 = rig.sim.now
+    ev = qa.post_send(b"sent!!!")
+    rig.sim.run(until=ev)
+    assert rig.sim.now - t0 > t_write
+
+
+def test_write_to_dead_nic_times_out_with_retry_exc(rig):
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    rig.machines[1].nic.fail()
+    wc = run_op(rig, qa.post_write(RemotePointer(region.rkey, 0, 4), b"dead"))
+    assert wc.status is WcStatus.RETRY_EXC
+    assert rig.sim.now >= rig.config.fabric.retry_timeout_ns
+    assert region.read(0, 4) == b"\x00\x00\x00\x00"
+
+
+def test_post_through_dead_local_nic_fails_fast(rig):
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    rig.machines[0].nic.fail()
+    wc = run_op(rig, qa.post_write(RemotePointer(region.rkey, 0, 4), b"x" * 4))
+    assert wc.status is WcStatus.LOCAL_QP_ERR
+
+
+def test_loopback_connection_same_machine(rig):
+    nic = rig.machines[0].nic
+    qa, qb = rig.fabric.connect(nic, nic)
+    region = rig.region(0)
+    wc = run_op(rig, qa.post_write(RemotePointer(region.rkey, 0, 2), b"lo"))
+    assert wc.ok and region.read(0, 2) == b"lo"
+    assert nic.active_qps == 2
+
+
+def test_loopback_faster_than_switch_hop():
+    rig1, rig2 = Rig(), Rig()
+    # switch path
+    qa, _ = rig1.connect()
+    region = rig1.region(1)
+    ev = qa.post_read(RemotePointer(region.rkey, 0, 32))
+    rig1.sim.run(until=ev)
+    t_remote = rig1.sim.now
+    # loopback path
+    nic = rig2.machines[0].nic
+    qa2, _ = rig2.fabric.connect(nic, nic)
+    region2 = rig2.region(0)
+    ev = qa2.post_read(RemotePointer(region2.rkey, 0, 32))
+    rig2.sim.run(until=ev)
+    assert rig2.sim.now < t_remote
+
+
+def test_qp_count_penalty_slows_ops():
+    cfg = SimConfig()
+    assert cfg.nic.qp_penalty_ns(10) == 0
+    assert cfg.nic.qp_penalty_ns(cfg.nic.qp_cache_entries) == 0
+    p1 = cfg.nic.qp_penalty_ns(cfg.nic.qp_cache_entries + 64)
+    p2 = cfg.nic.qp_penalty_ns(cfg.nic.qp_cache_entries * 4)
+    assert 0 < p1 < p2
+
+
+def test_many_qps_slow_down_reads(rig):
+    region = rig.region(1)
+    qa, _ = rig.connect()
+    ev = qa.post_read(RemotePointer(region.rkey, 0, 32))
+    rig.sim.run(until=ev)
+    base = rig.sim.now
+    # Open enough connections to blow the QP cache on both NICs.
+    for _ in range(600):
+        rig.connect()
+    t0 = rig.sim.now
+    ev = qa.post_read(RemotePointer(region.rkey, 0, 32))
+    rig.sim.run(until=ev)
+    assert rig.sim.now - t0 > base
+
+
+def test_metrics_count_ops(rig):
+    qa, qb = rig.connect()
+    region = rig.region(1)
+    rptr = RemotePointer(region.rkey, 0, 8)
+    ev = qa.post_write(rptr, b"12345678")
+    rig.sim.run(until=ev)
+    ev = qa.post_read(rptr)
+    rig.sim.run(until=ev)
+    qb.post_recv()
+    ev = qa.post_send(b"hi")
+    rig.sim.run(until=ev)
+    counters = rig.fabric.metrics.counters
+    assert counters["rdma.write.ops"].value == 1
+    assert counters["rdma.read.ops"].value == 1
+    assert counters["rdma.send.ops"].value == 1
+    assert counters["rdma.write.bytes"].value == 8
+
+
+def test_memory_region_bounds_and_words():
+    r = MemoryRegion(64, name="t")
+    r.write_u64(0, 0xDEADBEEF00112233)
+    assert r.read_u64(0) == 0xDEADBEEF00112233
+    r.write_u32(8, 0xCAFE)
+    assert r.read_u32(8) == 0xCAFE
+    r.zero(0, 8)
+    assert r.read_u64(0) == 0
+    with pytest.raises(AccessViolation):
+        r.read(60, 8)
+    with pytest.raises(AccessViolation):
+        r.write(-1, b"z")
+    with pytest.raises(ValueError):
+        MemoryRegion(0)
+
+
+def test_double_registration_rejected(rig):
+    region = rig.region(0)
+    with pytest.raises(ValueError):
+        rig.machines[1].nic.register(region)
+
+
+def test_deregister_makes_rkey_unknown(rig):
+    qa, _ = rig.connect()
+    region = rig.region(1)
+    rkey = region.rkey
+    rig.fabric.deregister(region)
+    with pytest.raises(QpError):
+        qa.post_read(RemotePointer(rkey, 0, 8))
+
+
+def test_remote_pointer_slice():
+    rp = RemotePointer(5, 100, 50)
+    s = rp.slice(10, 20)
+    assert s == RemotePointer(5, 110, 20)
+    with pytest.raises(ValueError):
+        rp.slice(40, 20)
+
+
+def test_in_order_delivery_property():
+    """RC ordering holds for arbitrary interleavings of write sizes."""
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=2048),
+                    min_size=2, max_size=12))
+    def check(sizes):
+        rig = Rig()
+        qa, _ = rig.connect()
+        region = rig.region(1, nbytes=1 << 16)
+        # Write i's first byte encodes its sequence number; all writes
+        # target the same offset, so the FINAL state must be the LAST one.
+        last = None
+        for i, size in enumerate(sizes):
+            payload = bytes([i]) * size
+            last = qa.post_write(RemotePointer(region.rkey, 0, 4096),
+                                 payload)
+        rig.sim.run(until=last)
+        rig.sim.run(until=rig.sim.now + 10_000)
+        assert region.read(0, 1)[0] == len(sizes) - 1
+
+    check()
+
+
+def test_nic_engine_depth_reflects_backlog(rig):
+    nic = rig.machines[0].nic
+    qa, _ = rig.connect()
+    region = rig.region(1, nbytes=1 << 20)
+    rptr = RemotePointer(region.rkey, 0, 1 << 19)
+    for _ in range(5):
+        qa.post_write(rptr, b"x" * (1 << 19))  # 512 KiB each: ~100 us ser
+    assert nic.tx.depth >= 4  # queued behind the first
+    rig.sim.run(until=rig.sim.now + 10_000_000)
+    assert nic.tx.depth == 0

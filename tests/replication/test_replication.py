@@ -1,0 +1,183 @@
+"""Replication: log records, RDMA logging protocol, strict mode, faults."""
+
+import pytest
+
+from repro import HydraCluster, SimConfig
+from repro.protocol import Op, Status
+from repro.replication import Ack, LogRecord, RecordType
+
+
+# -- record encodings ---------------------------------------------------------
+
+def test_log_record_roundtrip():
+    rec = LogRecord(rtype=RecordType.DATA, seq=7, op=Op.PUT,
+                    key=b"k", value=b"v" * 20, version=3)
+    assert LogRecord.decode(rec.encode()) == rec
+
+
+def test_ack_request_record():
+    rec = LogRecord.ack_request(99)
+    decoded = LogRecord.decode(rec.encode())
+    assert decoded.rtype is RecordType.ACK_REQUEST and decoded.seq == 99
+
+
+def test_log_record_length_check():
+    data = LogRecord(rtype=RecordType.DATA, seq=1, key=b"k").encode()
+    with pytest.raises(ValueError):
+        LogRecord.decode(data + b"x")
+
+
+def test_ack_roundtrip():
+    ack = Ack(applied_seq=12, consumed=4096, epoch=3, failed=True)
+    assert Ack.decode(ack.encode()) == ack
+
+
+# -- end-to-end replication ---------------------------------------------------
+
+def replicated_cluster(replicas=1, mode="rdma_log", fault_probability=0.0,
+                       **hydra):
+    cfg = SimConfig().with_overrides(
+        replication={"replicas": replicas, "mode": mode,
+                     "fault_probability": fault_probability},
+        hydra=hydra or {},
+    )
+    cluster = HydraCluster(config=cfg, n_server_machines=1,
+                           shards_per_server=1)
+    cluster.start()
+    return cluster
+
+
+def drain(cluster, extra_ns=5_000_000):
+    cluster.sim.run(until=cluster.sim.now + extra_ns)
+
+
+def test_mutations_reach_secondary():
+    cluster = replicated_cluster()
+    client = cluster.client()
+
+    def app():
+        for i in range(20):
+            yield from client.put(f"k{i}".encode(), f"v{i}".encode())
+
+    cluster.run(app())
+    drain(cluster)
+    shard = cluster.shards()[0]
+    sec = cluster.secondaries[shard.shard_id][0]
+    assert sec.store.dump() == shard.store.dump()
+    assert sec.applied_seq == 20
+
+
+def test_two_replicas_both_converge():
+    cluster = replicated_cluster(replicas=2)
+    client = cluster.client()
+
+    def app():
+        for i in range(15):
+            yield from client.put(f"k{i}".encode(), b"x" * 24)
+        yield from client.delete(b"k3")
+        yield from client.update(b"k4", b"updated")
+
+    cluster.run(app())
+    drain(cluster)
+    shard = cluster.shards()[0]
+    expected = shard.store.dump()
+    assert b"k3" not in expected and expected[b"k4"] == b"updated"
+    for sec in cluster.secondaries[shard.shard_id]:
+        assert sec.store.dump() == expected
+
+
+def test_versions_preserved_on_secondary():
+    cluster = replicated_cluster()
+    client = cluster.client()
+
+    def app():
+        for _ in range(5):
+            yield from client.put(b"k", b"v")
+
+    cluster.run(app())
+    drain(cluster)
+    shard = cluster.shards()[0]
+    sec = cluster.secondaries[shard.shard_id][0]
+    assert sec.store.get(b"k").version == shard.store.get(b"k").version == 5
+
+
+def test_rdma_log_overhead_small_vs_strict():
+    """Fig. 13 shape at smoke scale: strict ~doubles latency; logging adds
+    a modest overhead."""
+
+    def avg_insert_latency(replicas, mode="rdma_log"):
+        cluster = replicated_cluster(replicas=replicas, mode=mode)
+        client = cluster.client()
+        lat = []
+
+        def app():
+            for i in range(60):
+                t0 = cluster.sim.now
+                yield from client.insert(f"key-{i}".encode(), b"v" * 32)
+                lat.append(cluster.sim.now - t0)
+
+        cluster.run(app())
+        return sum(lat) / len(lat)
+
+    base = avg_insert_latency(0)
+    logging1 = avg_insert_latency(1)
+    strict1 = avg_insert_latency(1, mode="strict")
+    assert base < logging1 < strict1
+    assert (logging1 - base) / base < 0.35   # logging: small overhead
+    assert (strict1 - base) / base > 0.60    # strict: near-doubling
+
+
+def test_fault_injection_recovers_via_rollback():
+    cluster = replicated_cluster(fault_probability=0.05)
+    shard = cluster.shards()[0]
+    sec = cluster.secondaries[shard.shard_id][0]
+    sec._fault_rng = __import__("numpy").random.default_rng(7)
+    client = cluster.client()
+
+    def app():
+        for i in range(200):
+            yield from client.put(f"k{i % 40}".encode(), f"v{i}".encode())
+
+    cluster.run(app())
+    # Force a final ack round so the tail gets resent if needed.
+    rep = cluster.replicators[shard.shard_id]
+    rep._solicit_acks()
+    for _ in range(20):
+        drain(cluster, 2_000_000)
+        if sec.store.dump() == shard.store.dump():
+            break
+        rep._solicit_acks()
+    assert sec.store.dump() == shard.store.dump()
+    assert cluster.metrics.counter("repl.resends").value > 0
+    assert cluster.metrics.counter("replica.discarded").value > 0
+
+
+def test_ring_backpressure_blocks_but_completes():
+    # A tiny ring forces RingFull slow paths constantly.
+    cfg = SimConfig().with_overrides(
+        replication={"replicas": 1, "log_bytes": 1024, "ack_interval": 4})
+    cluster = HydraCluster(config=cfg, n_server_machines=1,
+                           shards_per_server=1)
+    cluster.start()
+    client = cluster.client()
+
+    def app():
+        for i in range(100):
+            yield from client.put(f"k{i}".encode(), b"x" * 64)
+
+    cluster.run(app())
+    drain(cluster)
+    shard = cluster.shards()[0]
+    sec = cluster.secondaries[shard.shard_id][0]
+    assert sec.store.dump() == shard.store.dump()
+
+
+def test_bad_replication_mode_rejected():
+    with pytest.raises(ValueError):
+        replicated_cluster(mode="chain")
+
+
+def test_no_replication_hook_when_disabled():
+    cluster = HydraCluster(n_server_machines=1, shards_per_server=1)
+    assert cluster.replicators == {} and cluster.replica_machines == []
+    assert cluster.shards()[0].replicator is None

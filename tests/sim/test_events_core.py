@@ -1,0 +1,223 @@
+"""Kernel-level tests: event lifecycle, clock, ordering, determinism."""
+
+import pytest
+
+from repro.sim import (
+    Simulator,
+    SimulationError,
+    UnhandledProcessError,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    t = sim.timeout(1500)
+    sim.run()
+    assert sim.now == 1500
+    assert t.processed and t.ok
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    t = sim.timeout(10, value="payload")
+    sim.run()
+    assert t.value == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(100)
+    sim.timeout(300)
+    sim.run(until=200)
+    assert sim.now == 200
+
+
+def test_run_until_time_with_empty_calendar_still_advances():
+    sim = Simulator()
+    sim.run(until=5000)
+    assert sim.now == 5000
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.timeout(100)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=50)
+
+
+def test_event_succeed_and_value():
+    sim = Simulator()
+    ev = sim.event()
+    assert not ev.triggered
+    ev.succeed(42)
+    assert ev.triggered and not ev.processed
+    sim.run()
+    assert ev.processed and ev.ok and ev.value == 42
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_unhandled_failure_crashes_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("boom"))
+    with pytest.raises(UnhandledProcessError):
+        sim.run()
+
+
+def test_defused_failure_does_not_crash():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("boom"))
+    ev.defuse()
+    sim.run()
+    assert ev.processed and not ev.ok
+
+
+def test_fifo_order_within_same_timestamp():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        ev = sim.timeout(100)
+        ev.callbacks.append(lambda e, i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_events_processed_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (500, 100, 300, 200, 400):
+        ev = sim.timeout(delay)
+        ev.callbacks.append(lambda e, d=delay: order.append(d))
+    sim.run()
+    assert order == [100, 200, 300, 400, 500]
+
+
+def test_step_on_empty_calendar_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.timeout(700)
+    sim.timeout(300)
+    assert sim.peek() == 300
+
+
+def test_run_until_event_returns_its_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(50)
+        return "done"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "done"
+    assert sim.now == 50
+
+
+def test_run_until_event_that_never_fires_raises():
+    sim = Simulator()
+    ev = sim.event()
+    sim.timeout(10)
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    a = sim.timeout(100, value="a")
+    b = sim.timeout(200, value="b")
+    cond = sim.any_of([a, b])
+    sim.run(until=cond)
+    assert sim.now == 100
+    assert cond.value == {a: "a"}
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    a = sim.timeout(100, value="a")
+    b = sim.timeout(200, value="b")
+    cond = sim.all_of([a, b])
+    result = sim.run(until=cond)
+    assert sim.now == 200
+    assert result == {a: "a", b: "b"}
+
+
+def test_empty_all_of_fires_immediately():
+    sim = Simulator()
+    cond = sim.all_of([])
+    assert cond.triggered
+
+
+def test_condition_propagates_failure():
+    sim = Simulator()
+    a = sim.event()
+    b = sim.timeout(100)
+    cond = sim.all_of([a, b])
+    a.fail(ValueError("bad"))
+    with pytest.raises(ValueError):
+        sim.run(until=cond)
+
+
+def test_cross_simulator_event_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+    ev = sim2.timeout(1)
+    with pytest.raises(SimulationError):
+        sim1.any_of([ev])
+
+
+def test_determinism_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(wid, period):
+            for _ in range(5):
+                yield sim.timeout(period)
+                log.append((sim.now, wid))
+
+        for wid, period in enumerate((70, 70, 110)):
+            sim.process(worker(wid, period))
+        sim.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,224 @@
+"""Process semantics: suspension, return values, interrupts, errors."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator, SimulationError, UnhandledProcessError
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+        yield sim.timeout(20)
+        return 99
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.processed and p.ok and p.value == 99
+    assert sim.now == 30
+    assert not p.is_alive
+
+
+def test_process_receives_event_value():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        v = yield sim.timeout(5, value="hello")
+        seen.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_process_waiting_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(40)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        return result
+
+    p = sim.process(parent())
+    assert sim.run(until=p) == "child-result"
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    done = sim.timeout(1, value="v")
+    sim.run()
+
+    def proc():
+        v = yield done
+        return v
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "v"
+    assert sim.now == 1  # no extra time consumed
+
+
+def test_deep_chain_of_processed_events_no_recursion_blowup():
+    sim = Simulator()
+    pre = [sim.timeout(0, value=i) for i in range(5000)]
+    sim.run()
+
+    def proc():
+        total = 0
+        for ev in pre:
+            total += yield ev
+        return total
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == sum(range(5000))
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(5)
+        raise KeyError("oops")
+
+    def waiter():
+        try:
+            yield sim.process(bad())
+        except KeyError as e:
+            return f"caught {e}"
+
+    p = sim.process(waiter())
+    assert "caught" in sim.run(until=p)
+
+
+def test_unwaited_process_exception_crashes_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(5)
+        raise KeyError("oops")
+
+    sim.process(bad())
+    with pytest.raises(UnhandledProcessError):
+        sim.run()
+
+
+def test_yield_non_event_is_an_error_in_the_process():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        try:
+            yield 123
+        except SimulationError as e:
+            caught.append(str(e))
+
+    sim.process(proc())
+    sim.run()
+    assert caught and "non-event" in caught[0]
+
+
+def test_interrupt_wakes_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1_000_000)
+        except Interrupt as i:
+            log.append((sim.now, i.cause))
+
+    p = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(100)
+        p.interrupt("die")
+
+    sim.process(killer())
+    sim.run()
+    assert log == [(100, "die")]
+
+
+def test_interrupted_process_can_keep_running():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(1_000_000)
+        except Interrupt:
+            pass
+        yield sim.timeout(50)
+        return "survived"
+
+    p = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(100)
+        p.interrupt()
+
+    sim.process(killer())
+    assert sim.run(until=p) == "survived"
+    assert sim.now == 150
+
+
+def test_interrupt_dead_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupt_detaches_from_target():
+    # After an interrupt, the original awaited event firing later must not
+    # resume the process a second time.
+    sim = Simulator()
+    resumed = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(200)
+        except Interrupt:
+            resumed.append("interrupted")
+        yield sim.timeout(500)
+        resumed.append("after")
+
+    p = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(100)
+        p.interrupt()
+
+    sim.process(killer())
+    sim.run()
+    assert resumed == ["interrupted", "after"]
+    assert sim.now == 600
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_active_process_visible_during_execution():
+    sim = Simulator()
+    observed = []
+
+    def proc():
+        observed.append(sim.active_process)
+        yield sim.timeout(1)
+
+    p = sim.process(proc())
+    sim.run()
+    assert observed == [p]
+    assert sim.active_process is None

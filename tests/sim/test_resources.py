@@ -1,0 +1,223 @@
+"""Store / Resource / Mutex / Gate behaviour."""
+
+import pytest
+
+from repro.sim import Gate, Mutex, Resource, Simulator, SimulationError, Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    sim.process(consumer())
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(250)
+        store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [(250, "late")]
+
+
+def test_store_fifo_across_multiple_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(cid):
+        item = yield store.get()
+        got.append((cid, item))
+
+    for cid in range(3):
+        sim.process(consumer(cid))
+
+    def producer():
+        for item in "xyz":
+            yield sim.timeout(10)
+            store.put(item)
+
+    sim.process(producer())
+    sim.run()
+    assert got == [(0, "x"), (1, "y"), (2, "z")]
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    timeline = []
+
+    def producer():
+        yield store.put("a")
+        timeline.append(("put-a", sim.now))
+        yield store.put("b")
+        timeline.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(100)
+        item = yield store.get()
+        timeline.append((f"got-{item}", sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert ("put-a", 0) in timeline
+    assert ("put-b", 100) in timeline  # unblocked only after the get
+
+
+def test_store_try_put_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.try_put(1) and store.try_put(2)
+    assert not store.try_put(3)
+    ok, item = store.try_get()
+    assert ok and item == 1
+    assert store.try_put(3)
+    assert [store.try_get()[1] for _ in range(2)] == [2, 3]
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(wid):
+        req = res.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(100)
+        res.release(req)
+        spans.append((wid, start, sim.now))
+
+    for wid in range(3):
+        sim.process(worker(wid))
+    sim.run()
+    assert spans == [(0, 0, 100), (1, 100, 200), (2, 200, 300)]
+
+
+def test_resource_capacity_two_allows_overlap():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    ends = []
+
+    def worker(wid):
+        req = res.request()
+        yield req
+        yield sim.timeout(100)
+        res.release(req)
+        ends.append((wid, sim.now))
+
+    for wid in range(4):
+        sim.process(worker(wid))
+    sim.run()
+    assert ends == [(0, 100), (1, 100), (2, 200), (3, 200)]
+
+
+def test_resource_counts():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert res.count == 1 and res.queued == 1
+    res.release(r1)
+    assert res.count == 1 and res.queued == 0
+    res.release(r2)
+    assert res.count == 0
+
+
+def test_release_foreign_request_rejected():
+    sim = Simulator()
+    a, b = Resource(sim), Resource(sim)
+    ra = a.request()
+    with pytest.raises(SimulationError):
+        b.release(ra)
+
+
+def test_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r2)  # cancel while queued
+    res.release(r1)
+    assert res.count == 0 and res.queued == 0
+
+
+def test_mutex_is_capacity_one():
+    sim = Simulator()
+    m = Mutex(sim)
+    assert m.capacity == 1
+
+
+def test_gate_broadcast_wakes_all_waiters():
+    sim = Simulator()
+    gate = Gate(sim)
+    woken = []
+
+    def waiter(wid):
+        v = yield gate.wait()
+        woken.append((wid, v, sim.now))
+
+    for wid in range(3):
+        sim.process(waiter(wid))
+
+    def firer():
+        yield sim.timeout(80)
+        assert gate.fire("go") == 3
+
+    sim.process(firer())
+    sim.run()
+    assert woken == [(0, "go", 80), (1, "go", 80), (2, "go", 80)]
+
+
+def test_gate_rearms_after_fire():
+    sim = Simulator()
+    gate = Gate(sim)
+    assert gate.fire() == 0  # no waiters: no-op
+    log = []
+
+    def waiter():
+        yield gate.wait()
+        log.append(sim.now)
+        yield gate.wait()
+        log.append(sim.now)
+
+    sim.process(waiter())
+
+    def firer():
+        yield sim.timeout(10)
+        gate.fire()
+        yield sim.timeout(10)
+        gate.fire()
+
+    sim.process(firer())
+    sim.run()
+    assert log == [10, 20]

@@ -1,0 +1,145 @@
+"""Application workload models: MapReduce backends, G2, CDR."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.hardware import Machine
+from repro.rdma import Fabric, TcpNetwork
+from repro.sim import Simulator
+from repro.workloads import (
+    AppProfile,
+    CdrProfile,
+    DbClient,
+    FIG2_APPS,
+    G2Profile,
+    HdfsBackend,
+    HydraBackend,
+    HydraTcpBackend,
+    InMemoryDatabase,
+    hydra_g2_cluster,
+    load_subscribers,
+    preload_entities,
+    run_engines,
+    run_job,
+    run_pes,
+)
+
+
+def tcp_world(n=3):
+    cfg = SimConfig()
+    sim = Simulator()
+    fabric, tcpnet = Fabric(sim, cfg), TcpNetwork(sim, cfg)
+    machines = [Machine(sim, i, cfg) for i in range(n)]
+    for m in machines:
+        fabric.attach(m)
+        tcpnet.attach(m)
+    return cfg, sim, machines
+
+
+SMALL = AppProfile("t", "hadoop", input_mb=16, compute_ns_per_mb=0,
+                   n_tasks=2)
+
+
+def test_fig2_profiles_cover_both_frameworks():
+    frameworks = {p.framework for p in FIG2_APPS}
+    assert frameworks == {"hadoop", "spark"}
+    assert len(FIG2_APPS) == 8
+
+
+def test_hdfs_backend_job_completes_and_costs_time():
+    cfg, sim, machines = tcp_world()
+    backend = HdfsBackend(sim, cfg, machines[0], machines[1:])
+    conns = [sim.run(until=sim.process(backend.connect(machines[1])))
+             for _ in range(SMALL.n_tasks)]
+    t = run_job(sim, SMALL, conns)
+    # ~16 MB at ~140 MB/s effective, two parallel tasks.
+    assert 30_000_000 < t < 300_000_000
+
+
+def test_hydra_backend_preload_and_read():
+    backend = HydraBackend(None, SimConfig(), shards=2)
+    backend.preload(8)
+    assert backend._loaded == 8
+    conns = [backend.sim.run(until=backend.sim.process(backend.connect(i)))
+             for i in range(2)]
+    t = run_job(backend.sim, SMALL, conns)
+    assert t > 0
+    # All chunks were served from the cluster (no misses tolerated).
+
+
+def test_hydra_tcp_backend_between_hdfs_and_rdma():
+    profile = SMALL
+    cfg, sim, machines = tcp_world()
+    hdfs = HdfsBackend(sim, cfg, machines[0], machines[1:])
+    conns = [sim.run(until=sim.process(hdfs.connect(machines[1])))
+             for _ in range(profile.n_tasks)]
+    t_hdfs = run_job(sim, profile, conns)
+
+    cfg2, sim2, machines2 = tcp_world()
+    tcpb = HydraTcpBackend(sim2, cfg2, machines2[0])
+    conns = [sim2.run(until=sim2.process(tcpb.connect(machines2[1])))
+             for _ in range(profile.n_tasks)]
+    t_tcp = run_job(sim2, profile, conns)
+
+    backend = HydraBackend(None, SimConfig(), shards=2)
+    backend.preload(profile.input_mb)
+    conns = [backend.sim.run(until=backend.sim.process(backend.connect(i)))
+             for i in range(profile.n_tasks)]
+    t_rdma = run_job(backend.sim, profile, conns)
+    assert t_rdma < t_tcp < t_hdfs
+
+
+def test_g2_db_vs_hydra_single_engine():
+    profile = G2Profile(entity_space=500)
+    cfg, sim, machines = tcp_world(4)
+    db = InMemoryDatabase(sim, cfg, machines[0])
+    preload_entities(db.tables.__setitem__, profile)
+    assert len(db.tables) == 500
+    eps_db, elapsed = run_engines(
+        sim, [DbClient(sim, machines[1], db)], profile, 20)
+    assert eps_db > 0 and elapsed > 0
+
+    from repro.protocol import Op
+    cluster = hydra_g2_cluster(shards=2)
+    preload_entities(
+        lambda k, v: cluster.route(k).store.upsert(k, v, Op.PUT), profile)
+    cluster.start()
+    eps_hy, _ = run_engines(cluster.sim, [cluster.client(0)], profile, 20)
+    assert eps_hy > 5 * eps_db
+
+
+def test_cdr_report_slo_logic():
+    from repro.workloads import CdrReport
+    profile = CdrProfile()
+    good = CdrReport(throughput_mops=2.0, lookup_p99_us=50,
+                     update_p99_us=60, ops=100)
+    slow = CdrReport(throughput_mops=0.2, lookup_p99_us=50,
+                     update_p99_us=60, ops=100)
+    laggy = CdrReport(throughput_mops=2.0, lookup_p99_us=500,
+                      update_p99_us=60, ops=100)
+    assert good.meets(profile)
+    assert not slow.meets(profile)
+    assert not laggy.meets(profile)
+
+
+def test_cdr_end_to_end_meets_slos():
+    profile = CdrProfile(n_subscribers=2000)
+    cluster = hydra_g2_cluster()
+    load_subscribers(cluster, profile)
+    cluster.start()
+    report = run_pes(cluster, profile, n_pes=10, ops_per_pe=150)
+    assert report.ops > 1000
+    assert report.meets(profile)
+    assert report.lookup_p99_us < 100
+
+
+def test_run_job_splits_input_evenly():
+    backend = HydraBackend(None, SimConfig(), shards=2)
+    backend.preload(8)
+    conns = [backend.sim.run(until=backend.sim.process(backend.connect(i)))
+             for i in range(4)]
+    profile = AppProfile("even", "hadoop", input_mb=8, compute_ns_per_mb=0,
+                         n_tasks=4)
+    run_job(backend.sim, profile, conns)
+    reads = [c._next for c in conns]
+    assert all(r == reads[0] for r in reads)  # equal chunk counts

@@ -1,0 +1,126 @@
+"""The §2.1 cache layer: prefetch, hit/miss, LRU eviction."""
+
+import pytest
+
+from repro import HydraCluster
+from repro.workloads.cachelayer import CacheLayer
+
+CHUNK = 1024
+FETCH_NS = 2_000_000  # a slow backing-store (HDFS) fetch
+
+
+def make_layer(capacity=4):
+    cluster = HydraCluster(n_server_machines=1, shards_per_server=2)
+    cluster.start()
+    client = cluster.client()
+    fetches = []
+
+    def source(key):
+        fetches.append(key)
+        return FETCH_NS, key.ljust(CHUNK, b".")
+
+    return cluster, CacheLayer(client, capacity, source), fetches
+
+
+def test_prefetch_then_hits():
+    cluster, cache, fetches = make_layer()
+    keys = [f"blk{i}".encode() for i in range(3)]
+    got = {}
+
+    def app():
+        yield from cache.prefetch(keys)
+        for k in keys:
+            got[k] = yield from cache.read(k)
+
+    cluster.run(app())
+    assert cache.stats.prefetched == 3
+    assert cache.stats.hits == 3 and cache.stats.misses == 0
+    assert fetches == keys  # fetched exactly once each
+    for k in keys:
+        assert got[k].startswith(k)
+
+
+def test_miss_demand_fills_and_next_read_hits():
+    cluster, cache, fetches = make_layer()
+
+    def app():
+        v1 = yield from cache.read(b"cold")
+        assert v1.startswith(b"cold")
+        v2 = yield from cache.read(b"cold")
+        assert v2 == v1
+
+    cluster.run(app())
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+    assert len(fetches) == 1
+
+
+def test_miss_pays_source_latency_hit_does_not():
+    cluster, cache, _ = make_layer()
+    times = {}
+
+    def app():
+        t0 = cluster.sim.now
+        yield from cache.read(b"x")
+        times["miss"] = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        yield from cache.read(b"x")
+        times["hit"] = cluster.sim.now - t0
+
+    cluster.run(app())
+    assert times["miss"] > FETCH_NS
+    assert times["hit"] < FETCH_NS / 10
+
+
+def test_lru_eviction_at_capacity():
+    cluster, cache, fetches = make_layer(capacity=3)
+
+    def app():
+        for i in range(3):
+            yield from cache.read(f"b{i}".encode())
+        yield from cache.read(b"b0")       # refresh b0
+        yield from cache.read(b"b3")       # evicts b1 (coldest)
+        assert b"b1" not in cache
+        assert b"b0" in cache and b"b3" in cache
+        yield from cache.read(b"b1")       # miss again
+
+    cluster.run(app())
+    assert cache.stats.evictions >= 2
+    assert len(cache) == 3
+    assert fetches.count(b"b1") == 2  # evicted then refetched
+
+
+def test_evicted_chunks_removed_from_store():
+    cluster, cache, _ = make_layer(capacity=2)
+
+    def app():
+        for i in range(5):
+            yield from cache.read(f"b{i}".encode())
+
+    cluster.run(app())
+    total = sum(len(s.store) for s in cluster.shards())
+    assert total == 2  # only the cached residents remain in HydraDB
+
+
+def test_invalidate():
+    cluster, cache, fetches = make_layer()
+
+    def app():
+        yield from cache.read(b"k")
+        yield from cache.invalidate(b"k")
+        assert b"k" not in cache
+        yield from cache.read(b"k")  # refetch
+
+    cluster.run(app())
+    assert len(fetches) == 2
+
+
+def test_capacity_validation():
+    cluster, cache, _ = make_layer()
+    with pytest.raises(ValueError):
+        CacheLayer(cache.client, 0, lambda k: (0, b""))
+
+
+def test_stats_dict():
+    _, cache, _ = make_layer()
+    d = cache.stats.as_dict()
+    assert d["hit_rate"] == 0.0 and d["hits"] == 0

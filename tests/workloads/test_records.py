@@ -1,0 +1,108 @@
+"""Columnar record codec (the G2 protobuf-style table flattening)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.records import Field, RecordError, RecordSchema
+
+PERSON = RecordSchema("person", [
+    Field(1, "id", int),
+    Field(2, "name", str),
+    Field(3, "blob", bytes),
+    Field(4, "score", int),
+])
+
+
+def test_roundtrip_all_fields():
+    rec = {"id": 42, "name": "Ada", "blob": b"\x00\x01", "score": -7}
+    assert PERSON.decode(PERSON.encode(rec)) == rec
+
+
+def test_missing_fields_omitted():
+    rec = {"id": 1}
+    out = PERSON.decode(PERSON.encode(rec))
+    assert out == {"id": 1}
+
+
+def test_negative_and_large_ints():
+    for v in (0, -1, 1, -(2**40), 2**40, 2**62):
+        assert PERSON.decode(PERSON.encode({"id": v}))["id"] == v
+
+
+def test_unknown_tags_skipped_forward_compat():
+    extended = RecordSchema("v2", [
+        Field(1, "id", int),
+        Field(9, "extra", str),
+    ])
+    blob = extended.encode({"id": 5, "extra": "future"})
+    # The v1 schema (PERSON) decodes what it knows, skips tag 9.
+    assert PERSON.decode(blob) == {"id": 5}
+
+
+def test_type_validation_on_encode():
+    with pytest.raises(RecordError):
+        PERSON.encode({"id": "not-an-int"})
+    with pytest.raises(RecordError):
+        PERSON.encode({"name": 99})
+    with pytest.raises(RecordError):
+        PERSON.encode({"blob": "not-bytes"})
+    with pytest.raises(RecordError):
+        PERSON.encode({"id": True})  # bools are not ints here
+
+
+def test_truncated_data_rejected():
+    blob = PERSON.encode({"name": "hello"})
+    with pytest.raises(RecordError):
+        PERSON.decode(blob[:-2])
+    with pytest.raises(RecordError):
+        PERSON.decode(b"\x80")  # endless varint
+
+
+def test_wire_type_mismatch_rejected():
+    wrong = RecordSchema("w", [Field(1, "id", str)])
+    blob = PERSON.encode({"id": 3})  # tag 1 as varint
+    with pytest.raises(RecordError):
+        wrong.decode(blob)
+
+
+def test_schema_validation():
+    with pytest.raises(ValueError):
+        RecordSchema("dup", [Field(1, "a", int), Field(1, "b", int)])
+    with pytest.raises(ValueError):
+        RecordSchema("dup", [Field(1, "a", int), Field(2, "a", int)])
+    with pytest.raises(ValueError):
+        Field(0, "bad", int)
+    with pytest.raises(ValueError):
+        Field(1, "bad", float)
+
+
+def test_key_for():
+    assert PERSON.key_for("people", 42) == b"people/42"
+
+
+def test_kv_integration_with_hydradb():
+    """The actual G2 pattern: rows flattened into HydraDB values."""
+    from repro import HydraCluster
+    cluster = HydraCluster(n_server_machines=1, shards_per_server=2)
+    cluster.start()
+    client = cluster.client()
+    row = {"id": 7, "name": "observation-7", "score": 99}
+    key = PERSON.key_for("events", 7)
+
+    def app():
+        yield from client.put(key, PERSON.encode(row))
+        blob = yield from client.get(key)
+        assert PERSON.decode(blob) == row
+
+    cluster.run(app())
+
+
+@given(st.builds(
+    dict,
+    id=st.integers(min_value=-2**62, max_value=2**62),
+    name=st.text(max_size=40),
+    blob=st.binary(max_size=60),
+    score=st.integers(min_value=-10**9, max_value=10**9),
+))
+def test_roundtrip_property(rec):
+    assert PERSON.decode(PERSON.encode(rec)) == rec

@@ -1,0 +1,161 @@
+"""Workload generators: zipfian skew, keyspace, YCSB pre-generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.keys import Keyspace, make_key, make_value
+from repro.workloads.ycsb import (
+    OP_GET,
+    OP_UPDATE,
+    PAPER_WORKLOADS,
+    YcsbSpec,
+    YcsbWorkload,
+    paper_spec,
+)
+from repro.workloads.zipf import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    zeta,
+)
+
+
+def test_zeta_matches_direct_sum():
+    n, theta = 1000, 0.99
+    direct = sum(1.0 / i**theta for i in range(1, n + 1))
+    assert zeta(n, theta) == pytest.approx(direct, rel=1e-9)
+
+
+def test_zipfian_rank_zero_most_frequent():
+    gen = ZipfianGenerator(10_000, rng=np.random.default_rng(1))
+    sample = gen.sample(200_000)
+    counts = np.bincount(sample, minlength=10_000)
+    assert counts[0] == counts.max()
+    assert counts[0] > counts[10] > counts[1000]
+
+
+def test_zipfian_head_mass():
+    # With theta=0.99 the hottest ~1% of items draw a large share.
+    n = 10_000
+    gen = ZipfianGenerator(n, rng=np.random.default_rng(2))
+    sample = gen.sample(100_000)
+    hot = np.sum(sample < n // 100) / len(sample)
+    assert hot > 0.25
+
+
+def test_zipfian_bounds_and_determinism():
+    g1 = ZipfianGenerator(500, rng=np.random.default_rng(3))
+    g2 = ZipfianGenerator(500, rng=np.random.default_rng(3))
+    s1, s2 = g1.sample(10_000), g2.sample(10_000)
+    assert (s1 == s2).all()
+    assert s1.min() >= 0 and s1.max() < 500
+    assert 0 <= g1.one() < 500
+
+
+def test_zipfian_validation():
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, theta=1.0)
+    with pytest.raises(ValueError):
+        UniformGenerator(0)
+    with pytest.raises(ValueError):
+        zeta(0, 0.99)
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    n = 10_000
+    gen = ScrambledZipfianGenerator(n, rng=np.random.default_rng(4))
+    sample = gen.sample(100_000)
+    assert sample.min() >= 0 and sample.max() < n
+    # Still skewed: top-10 keys carry far more than 10/n of the mass...
+    _values, counts = np.unique(sample, return_counts=True)
+    top10 = np.sort(counts)[-10:].sum() / len(sample)
+    assert top10 > 0.15
+    # ...but the hottest keys are scattered, not clustered at 0.
+    order = np.argsort(counts)[::-1]
+    hottest = _values[order[:10]]
+    assert hottest.max() > n // 10
+
+
+def test_uniform_is_flat():
+    gen = UniformGenerator(1000, rng=np.random.default_rng(5))
+    counts = np.bincount(gen.sample(100_000), minlength=1000)
+    assert counts.max() < 3 * counts.mean()
+
+
+def test_make_key_width_and_value():
+    assert make_key(42) == b"user000000000042"
+    assert len(make_key(42)) == 16
+    assert len(make_value(42, 32)) == 32
+    with pytest.raises(ValueError):
+        make_key(10**13)
+
+
+def test_keyspace_memoizes():
+    ks = Keyspace(100)
+    assert ks.key(5) is ks.key(5)
+    assert ks.verify(5, ks.value(5))
+    assert not ks.verify(5, None)
+    assert not ks.verify(5, b"short")
+
+
+def test_paper_workloads_cover_six_mixes():
+    assert len(PAPER_WORKLOADS) == 6
+    mixes = {(s.get_fraction, s.distribution) for s in PAPER_WORKLOADS}
+    assert mixes == {(1.0, "zipfian"), (0.9, "zipfian"), (0.5, "zipfian"),
+                     (1.0, "uniform"), (0.9, "uniform"), (0.5, "uniform")}
+    spec = paper_spec(0.9, "uniform", n_ops=123)
+    assert spec.n_ops == 123
+    with pytest.raises(KeyError):
+        paper_spec(0.7, "zipfian")
+
+
+def test_ycsb_workload_generation():
+    spec = YcsbSpec(name="t", n_records=1000, n_ops=10_000, get_fraction=0.9,
+                    distribution="zipfian", seed=7)
+    wl = YcsbWorkload(spec)
+    assert len(wl) == 10_000
+    get_frac = np.mean(wl.ops == OP_GET)
+    assert 0.87 < get_frac < 0.93
+    assert wl.key_indices.min() >= 0 and wl.key_indices.max() < 1000
+    assert len(wl.hot_keys(5)) == 5
+
+
+def test_ycsb_deterministic_by_seed():
+    spec = YcsbSpec(name="t", n_records=100, n_ops=1000, seed=9)
+    a, b = YcsbWorkload(spec), YcsbWorkload(spec)
+    assert (a.ops == b.ops).all() and (a.key_indices == b.key_indices).all()
+
+
+def test_ycsb_slices_partition_exactly():
+    spec = YcsbSpec(name="t", n_records=100, n_ops=1003)
+    wl = YcsbWorkload(spec)
+    total = 0
+    for i in range(7):
+        ops, keys = wl.slice_for(i, 7)
+        assert len(ops) == len(keys)
+        total += len(ops)
+    assert total == 1003
+    with pytest.raises(ValueError):
+        wl.slice_for(7, 7)
+
+
+def test_ycsb_unknown_distribution():
+    with pytest.raises(ValueError):
+        YcsbWorkload(YcsbSpec(name="t", distribution="pareto"))
+
+
+def test_spec_scaled():
+    spec = PAPER_WORKLOADS[0].scaled(records=50, ops=60)
+    assert spec.n_records == 50 and spec.n_ops == 60
+    assert PAPER_WORKLOADS[0].n_records != 50  # frozen original untouched
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 5000), theta=st.floats(0.2, 0.99))
+def test_zipfian_samples_in_range_property(n, theta):
+    gen = ZipfianGenerator(n, theta=theta, rng=np.random.default_rng(0))
+    s = gen.sample(500)
+    assert s.min() >= 0 and s.max() < n
