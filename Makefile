@@ -1,17 +1,29 @@
 # Convenience targets for the HydraDB reproduction.
 
 PYTEST ?= python -m pytest
+RUFF ?= ruff
 
-.PHONY: test bench bench-quick figures examples clean
+.PHONY: test lint bench bench-quick bench-inflight figures examples clean
 
 test:
 	$(PYTEST) tests/
+
+lint:
+	@if command -v $(RUFF) >/dev/null 2>&1; then \
+		$(RUFF) check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to a syntax check"; \
+		python -m compileall -q src tests benchmarks examples; \
+	fi
 
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only
 
 bench-quick:
 	REPRO_SCALE=0.2 $(PYTEST) benchmarks/ --benchmark-only
+
+bench-inflight:
+	python -m repro.bench inflight --scale 1.0
 
 figures:
 	python -m repro.bench all --scale 0.5

@@ -37,6 +37,8 @@ from .experiments import (
     fig12_scale_out,
     fig12_scale_up,
     fig13_replication,
+    inflight_sweep,
+    write_inflight_artifact,
 )
 from .report import format_table
 
@@ -77,6 +79,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
                    lambda scale=None: ablation_value_size(), False),
     "ab-ack": ("Ablation — replication ack interval",
                lambda scale=None: ablation_ack_interval(), False),
+    "inflight": ("Pipelined client — throughput vs in-flight window",
+                 inflight_sweep, True),
 }
 
 
@@ -112,6 +116,11 @@ def main(argv: list[str] | None = None) -> int:
             print()
             if sink:
                 sink.write(table + "\n" + footer + "\n\n")
+            if name == "inflight":
+                # Machine-readable perf trajectory artifact (one per repo
+                # checkout; re-run `make bench-inflight` to refresh).
+                path = write_inflight_artifact(rows)
+                print(f"[inflight: artifact written to {path}]")
     finally:
         if sink:
             sink.close()

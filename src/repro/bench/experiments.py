@@ -10,6 +10,7 @@ records paper-vs-measured values produced by these exact functions.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Optional, Sequence
 
@@ -67,6 +68,8 @@ __all__ = [
     "ablation_lease_length",
     "ablation_value_size",
     "ablation_ack_interval",
+    "inflight_sweep",
+    "write_inflight_artifact",
 ]
 
 #: Default op/record count at scale=1.0 (the paper uses 60 M of each).
@@ -807,6 +810,82 @@ def ablation_value_size(sizes: Sequence[int] = (32, 256, 1024, 4096, 65536),
             "get_mean_us": sum(lat) / len(lat) / 1000.0,
         })
     return rows
+
+
+def inflight_sweep(scale: float = 1.0,
+                   windows: Sequence[int] = (1, 4, 16),
+                   value_bytes: int = 32) -> list[dict]:
+    """Message-path GET/PUT throughput vs per-connection in-flight window.
+
+    One client machine against one single-threaded shard, remote-pointer
+    cache disabled so every operation takes the slotted message path.
+    ``window=1`` is the original stop-and-wait client; larger windows keep
+    multiple slots in flight per connection via ``get_many``/``put_many``,
+    amortizing polling and doorbells — the speedup column is the headline
+    number (BENCH_inflight.json records it across PRs).
+    """
+    n_ops = max(240, int(BASE_OPS * scale))
+    keys = [f"k{i:06d}".encode() for i in range(256)]
+    rows: list[dict] = []
+    base_get = base_put = None
+    for window in windows:
+        cfg = SimConfig().with_overrides(hydra={
+            "msg_slots_per_conn": window,
+            "max_inflight_per_conn": window,
+            "rptr_cache_enabled": False,
+        })
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=1, n_client_machines=1)
+        for key in keys:
+            cluster.route(key).store_for_key(key).upsert(
+                key, b"v" * value_bytes, Op.PUT)
+        cluster.start()
+        client = cluster.client()
+        batch = max(1, window) * 4
+        elapsed: dict[str, int] = {}
+
+        def app():
+            pairs = [(keys[j % len(keys)], b"w" * value_bytes)
+                     for j in range(n_ops)]
+            t0 = cluster.sim.now
+            for s in range(0, n_ops, batch):
+                yield from client.put_many(pairs[s:s + batch])
+            elapsed["put"] = cluster.sim.now - t0
+            gets = [keys[j % len(keys)] for j in range(n_ops)]
+            t0 = cluster.sim.now
+            for s in range(0, n_ops, batch):
+                yield from client.get_many(gets[s:s + batch])
+            elapsed["get"] = cluster.sim.now - t0
+
+        cluster.run(app())
+        get_kops = n_ops / elapsed["get"] * 1e6
+        put_kops = n_ops / elapsed["put"] * 1e6
+        if base_get is None:
+            base_get, base_put = get_kops, put_kops
+        rows.append({
+            "window": window,
+            "get_kops": get_kops,
+            "put_kops": put_kops,
+            "get_speedup": get_kops / base_get,
+            "put_speedup": put_kops / base_put,
+        })
+    return rows
+
+
+def write_inflight_artifact(rows: list[dict],
+                            path: str = "BENCH_inflight.json") -> str:
+    """Dump the inflight sweep as a machine-readable perf artifact."""
+    payload = {
+        "experiment": "inflight_depth_sweep",
+        "description": "message-path ops/s vs per-connection in-flight "
+                       "window (1 shard, 1 client, rptr cache off)",
+        "unit": "kops",
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
 
 
 def ablation_ack_interval(intervals: Sequence[int] = (1, 8, 32, 128),

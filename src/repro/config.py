@@ -182,6 +182,15 @@ class HydraConfig:
 
     #: Per-connection request/response buffer bytes.
     conn_buf_bytes: int = 16 << 10
+    #: Indicator-framed message slots each connection buffer is divided
+    #: into (§4.2.1 generalized).  1 = the original single-message layout;
+    #: K > 1 lets a client keep up to K requests in flight on one
+    #: connection, with responses slot-matched to their requests.
+    msg_slots_per_conn: int = 1
+    #: Client-side in-flight window per connection.  The effective window
+    #: on the RDMA-Write message path is min(this, msg_slots_per_conn).
+    #: 1 preserves the original stop-and-wait behavior.
+    max_inflight_per_conn: int = 1
     #: Client gives up on a response after this long (failover trigger).
     op_timeout_ns: int = 50_000_000
     #: Hash-table buckets per shard (power of two).

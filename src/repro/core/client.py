@@ -10,36 +10,68 @@ dead/garbage result counts as an *invalid hit*: the entry is dropped and
 the GET falls back to the message path, which also returns a fresh pointer
 and lease.
 
-Message path: the request is indicator-framed and RDMA-Written into the
-shard's per-connection request buffer; the client then polls its response
-buffer (Send/Recv mode posts a receive and polls the CQ instead).
+Message path: the request is indicator-framed and RDMA-Written into a free
+slot of the shard's per-connection request buffer; the client then polls
+its response buffer (Send/Recv mode posts a receive and polls the CQ
+instead).  The message path is *pipelined*: ``issue()`` returns a
+:class:`PendingRequest` handle without blocking on the response, and
+``wait()`` collects it later, so up to ``hydra.max_inflight_per_conn``
+requests overlap per connection (and any number across connections).
+``get_many``/``put_many`` fan a batch across slots and shards and gather
+responses as they complete.  With the default window of 1 every operation
+degenerates to the original stop-and-wait behavior.
 """
 
 from __future__ import annotations
 
+from bisect import insort
+from dataclasses import dataclass, field
 from itertools import count
-from typing import Optional, TYPE_CHECKING
+from typing import Optional
 
 from ..config import SimConfig
 from ..hardware import Machine
 from ..kvmem import parse_item
 from ..protocol import (Op, Request, Response, Status, clear, consume,
-                         frame, frame_len, response_wire_len)
+                         frame, frame_len)
 from ..rdma import Nic, QpError
 from ..sim import MetricSet, Simulator
 from .rptr import CachedPointer, RptrCache
 from .shard import Connection, Shard
 
-if TYPE_CHECKING:  # pragma: no cover
-    pass
-
-__all__ = ["HydraClient", "RequestTimeout", "StaticRouter"]
+__all__ = ["HydraClient", "PendingRequest", "RequestTimeout", "StaticRouter"]
 
 _client_ids = count(1)
 
 
 class RequestTimeout(Exception):
     """No response within the operation timeout (dead shard suspected)."""
+
+
+@dataclass(frozen=True)
+class PendingRequest:
+    """Handle for an issued, not-yet-collected message-path request."""
+
+    req_id: int
+    shard: Shard
+    conn: Connection
+    slot: int  # -1 in two-sided (Send/Recv) mode
+
+
+@dataclass
+class _ConnPipeline:
+    """Client-side in-flight bookkeeping for one connection."""
+
+    conn: Connection
+    #: Request-buffer slots not currently carrying an outstanding request
+    #: (RDMA-Write messaging only), kept sorted for determinism.
+    free_slots: list[int] = field(default_factory=list)
+    #: slot -> req_id for every slot carrying an outstanding request.
+    slot_req: dict[int, int] = field(default_factory=dict)
+    #: req_id -> slot for requests a wait() may still collect.
+    inflight: dict[int, int] = field(default_factory=dict)
+    #: Responses drained while waiting for a different request.
+    completed: dict[int, Response] = field(default_factory=dict)
 
 
 class StaticRouter:
@@ -68,12 +100,14 @@ class HydraClient:
     def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
                  router, metrics: Optional[MetricSet] = None,
                  rptr_cache: Optional[RptrCache] = None,
-                 client_id: Optional[str] = None):
+                 client_id: Optional[str] = None, numa_domain: int = 0):
         self.sim = sim
         self.config = config
         self.hydra = config.hydra
         self.cpu = config.cpu
         self.machine = machine
+        #: NUMA domain this client's buffers live in on its machine.
+        self.numa_domain = numa_domain
         self.nic: Nic = machine.nic
         self.router = router
         self.metrics = metrics or MetricSet(sim)
@@ -90,6 +124,8 @@ class HydraClient:
         #: connection is created transparently on the next operation.
         self.conns: dict[Shard, Connection] = {}
         self._tcp_conns: dict[Shard, object] = {}
+        #: Per-connection pipeline state, keyed by conn_id.
+        self._pipes: dict[int, _ConnPipeline] = {}
         self._req_ids = count(1)
 
     # -- connections ---------------------------------------------------------
@@ -97,9 +133,18 @@ class HydraClient:
         """The (lazily created) RDMA connection to a shard."""
         conn = self.conns.get(shard)
         if conn is None:
-            conn = shard.connect(self.nic)
+            conn = shard.connect(self.nic,
+                                 client_numa_domain=self.numa_domain)
             self.conns[shard] = conn
         return conn
+
+    def _pipe(self, conn: Connection) -> _ConnPipeline:
+        pipe = self._pipes.get(conn.conn_id)
+        if pipe is None:
+            pipe = _ConnPipeline(conn,
+                                 free_slots=list(range(conn.n_slots)))
+            self._pipes[conn.conn_id] = pipe
+        return pipe
 
     def connect_all(self) -> None:
         """Eagerly connect to every shard the router knows."""
@@ -113,6 +158,7 @@ class HydraClient:
         """Tear down the connection to one shard."""
         conn = self.conns.pop(shard, None)
         if conn is not None:
+            self._pipes.pop(conn.conn_id, None)
             conn.close()
 
     # -- public operations (generator API) ---------------------------------
@@ -203,63 +249,208 @@ class HydraClient:
             version=resp.version,
         ))
 
-    def _request(self, shard: Shard, req: Request):
-        """Message path: send the request, await the framed response."""
+    # -- pipelined message path (issue / wait split) ------------------------
+    def _window(self, conn: Connection) -> int:
+        window = max(1, self.hydra.max_inflight_per_conn)
+        if self.hydra.rdma_write_messaging:
+            window = min(window, conn.n_slots)
+        return window
+
+    def issue(self, shard: Shard, req: Request):
+        """Issue one message-path request; returns a :class:`PendingRequest`.
+
+        Blocks (in simulated time) only while the connection's in-flight
+        window is exhausted — draining completed responses as it waits —
+        never on the issued request's own response.  Collect the response
+        later with :meth:`wait`.
+        """
         req = Request(op=req.op, key=req.key, value=req.value,
                       req_id=next(self._req_ids))
         self.metrics.counter("client.messages").add()
         data = req.encode()
         yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
-        if self.hydra.transport == "tcp":
-            resp = yield from self._tcp_request(shard, req, data)
-            return resp
-        buf = self.hydra.conn_buf_bytes
-        if frame_len(len(data)) > buf:
-            raise ValueError(
-                f"request of {len(data)}B exceeds the {buf}B connection "
-                f"buffer; raise hydra.conn_buf_bytes for large items")
         conn = self.connection_to(shard)
-        if self.hydra.rdma_write_messaging:
-            conn.client_qp.post_write(conn.req_rptr, frame(data))
-        else:
-            conn.client_qp.post_recv()
-            conn.client_qp.post_send(data)
-        payload = yield from self._await_response(conn)
-        resp = Response.decode(payload)
-        if resp.req_id != req.req_id:
-            raise RuntimeError(
-                f"response/request id mismatch ({resp.req_id} != {req.req_id})"
-            )
-        return resp
-
-    def _await_response(self, conn: Connection):
+        pipe = self._pipe(conn)
+        window = self._window(conn)
         deadline = self.sim.now + self.hydra.op_timeout_ns
-        while True:
-            if self.hydra.rdma_write_messaging:
-                payload = consume(conn.resp_region, 0)
-                if payload is not None:
-                    clear(conn.resp_region, 0, len(payload))
-                    yield self.sim.timeout(self.cpu.poll_probe_ns)
-                    return payload
-            else:
-                cqe = conn.client_qp.recv_cq.poll_one()
-                if cqe is not None and cqe.ok:
-                    yield self.sim.timeout(self.cpu.cq_poll_ns)
-                    return cqe.data
+        while (len(pipe.inflight) >= window
+               or (self.hydra.rdma_write_messaging and not pipe.free_slots)):
+            drained = yield from self._drain(pipe)
+            if drained:
+                continue
             remaining = deadline - self.sim.now
             if remaining <= 0:
                 raise RequestTimeout(
+                    f"{self.client_id}: window full and shard silent "
+                    f"(conn {conn.conn_id})")
+            yield self.sim.any_of([conn.client_doorbell.wait(),
+                                   self.sim.timeout(remaining)])
+        if self.hydra.rdma_write_messaging:
+            slot_bytes = conn.layout.slot_bytes
+            if frame_len(len(data)) > slot_bytes:
+                raise ValueError(
+                    f"request of {len(data)}B exceeds the {slot_bytes}B "
+                    f"message slot; raise hydra.conn_buf_bytes or lower "
+                    f"hydra.msg_slots_per_conn for large items")
+            slot = pipe.free_slots.pop(0)
+            conn.client_qp.post_write(conn.req_slot_rptrs[slot], frame(data))
+            pipe.slot_req[slot] = req.req_id
+        else:
+            conn.client_qp.post_recv()
+            conn.client_qp.post_send(data)
+            slot = -1
+        pipe.inflight[req.req_id] = slot
+        return PendingRequest(req_id=req.req_id, shard=shard, conn=conn,
+                              slot=slot)
+
+    def wait(self, pending: PendingRequest):
+        """Collect the response for an issued request (blocks until it
+        lands or the operation timeout expires)."""
+        conn = pending.conn
+        pipe = self._pipe(conn)
+        deadline = self.sim.now + self.hydra.op_timeout_ns
+        while True:
+            resp = pipe.completed.pop(pending.req_id, None)
+            if resp is not None:
+                return resp
+            drained = yield from self._drain(pipe)
+            if drained:
+                continue
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                # Abandon the request and reclaim its slot (the request —
+                # or its response — is presumed lost with the shard).  A
+                # late response carries a req_id nobody waits on any more,
+                # so _land discards it as stale instead of raising.
+                slot = pipe.inflight.pop(pending.req_id, None)
+                if slot is not None and slot >= 0:
+                    pipe.slot_req.pop(slot, None)
+                    insort(pipe.free_slots, slot)
+                raise RequestTimeout(
                     f"{self.client_id}: no response from shard "
-                    f"(conn {conn.conn_id})"
-                )
+                    f"(conn {conn.conn_id})")
             ev = yield self.sim.any_of([
                 conn.client_doorbell.wait(),
                 self.sim.timeout(remaining),
             ])
             del ev  # loop re-probes regardless of which event fired
 
-    def _tcp_request(self, shard: Shard, req: Request, data: bytes):
+    def _drain(self, pipe: _ConnPipeline):
+        """Consume every landed response on one connection (non-blocking).
+
+        Stale responses — req_ids nobody is waiting on any more, e.g. from
+        a request that timed out earlier on this connection — are discarded
+        and counted instead of poisoning the next call (they used to raise).
+        Returns the number of responses landed.
+        """
+        conn = pipe.conn
+        landed = 0
+        if self.hydra.rdma_write_messaging:
+            for slot in sorted(pipe.slot_req):
+                off = conn.layout.offset(slot)
+                payload = consume(conn.resp_region, off)
+                if payload is None:
+                    continue
+                clear(conn.resp_region, off, len(payload))
+                yield self.sim.timeout(self.cpu.poll_probe_ns)
+                try:
+                    resp = Response.decode(payload)
+                except (ValueError, KeyError):
+                    resp = None
+                if resp is None or resp.req_id != pipe.slot_req[slot]:
+                    # Garbage frame or a late response from a request that
+                    # timed out before this slot was reused: discard it and
+                    # keep the slot — its current request is still pending.
+                    self.metrics.counter("client.stale_responses").add()
+                    continue
+                pipe.slot_req.pop(slot)
+                insort(pipe.free_slots, slot)
+                pipe.inflight.pop(resp.req_id, None)
+                pipe.completed[resp.req_id] = resp
+                landed += 1
+        else:
+            while True:
+                cqe = conn.client_qp.recv_cq.poll_one()
+                if cqe is None or not cqe.ok:
+                    break
+                yield self.sim.timeout(self.cpu.cq_poll_ns)
+                try:
+                    resp = Response.decode(cqe.data)
+                except (ValueError, KeyError):
+                    resp = None
+                if resp is None or pipe.inflight.pop(resp.req_id,
+                                                     None) is None:
+                    self.metrics.counter("client.stale_responses").add()
+                    continue
+                pipe.completed[resp.req_id] = resp
+                landed += 1
+        return landed
+
+    def _request(self, shard: Shard, req: Request):
+        """Message path: send the request, await the framed response."""
+        if self.hydra.transport == "tcp":
+            resp = yield from self._tcp_request(shard, req)
+            return resp
+        pending = yield from self.issue(shard, req)
+        resp = yield from self.wait(pending)
+        return resp
+
+    # -- multi-key operations -----------------------------------------------
+    def get_many(self, keys: list[bytes]):
+        """Pipelined multi-GET; returns values aligned with ``keys``.
+
+        Requests fan out across slots and shards (message path only — the
+        one-sided fast path stays per-key) and responses are gathered as
+        they complete, so total latency approaches the slowest single
+        round trip rather than the sum of them.  Successful responses
+        still prime the remote-pointer cache for later single-key GETs.
+        """
+        results: list[Optional[bytes]] = [None] * len(keys)
+        if self.hydra.transport == "tcp":
+            for i, key in enumerate(keys):
+                results[i] = yield from self.get(key)
+            return results
+        pendings = []
+        for key in keys:
+            shard = self.router.route(key)
+            pendings.append((yield from self.issue(
+                shard, Request(op=Op.GET, key=key))))
+        for i, pending in enumerate(pendings):
+            resp = yield from self.wait(pending)
+            if resp.status is Status.NOT_FOUND:
+                continue
+            if resp.status is not Status.OK:
+                raise RuntimeError(f"GET failed: {resp.status.name}")
+            self._maybe_cache(keys[i], resp)
+            results[i] = resp.value
+        return results
+
+    def put_many(self, pairs: list[tuple[bytes, bytes]]):
+        """Pipelined multi-PUT; returns a Status per ``(key, value)``."""
+        statuses: list[Status] = [Status.ERROR] * len(pairs)
+        if self.hydra.transport == "tcp":
+            for i, (key, value) in enumerate(pairs):
+                statuses[i] = yield from self.put(key, value)
+            return statuses
+        pendings = []
+        for key, value in pairs:
+            shard = self.router.route(key)
+            pendings.append((yield from self.issue(
+                shard, Request(op=Op.PUT, key=key, value=value))))
+        for i, pending in enumerate(pendings):
+            resp = yield from self.wait(pending)
+            if self.cache is not None and resp.status is Status.OK:
+                self.cache.invalidate(pairs[i][0])
+            statuses[i] = resp.status
+        return statuses
+
+    def _tcp_request(self, shard: Shard, req: Request):
         """Kernel-TCP request path (transport == "tcp")."""
+        req = Request(op=req.op, key=req.key, value=req.value,
+                      req_id=next(self._req_ids))
+        self.metrics.counter("client.messages").add()
+        data = req.encode()
+        yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
         conn = self._tcp_conns.get(shard)
         if conn is None:
             if shard.tcp_port < 0:
@@ -269,8 +460,11 @@ class HydraClient:
                                                   shard.tcp_port)
             self._tcp_conns[shard] = conn
         yield conn.send(data, req.wire_len + 40)
-        payload, _n = yield conn.recv()
-        resp = Response.decode(payload)
-        if resp.req_id != req.req_id:
-            raise RuntimeError("response/request id mismatch over TCP")
-        return resp
+        while True:
+            payload, _n = yield conn.recv()
+            resp = Response.decode(payload)
+            if resp.req_id == req.req_id:
+                return resp
+            # A stale response from a previously timed-out request on this
+            # socket: discard and keep reading instead of raising.
+            self.metrics.counter("client.stale_responses").add()

@@ -18,7 +18,6 @@ from typing import Optional
 from ..config import SimConfig
 from ..hardware import Core, Machine
 from ..protocol import Request, Response, Status
-from ..protocol import Op
 from ..sim import Interrupt, MetricSet, RwLock, Simulator, Store
 from .shard import Connection, Shard, WRITE_OPS
 from .store import ShardStore
@@ -95,16 +94,15 @@ class PipelinedShard(Shard):
                 if not conns:
                     yield self.doorbell.wait()
                     continue
-                yield core.execute(self.cpu.poll_probe_ns * len(conns))
+                yield core.execute(self.cpu.poll_probe_ns
+                                   * sum(c.n_slots for c in conns))
                 processed = 0
                 for conn in conns:
-                    payload = self._poll_conn(conn)
-                    if payload is None:
-                        continue
-                    # Hand off to a worker: queueing + cacheline bounce.
-                    yield core.execute(h.pipeline_handoff_ns)
-                    self._queue.put((conn, payload))
-                    processed += 1
+                    for slot, payload in self._poll_conn(conn):
+                        # Hand off to a worker: queueing + cacheline bounce.
+                        yield core.execute(h.pipeline_handoff_ns)
+                        self._queue.put((conn, slot, payload))
+                        processed += 1
                 if processed:
                     idle_sweeps = 0
                     continue
@@ -122,7 +120,7 @@ class PipelinedShard(Shard):
         h = self.hydra
         try:
             while self.alive:
-                conn, payload = yield self._queue.get()
+                conn, slot, payload = yield self._queue.get()
                 self.metrics.counter("shard.requests").add()
                 try:
                     req = Request.decode(payload)
@@ -168,6 +166,6 @@ class PipelinedShard(Shard):
                     lease_expiry_ns=result.lease_expiry_ns,
                     version=result.version,
                 )
-                self._respond(conn, resp)
+                self._respond(conn, resp, slot)
         except Interrupt:
             self.alive = False

@@ -26,6 +26,7 @@ from ..protocol import (
     Op,
     Request,
     Response,
+    SlotLayout,
     Status,
     clear,
     consume,
@@ -44,7 +45,7 @@ _conn_ids = count(1)
 
 @dataclass
 class Connection:
-    """One client<->shard link: QP pair + the two message buffers."""
+    """One client<->shard link: QP pair + the two slotted message buffers."""
 
     conn_id: int
     shard_qp: QueuePair
@@ -57,6 +58,19 @@ class Connection:
     resp_rptr: RemotePointer
     #: Client-side doorbell (fires on response-buffer writes / CQ pushes).
     client_doorbell: Gate = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Slot partition shared by both buffers (slot i of the request buffer
+    #: pairs with slot i of the response buffer).
+    layout: SlotLayout = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Per-slot write capabilities (client-held for requests, shard-held
+    #: for responses).
+    req_slot_rptrs: list[RemotePointer] = field(repr=False,
+                                                default_factory=list)
+    resp_slot_rptrs: list[RemotePointer] = field(repr=False,
+                                                 default_factory=list)
+
+    @property
+    def n_slots(self) -> int:
+        return self.layout.n_slots if self.layout is not None else 1
 
     def close(self) -> None:
         self.shard_qp.destroy()
@@ -128,15 +142,24 @@ class Shard:
         return self.store
 
     # -- connection setup ------------------------------------------------
-    def connect(self, client_nic: Nic) -> Connection:
-        """Establish a client connection (QP pair + message buffers)."""
+    def connect(self, client_nic: Nic,
+                client_numa_domain: int = 0) -> Connection:
+        """Establish a client connection (QP pair + slotted buffers).
+
+        ``client_numa_domain`` places the response buffer on the *client*
+        machine's memory — the request buffer lives on the shard's NUMA
+        domain, the response buffer on the connecting client's, so both
+        pollers pay consistent local-access costs.
+        """
         fabric = self.nic.fabric
         client_qp, shard_qp = fabric.connect(client_nic, self.nic)
         buf = self.hydra.conn_buf_bytes
+        layout = SlotLayout(buf, self.hydra.msg_slots_per_conn)
         req_region = MemoryRegion(buf, numa_domain=self.core.numa_domain,
                                   name=f"{self.shard_id}.req")
         self.nic.register(req_region)
-        resp_region = MemoryRegion(buf, name=f"{self.shard_id}.resp")
+        resp_region = MemoryRegion(buf, numa_domain=client_numa_domain,
+                                   name=f"{self.shard_id}.resp")
         client_nic.register(resp_region)
         conn = Connection(
             conn_id=next(_conn_ids),
@@ -147,13 +170,22 @@ class Shard:
             resp_region=resp_region,
             resp_rptr=RemotePointer(resp_region.rkey, 0, buf),
             client_doorbell=Gate(self.sim),
+            layout=layout,
+            req_slot_rptrs=[
+                RemotePointer(req_region.rkey, layout.offset(i),
+                              layout.slot_bytes)
+                for i in range(layout.n_slots)],
+            resp_slot_rptrs=[
+                RemotePointer(resp_region.rkey, layout.offset(i),
+                              layout.slot_bytes)
+                for i in range(layout.n_slots)],
         )
         if self.hydra.rdma_write_messaging:
             req_region.subscribe(lambda _r: self.doorbell.fire())
             resp_region.subscribe(lambda _r, c=conn: c.client_doorbell.fire())
         else:
             # Two-sided mode: pre-post receives, doorbell on CQ pushes.
-            for _ in range(16):
+            for _ in range(max(16, self.hydra.max_inflight_per_conn)):
                 shard_qp.post_recv()
             shard_qp.recv_cq.on_push.append(lambda _cq: self.doorbell.fire())
             client_qp.recv_cq.on_push.append(
@@ -167,24 +199,36 @@ class Shard:
         conn.close()
 
     # -- main loop ---------------------------------------------------------
-    def _poll_conn(self, conn: Connection) -> Optional[bytes]:
-        """Non-blocking request fetch for one connection."""
+    def _poll_conn(self, conn: Connection) -> list[tuple[int, bytes]]:
+        """Non-blocking multi-slot request sweep for one connection.
+
+        Returns every ready ``(slot, payload)`` pair, draining all slots
+        (or all pending CQEs in two-sided mode) in one pass so the probe
+        cost charged by :meth:`_sweep_cost` is amortized across requests.
+        """
+        ready: list[tuple[int, bytes]] = []
         if self.hydra.rdma_write_messaging:
-            payload = consume(conn.req_region, 0)
-            if payload is not None:
-                clear(conn.req_region, 0, len(payload))
-            return payload
-        cqe = conn.shard_qp.recv_cq.poll_one()
-        if cqe is None or not cqe.ok:
-            return None
-        conn.shard_qp.post_recv()  # replenish
-        return cqe.data
+            layout = conn.layout
+            for slot in range(layout.n_slots):
+                off = layout.offset(slot)
+                payload = consume(conn.req_region, off)
+                if payload is not None:
+                    clear(conn.req_region, off, len(payload))
+                    ready.append((slot, payload))
+            return ready
+        while True:
+            cqe = conn.shard_qp.recv_cq.poll_one()
+            if cqe is None or not cqe.ok:
+                return ready
+            conn.shard_qp.post_recv()  # replenish
+            ready.append((-1, cqe.data))
 
     def _sweep_cost(self) -> int:
-        per = (self.cpu.poll_probe_ns if self.hydra.rdma_write_messaging
-               else self.cpu.cq_poll_ns)
-        extra = 0 if self.hydra.rdma_write_messaging else self.cpu.post_recv_ns
-        return per * max(1, len(self.conns)) + extra
+        if self.hydra.rdma_write_messaging:
+            probes = sum(c.n_slots for c in self.conns)
+            return self.cpu.poll_probe_ns * max(1, probes)
+        return (self.cpu.cq_poll_ns * max(1, len(self.conns))
+                + self.cpu.post_recv_ns)
 
     def _tcp_acceptor(self, listener):
         while self.alive:
@@ -248,11 +292,9 @@ class Shard:
                 yield self.core.execute(self._sweep_cost())
                 processed = 0
                 for conn in list(self.conns):
-                    payload = self._poll_conn(conn)
-                    if payload is None:
-                        continue
-                    yield from self._handle(conn, payload)
-                    processed += 1
+                    for slot, payload in self._poll_conn(conn):
+                        yield from self._handle(conn, slot, payload)
+                        processed += 1
                 if processed:
                     idle_sweeps = 0
                     continue
@@ -288,7 +330,7 @@ class Shard:
             return self.store.lease_renew(req.key)
         return StoreResult(status=Status.ERROR, cost_ns=self.cpu.parse_ns)
 
-    def _handle(self, conn: Connection, payload: bytes):
+    def _handle(self, conn: Connection, slot: int, payload: bytes):
         self.metrics.counter("shard.requests").add()
         try:
             req = Request.decode(payload)
@@ -324,13 +366,15 @@ class Shard:
             lease_expiry_ns=result.lease_expiry_ns,
             version=result.version,
         )
-        self._respond(conn, resp)
+        self._respond(conn, resp, slot)
 
-    def _respond(self, conn: Connection, resp: Response) -> None:
+    def _respond(self, conn: Connection, resp: Response,
+                 slot: int = 0) -> None:
         data = resp.encode()
         if self.hydra.rdma_write_messaging:
-            if frame_len(len(data)) > conn.resp_rptr.length:
-                # The item outgrew the response buffer (e.g. it was PUT over
+            rptr = conn.resp_slot_rptrs[max(slot, 0)]
+            if frame_len(len(data)) > rptr.length:
+                # The item outgrew the response slot (e.g. it was PUT over
                 # a bigger-buffered connection): degrade to an ERROR reply
                 # rather than silently dropping — the client sees a clean
                 # failure instead of a timeout.
@@ -338,7 +382,7 @@ class Shard:
                 resp = Response(op=resp.op, status=Status.ERROR,
                                 req_id=resp.req_id)
                 data = resp.encode()
-            conn.shard_qp.post_write(conn.resp_rptr, frame(data))
+            conn.shard_qp.post_write(rptr, frame(data))
         else:
             conn.shard_qp.post_send(data)
         # Fire-and-forget: the shard moves to the next request buffer

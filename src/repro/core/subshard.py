@@ -28,7 +28,7 @@ from ..hardware import Core, Machine
 from ..index.hashing import hash64
 from ..protocol import Op, Request, Response, Status
 from ..sim import Interrupt, MetricSet, Simulator, Store
-from .shard import Connection, Shard, WRITE_OPS
+from .shard import Shard
 from .store import ShardStore
 
 __all__ = ["SubShardedShard"]
@@ -119,18 +119,18 @@ class SubShardedShard(Shard):
                 yield self.core.execute(self._sweep_cost())
                 processed = 0
                 for conn in list(self.conns):
-                    payload = self._poll_conn(conn)
-                    if payload is None:
-                        continue
-                    self.metrics.counter("shard.requests").add()
-                    try:
-                        req = Request.decode(payload)
-                    except (ValueError, KeyError):
-                        self.metrics.counter("shard.bad_requests").add()
-                        continue
-                    yield self.core.execute(self.cpu.parse_ns + DISPATCH_NS)
-                    self._queues[self._substore_for(req.key)].put((conn, req))
-                    processed += 1
+                    for slot, payload in self._poll_conn(conn):
+                        self.metrics.counter("shard.requests").add()
+                        try:
+                            req = Request.decode(payload)
+                        except (ValueError, KeyError):
+                            self.metrics.counter("shard.bad_requests").add()
+                            continue
+                        yield self.core.execute(
+                            self.cpu.parse_ns + DISPATCH_NS)
+                        self._queues[self._substore_for(req.key)].put(
+                            (conn, slot, req))
+                        processed += 1
                 if processed:
                     idle_sweeps = 0
                     continue
@@ -161,7 +161,7 @@ class SubShardedShard(Shard):
         core = self.subcores[k]
         try:
             while self.alive:
-                conn, req = yield self._queues[k].get()
+                conn, slot, req = yield self._queues[k].get()
                 result = self._execute_on(store, req)
                 yield core.execute(result.cost_ns
                                    + self.cpu.build_response_ns
@@ -177,7 +177,7 @@ class SubShardedShard(Shard):
                     lease_expiry_ns=result.lease_expiry_ns,
                     version=result.version,
                 )
-                self._respond(conn, resp)
+                self._respond(conn, resp, slot)
         except Interrupt:
             self.alive = False
 

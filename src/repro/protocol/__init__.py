@@ -20,6 +20,7 @@ from .messages import (
     response_wire_len,
 )
 from .ringbuf import RingFull, RingReader, RingWriter, WRAP_MAGIC
+from .slots import SlotLayout
 
 __all__ = [
     "Op",
@@ -41,4 +42,5 @@ __all__ = [
     "RingReader",
     "RingFull",
     "WRAP_MAGIC",
+    "SlotLayout",
 ]

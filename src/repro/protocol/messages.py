@@ -11,7 +11,6 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Optional
 
 __all__ = ["Op", "Status", "Request", "Response"]
 

@@ -1,0 +1,59 @@
+"""Slotted connection-buffer layout (§4.2.1, generalized).
+
+The paper pre-registers one request and one response buffer per
+connection.  A stop-and-wait client only ever needs a single
+indicator-framed message at offset 0, but keeping **multiple requests in
+flight per connection** requires the buffer to be partitioned into a ring
+of fixed-size *slots*, each independently framed with the indicator
+format:
+
+* slot ``i`` of the request buffer carries the i-th outstanding request;
+* the shard writes the response for the request found in request-slot
+  ``i`` into response-slot ``i`` — slot indices match, so concurrent
+  responses never overwrite each other and the client can pair a landed
+  response with its request by ``req_id`` without scanning.
+
+Slots are 8-byte aligned so every head/tail indicator word is naturally
+aligned.  ``n_slots=1`` degenerates to the original single-message layout
+(one frame at offset 0 spanning the whole buffer).
+"""
+
+from __future__ import annotations
+
+from .indicator import FRAME_OVERHEAD
+
+__all__ = ["SlotLayout"]
+
+
+class SlotLayout:
+    """Partition of a connection buffer into equal indicator-framed slots."""
+
+    __slots__ = ("buf_bytes", "n_slots", "slot_bytes")
+
+    def __init__(self, buf_bytes: int, n_slots: int = 1):
+        if n_slots < 1:
+            raise ValueError("need at least one slot")
+        slot = (buf_bytes // n_slots) & ~7  # 8-byte aligned slots
+        if slot < FRAME_OVERHEAD + 8:
+            raise ValueError(
+                f"{buf_bytes}B buffer cannot hold {n_slots} slots of at "
+                f"least {FRAME_OVERHEAD + 8}B; raise hydra.conn_buf_bytes "
+                f"or lower hydra.msg_slots_per_conn")
+        self.buf_bytes = buf_bytes
+        self.n_slots = n_slots
+        self.slot_bytes = slot
+
+    def offset(self, slot: int) -> int:
+        """Byte offset of ``slot`` within the connection buffer."""
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(f"slot {slot} outside 0..{self.n_slots - 1}")
+        return slot * self.slot_bytes
+
+    @property
+    def max_payload(self) -> int:
+        """Largest message payload one slot can frame."""
+        return self.slot_bytes - FRAME_OVERHEAD
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SlotLayout {self.n_slots}x{self.slot_bytes}B "
+                f"of {self.buf_bytes}B>")

@@ -10,7 +10,7 @@ InfiniBand line rate.  This is the architectural gap Figs. 2 and 9 price.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..config import SimConfig
 from ..hardware.machine import Machine

@@ -15,7 +15,7 @@ the slow-path fetch latency), evicting the coldest chunk first when full.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Optional
+from typing import Callable
 
 from ..core import HydraClient
 from ..protocol import Status

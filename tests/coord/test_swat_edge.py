@@ -1,6 +1,5 @@
 """SWAT edge cases: session flaps, join+failover interplay, agent retry."""
 
-import pytest
 
 from repro import HydraCluster, SimConfig
 from repro.coord.swat import SHARDS_PATH, ShardAgent

@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import HydraConfig
 from repro.core import HashRing, LeaseManager
-from repro.index.hashing import hash64
 from repro.sim import Simulator
 
 

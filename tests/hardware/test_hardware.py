@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import SimConfig
-from repro.hardware import Core, CoreExhausted, Machine, NumaTopology
+from repro.hardware import CoreExhausted, Machine, NumaTopology
 from repro.sim import Simulator
 
 

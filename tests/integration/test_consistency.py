@@ -1,7 +1,6 @@
 """End-to-end consistency: storms, races, reclamation, determinism."""
 
 import numpy as np
-import pytest
 
 from repro import HydraCluster, SimConfig
 from repro.kvmem import POISON_BYTE, parse_item

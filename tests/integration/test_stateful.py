@@ -6,7 +6,6 @@ checks every response against a model dictionary; invariants over the
 arena and index are asserted after every step.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     Bundle,

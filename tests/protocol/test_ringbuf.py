@@ -130,3 +130,59 @@ def test_fifo_property_under_continuous_drain(payloads):
             break
         out.append(got)
     assert out == payloads
+
+
+def test_exact_fit_at_boundary_needs_no_wrap_marker():
+    """A frame that exactly fills the remaining gap wraps the cursor to 0
+    without spending a WRAP marker or gap bytes."""
+    region = MemoryRegion(128)
+    w, r = RingWriter(128), RingReader(region)
+    # First record: aligned(16+24)=40B.  Second: aligned(16+64)=80B fills
+    # the remaining 88B?  No — use 64B payload => 80B frame, head at 40,
+    # gap = 88 > 80, fits inline.  Craft an exact fit instead:
+    for off, blob in w.place(b"a" * 24):       # head -> 40
+        region.write(off, blob)
+    for off, blob in w.place(b"b" * 72):       # aligned(88)=88 == gap
+        region.write(off, blob)
+    assert w.head == 0                          # wrapped by exact fit
+    assert w.written == 128                     # no gap bytes charged
+    assert r.poll() == b"a" * 24
+    assert r.poll() == b"b" * 72
+
+
+def test_wrap_gap_bytes_consume_credit():
+    """The skipped tail gap counts against credit until the reader acks it."""
+    region = MemoryRegion(128)
+    w, r = RingWriter(128), RingReader(region)
+    for off, blob in w.place(b"a" * 24):        # 40B, head=40
+        region.write(off, blob)
+    for off, blob in w.place(b"b" * 40):        # 56B, head=96
+        region.write(off, blob)
+    assert r.poll() == b"a" * 24
+    w.ack(r.consumed)                           # 40B of credit back
+    # Next frame (40B) needs the 32B tail gap + 40B at offset 0 = 72B,
+    # but only 40 + 32 = 72B of credit remain — exactly enough.
+    writes = w.place(b"c" * 24)
+    assert len(writes) == 2                     # WRAP marker + frame
+    assert w.free_bytes == 0                    # gap bytes consumed credit
+    for off, blob in writes:
+        region.write(off, blob)
+    with pytest.raises(RingFull):
+        w.place(b"")                            # even an empty frame: 16B
+    assert r.poll() == b"b" * 40
+    assert r.poll() == b"c" * 24
+    w.ack(r.consumed)
+    assert w.free_bytes == 128                  # all credit restored
+
+
+def test_torn_frame_invisible_until_tail_lands():
+    """Head word without its tail word (a write still in flight) is not
+    surfaced; once the tail lands the record appears atomically."""
+    region = MemoryRegion(128)
+    w, r = RingWriter(128), RingReader(region)
+    (off, blob), = w.place(b"payload!" * 3)
+    region.write(off, blob[:-8])                # everything but the tail
+    assert r.poll() is None
+    assert r.consumed == 0
+    region.write(off + len(blob) - 8, blob[-8:])
+    assert r.poll() == b"payload!" * 3

@@ -1,0 +1,64 @@
+"""Slotted connection-buffer layout: offsets, capacity, validation."""
+
+import pytest
+
+from repro.protocol import SlotLayout
+from repro.protocol.indicator import FRAME_OVERHEAD, frame, frame_len, probe
+from repro.rdma import MemoryRegion
+
+
+def test_single_slot_degenerates_to_whole_buffer():
+    layout = SlotLayout(16 << 10, 1)
+    assert layout.n_slots == 1
+    assert layout.offset(0) == 0
+    assert layout.slot_bytes == 16 << 10
+    assert layout.max_payload == (16 << 10) - FRAME_OVERHEAD
+
+
+def test_offsets_are_contiguous_and_aligned():
+    layout = SlotLayout(16 << 10, 16)
+    offs = [layout.offset(i) for i in range(16)]
+    assert offs == [i * layout.slot_bytes for i in range(16)]
+    assert all(o % 8 == 0 for o in offs)
+    assert layout.slot_bytes % 8 == 0
+    # All slots fit within the buffer.
+    assert offs[-1] + layout.slot_bytes <= layout.buf_bytes
+
+
+def test_uneven_division_rounds_down_to_alignment():
+    layout = SlotLayout(1000, 3)  # 333 -> 328 after 8-byte alignment
+    assert layout.slot_bytes == 328
+    assert layout.offset(2) + layout.slot_bytes <= 1000
+
+
+def test_out_of_range_slot_rejected():
+    layout = SlotLayout(1024, 4)
+    with pytest.raises(IndexError):
+        layout.offset(4)
+    with pytest.raises(IndexError):
+        layout.offset(-1)
+
+
+def test_too_many_slots_rejected():
+    with pytest.raises(ValueError):
+        SlotLayout(256, 64)  # 4B slots cannot hold a frame
+    with pytest.raises(ValueError):
+        SlotLayout(1024, 0)
+
+
+def test_max_payload_fits_exactly():
+    layout = SlotLayout(4096, 4)
+    payload = b"x" * layout.max_payload
+    assert frame_len(len(payload)) <= layout.slot_bytes
+    assert frame_len(len(payload) + 1) > layout.slot_bytes
+
+
+def test_frames_in_adjacent_slots_are_independent():
+    """A frame written at slot i's offset probes there and nowhere else."""
+    layout = SlotLayout(1024, 4)
+    region = MemoryRegion(layout.buf_bytes)
+    msg = b"hello-slot-2"
+    region.write(layout.offset(2), frame(msg))
+    assert probe(region, layout.offset(2)) == len(msg)
+    for i in (0, 1, 3):
+        assert probe(region, layout.offset(i)) is None

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import HydraCluster, SimConfig
-from repro.protocol import Op, Status
+from repro.protocol import Op
 from repro.replication import Ack, LogRecord, RecordType
 
 

@@ -1,6 +1,5 @@
 """Application workload models: MapReduce backends, G2, CDR."""
 
-import pytest
 
 from repro.config import SimConfig
 from repro.hardware import Machine

@@ -7,7 +7,6 @@ from hypothesis import given, settings, strategies as st
 from repro.workloads.keys import Keyspace, make_key, make_value
 from repro.workloads.ycsb import (
     OP_GET,
-    OP_UPDATE,
     PAPER_WORKLOADS,
     YcsbSpec,
     YcsbWorkload,
