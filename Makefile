@@ -3,7 +3,8 @@
 PYTEST ?= python -m pytest
 RUFF ?= ruff
 
-.PHONY: test lint bench bench-quick bench-inflight figures examples clean
+.PHONY: test lint bench bench-quick bench-inflight bench-multiget \
+	bench-smoke figures examples clean
 
 test:
 	$(PYTEST) tests/
@@ -25,6 +26,19 @@ bench-quick:
 bench-inflight:
 	python -m repro.bench inflight --scale 1.0
 
+bench-multiget:
+	python -m repro.bench multiget --scale 1.0
+
+# Tiny end-to-end run of the artifact-emitting benches plus schema
+# validation of what they wrote; fast enough for CI.
+bench-smoke:
+	rm -rf .bench-smoke && mkdir -p .bench-smoke
+	cd .bench-smoke && \
+		PYTHONPATH=$(CURDIR)/src python -m repro.bench inflight multiget \
+			--scale 0.05 && \
+		PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate \
+			BENCH_inflight.json BENCH_multiget.json
+
 figures:
 	python -m repro.bench all --scale 0.5
 
@@ -33,4 +47,4 @@ examples:
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
-	rm -rf .pytest_cache .benchmarks .hypothesis
+	rm -rf .pytest_cache .benchmarks .hypothesis .bench-smoke

@@ -38,7 +38,9 @@ from .experiments import (
     fig12_scale_up,
     fig13_replication,
     inflight_sweep,
+    multiget_sweep,
     write_inflight_artifact,
+    write_multiget_artifact,
 )
 from .report import format_table
 
@@ -81,6 +83,15 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
                lambda scale=None: ablation_ack_interval(), False),
     "inflight": ("Pipelined client — throughput vs in-flight window",
                  inflight_sweep, True),
+    "multiget": ("Batched one-sided GET fan-out — message vs hybrid vs mixed",
+                 multiget_sweep, True),
+}
+
+#: Experiments that also emit a machine-readable perf artifact (one per
+#: repo checkout; re-run the matching ``make bench-*`` target to refresh).
+ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
+    "inflight": write_inflight_artifact,
+    "multiget": write_multiget_artifact,
 }
 
 
@@ -116,11 +127,9 @@ def main(argv: list[str] | None = None) -> int:
             print()
             if sink:
                 sink.write(table + "\n" + footer + "\n\n")
-            if name == "inflight":
-                # Machine-readable perf trajectory artifact (one per repo
-                # checkout; re-run `make bench-inflight` to refresh).
-                path = write_inflight_artifact(rows)
-                print(f"[inflight: artifact written to {path}]")
+            if name in ARTIFACTS:
+                path = ARTIFACTS[name](rows)
+                print(f"[{name}: artifact written to {path}]")
     finally:
         if sink:
             sink.close()

@@ -69,7 +69,9 @@ __all__ = [
     "ablation_value_size",
     "ablation_ack_interval",
     "inflight_sweep",
+    "multiget_sweep",
     "write_inflight_artifact",
+    "write_multiget_artifact",
 ]
 
 #: Default op/record count at scale=1.0 (the paper uses 60 M of each).
@@ -879,6 +881,120 @@ def write_inflight_artifact(rows: list[dict],
         "experiment": "inflight_depth_sweep",
         "description": "message-path ops/s vs per-connection in-flight "
                        "window (1 shard, 1 client, rptr cache off)",
+        "unit": "kops",
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def multiget_sweep(scale: float = 1.0,
+                   batch_sizes: Sequence[int] = (4, 16, 64),
+                   value_bytes: int = 64) -> list[dict]:
+    """``get_many`` throughput: message path vs batched one-sided Reads.
+
+    One client machine against one single-threaded shard, three regimes
+    per batch size:
+
+    * ``message`` — pointer cache disabled; the pipelined slotted message
+      path carries every key (the PR-1 baseline).
+    * ``hybrid`` — the hybrid engine with a warm pointer cache (100% hit
+      rate): every batch becomes doorbell-coalesced RDMA Reads and never
+      touches the server CPU.
+    * ``mixed`` — half the pointers are dropped before each batch
+      (modeling out-of-band updates): misses demote to one overlapped
+      message batch whose responses re-prime the cache.
+
+    Rows carry the remote-pointer reconciliation columns: every usable
+    pointer a batch lookup returns (``pointer_hits``) must come back as
+    exactly one successful or invalid Read (``reconciled``).
+    BENCH_multiget.json records the sweep across PRs; the headline is
+    the warm-cache ``hybrid`` speedup over ``message`` at batch 16.
+    """
+    n_ops = max(240, int(BASE_OPS * scale))
+    keys = [f"mg{i:06d}".encode() for i in range(256)]
+    rows: list[dict] = []
+    for batch in batch_sizes:
+        message_kops: Optional[float] = None
+        for mode in ("message", "hybrid", "mixed"):
+            cfg = SimConfig().with_overrides(hydra={
+                "msg_slots_per_conn": batch,
+                "max_inflight_per_conn": batch,
+                "max_inflight_reads": batch,
+                "rptr_cache_enabled": mode != "message",
+                "rptr_sharing": False,
+            })
+            cluster = HydraCluster(config=cfg, n_server_machines=1,
+                                   shards_per_server=1, n_client_machines=1)
+            for key in keys:
+                cluster.route(key).store_for_key(key).upsert(
+                    key, b"v" * value_bytes, Op.PUT)
+            cluster.start()
+            client = cluster.client()
+            elapsed: dict[str, int] = {}
+
+            stats0: dict[str, int] = {}
+
+            def app():
+                if client.cache is not None:
+                    # Warm the pointer cache through the message path.
+                    for s in range(0, len(keys), batch):
+                        yield from client.get_many(keys[s:s + batch])
+                    stats0.update(client.cache.stats())
+                t0 = cluster.sim.now
+                done = 0
+                while done < n_ops:
+                    chunk = [keys[(done + j) % len(keys)]
+                             for j in range(min(batch, n_ops - done))]
+                    if mode == "mixed":
+                        # Out-of-band updates invalidated half the batch.
+                        for key in chunk[::2]:
+                            client.cache.invalidate(key)
+                    values = yield from client.get_many(chunk)
+                    assert all(v is not None for v in values)
+                    done += len(chunk)
+                elapsed["get"] = cluster.sim.now - t0
+
+            cluster.run(app())
+            row = {
+                "mode": mode,
+                "batch": batch,
+                "get_kops": n_ops / elapsed["get"] * 1e6,
+            }
+            if message_kops is None:
+                message_kops = row["get_kops"]
+            row["speedup_vs_message"] = row["get_kops"] / message_kops
+            if client.cache is not None:
+                stats1 = client.cache.stats()
+                d = {k: stats1[k] - stats0[k] for k in stats0}
+                attempted = d["successful_hits"] + d["invalid_hits"]
+                row.update({
+                    "pointer_hits": d["batch_hits"],
+                    "successful_hits": d["successful_hits"],
+                    "invalid_hits": d["invalid_hits"],
+                    "demoted": d["batch_keys"] - d["batch_hits"]
+                    + d["invalid_hits"],
+                    "reconciled": attempted == d["batch_hits"],
+                })
+            else:
+                row.update({"pointer_hits": 0, "successful_hits": 0,
+                            "invalid_hits": 0, "demoted": n_ops,
+                            "reconciled": True})
+            rows.append(row)
+    return rows
+
+
+def write_multiget_artifact(rows: list[dict],
+                            path: str = "BENCH_multiget.json") -> str:
+    """Dump the multiget sweep as a machine-readable perf artifact."""
+    payload = {
+        "experiment": "multiget_fanout_sweep",
+        "description": "get_many ops/s: pipelined message path vs the "
+                       "hybrid doorbell-coalesced Read fan-out (warm "
+                       "cache) vs a mixed half-invalidated run (1 shard, "
+                       "1 client, hit-rate x batch-size)",
         "unit": "kops",
         "rows": rows,
     }

@@ -1,0 +1,114 @@
+"""Validate emitted bench artifacts: ``python -m repro.bench.validate F...``.
+
+The bench harness writes machine-readable perf artifacts
+(``BENCH_inflight.json``, ``BENCH_multiget.json``) that are tracked
+across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
+that each file matches its experiment's schema — required top-level
+fields, per-row keys and types — plus the semantic invariants the
+experiments promise:
+
+* every sweep carries at least one baseline row with speedup 1.0;
+* throughputs and speedups are strictly positive finite numbers;
+* multiget rows must have ``reconciled`` == True — the remote-pointer
+  accounting (``successful_hits + invalid_hits == batch_hits``) balanced
+  for every mode/batch cell.
+
+Exit status is 0 only if every named file validates; problems are listed
+one per line as ``<file>: <complaint>``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+__all__ = ["validate_artifact", "main"]
+
+_TOP_KEYS = ("experiment", "description", "unit", "rows")
+
+#: experiment name -> required row keys (and the checks below).
+_ROW_KEYS: dict[str, tuple[str, ...]] = {
+    "inflight_depth_sweep": (
+        "window", "get_kops", "put_kops", "get_speedup", "put_speedup"),
+    "multiget_fanout_sweep": (
+        "mode", "batch", "get_kops", "speedup_vs_message", "pointer_hits",
+        "successful_hits", "invalid_hits", "demoted", "reconciled"),
+}
+
+
+def _positive(row: dict, key: str) -> bool:
+    value = row.get(key)
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value) and value > 0)
+
+
+def validate_artifact(payload: dict) -> list[str]:
+    """All schema/semantic complaints for one parsed artifact (empty = ok)."""
+    problems: list[str] = []
+    for key in _TOP_KEYS:
+        if key not in payload:
+            problems.append(f"missing top-level field {key!r}")
+    experiment = payload.get("experiment")
+    row_keys = _ROW_KEYS.get(experiment)
+    if row_keys is None:
+        problems.append(f"unknown experiment {experiment!r} "
+                        f"(expected one of {sorted(_ROW_KEYS)})")
+        return problems
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty list")
+        return problems
+    for i, row in enumerate(rows):
+        missing = [k for k in row_keys if k not in row]
+        if missing:
+            problems.append(f"row {i}: missing {', '.join(missing)}")
+            continue
+        for key in row_keys:
+            if key.endswith("_kops") or key.endswith("speedup") \
+                    or key == "speedup_vs_message":
+                if not _positive(row, key):
+                    problems.append(f"row {i}: {key} must be a positive "
+                                    f"number, got {row[key]!r}")
+    if experiment == "inflight_depth_sweep":
+        if not any(row.get("get_speedup") == 1.0 for row in rows):
+            problems.append("no baseline row with get_speedup == 1.0")
+    if experiment == "multiget_fanout_sweep":
+        if not any(row.get("mode") == "message" for row in rows):
+            problems.append("no message-path baseline rows")
+        for i, row in enumerate(rows):
+            if row.get("reconciled") is not True:
+                problems.append(f"row {i} (mode={row.get('mode')!r}, "
+                                f"batch={row.get('batch')!r}): pointer "
+                                f"accounting did not reconcile")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.bench.validate ARTIFACT.json ...",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failed = True
+            continue
+        problems = validate_artifact(payload)
+        for problem in problems:
+            print(f"{path}: {problem}")
+        if problems:
+            failed = True
+        else:
+            print(f"{path}: ok ({payload['experiment']}, "
+                  f"{len(payload['rows'])} rows)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,11 @@ class NicConfig:
     #: payload from host memory and generates the response packet) — still
     #: zero *CPU*, but more NIC work than a write.
     read_responder_ns: int = 140
+    #: Portion of ``tx_op_ns`` that is the MMIO doorbell write.  WQEs after
+    #: the first in a doorbell-coalesced batch (``post_read_batch``) skip
+    #: it: the initiator rings once for the whole chain, the standard
+    #: batching lever surveyed in the RDMA hash-table literature.
+    doorbell_ns: int = 40
     #: Extra cost for two-sided Send: receive-WQE consumption + CQE DMA.
     send_recv_extra_ns: int = 250
     #: QP state cache capacity; past this, each op pays ``qp_miss_ns``
@@ -191,6 +196,11 @@ class HydraConfig:
     #: on the RDMA-Write message path is min(this, msg_slots_per_conn).
     #: 1 preserves the original stop-and-wait behavior.
     max_inflight_per_conn: int = 1
+    #: Per-connection cap on outstanding one-sided Reads in the batched
+    #: GET fan-out.  Reads are posted in doorbell-coalesced batches of at
+    #: most this many WQEs; single-key GETs post batches of one, so the
+    #: default changes nothing for them.
+    max_inflight_reads: int = 16
     #: Client gives up on a response after this long (failover trigger).
     op_timeout_ns: int = 50_000_000
     #: Hash-table buckets per shard (power of two).

@@ -204,8 +204,9 @@ class HydraCluster:
     def rptr_stats(self) -> dict[str, int]:
         """Aggregate remote-pointer cache counters across shared caches."""
         agg = {"successful_hits": 0, "invalid_hits": 0, "expired": 0,
-               "misses": 0, "entries": 0, "evictions": 0}
+               "misses": 0, "entries": 0, "evictions": 0,
+               "batches": 0, "batch_keys": 0, "batch_hits": 0}
         for cache in self._shared_caches.values():
             for k, v in cache.stats().items():
-                agg[k] += v
+                agg[k] = agg.get(k, 0) + v
         return agg

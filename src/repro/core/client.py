@@ -20,6 +20,15 @@ requests overlap per connection (and any number across connections).
 ``get_many``/``put_many`` fan a batch across slots and shards and gather
 responses as they complete.  With the default window of 1 every operation
 degenerates to the original stop-and-wait behavior.
+
+The one-sided fast path is pipelined too: ``_read_fanout`` looks up every
+remote pointer up front, posts the hit set as doorbell-coalesced RDMA-Read
+batches (at most ``hydra.max_inflight_reads`` outstanding per connection)
+and gathers completions as they arrive.  A key that cannot be served
+one-sidedly — no usable pointer, QP error, dead item, key mismatch — is
+*demoted* into a single pipelined message-path batch that overlaps with
+the still-in-flight Reads; its message response re-primes the pointer
+cache.  Single-key ``get`` rides the same engine with a batch of one.
 """
 
 from __future__ import annotations
@@ -56,6 +65,25 @@ class PendingRequest:
     shard: Shard
     conn: Connection
     slot: int  # -1 in two-sided (Send/Recv) mode
+
+
+@dataclass(frozen=True)
+class _ReadItem:
+    """One key of a read fan-out: its batch index, key, and owning shard."""
+
+    idx: int
+    key: bytes
+    shard: Shard
+
+
+@dataclass
+class _ReadState:
+    """In-flight one-sided-Read bookkeeping for one connection."""
+
+    conn: Connection
+    #: (item, cached pointer) pairs not yet posted.
+    queue: list = field(default_factory=list)
+    inflight: int = 0
 
 
 @dataclass
@@ -166,9 +194,10 @@ class HydraClient:
         """GET: RDMA-Read fast path, else message path. Returns bytes|None."""
         shard = self.router.route(key)
         if self.cache is not None:
-            value = yield from self._try_rdma_read(shard, key)
-            if value is not None:
-                return value
+            hits, _demoted = yield from self._read_fanout(
+                [_ReadItem(0, key, shard)])
+            if 0 in hits:
+                return hits[0]
         resp = yield from self._request(shard, Request(op=Op.GET, key=key))
         if resp.status is Status.NOT_FOUND:
             return None
@@ -207,37 +236,119 @@ class HydraClient:
         shard = self.router.route(key)
         resp = yield from self._request(
             shard, Request(op=op, key=key, value=value))
-        if self.cache is not None and resp.status is Status.OK:
-            # Our own pointer is now stale (out-of-place update).  A shared
-            # cache also spares co-located clients the invalid read.
+        if self.cache is not None:
+            # Any *completed* mutation drops the cached pointer — not just
+            # Status.OK.  A DELETE/UPDATE that raced to NOT_FOUND means a
+            # concurrent writer already retired the extent we point at;
+            # keeping the entry would leave co-located sharers Reading a
+            # dead item until the lease lapsed.  (Out-of-place updates make
+            # our own pointer stale on OK, as before.)
             self.cache.invalidate(key)
         return resp.status
 
-    def _try_rdma_read(self, shard: Shard, key: bytes):
-        """One-sided GET attempt; returns the value or None on any miss."""
-        cache = self.cache
-        yield self.sim.timeout(cache.op_cost_ns())
-        entry = cache.lookup(key, self.sim.now)
-        if entry is None:
-            return None
-        conn = self.connection_to(shard)
-        self.metrics.counter("client.rdma_reads").add()
+    # -- pipelined one-sided read engine ------------------------------------
+    def _post_read_batch(self, cs: _ReadState):
+        """Post the next doorbell-coalesced Read batch on one connection.
+
+        Returns ``(posted, failed)``: ``posted`` pairs each item with its
+        completion event; ``failed`` holds every queued item when the QP
+        turns out to be unusable (torn down by a failover) — the caller
+        demotes those to the message path.
+        """
+        n = min(max(1, self.hydra.max_inflight_reads) - cs.inflight,
+                len(cs.queue))
+        if n <= 0:
+            return [], []
+        batch, cs.queue = cs.queue[:n], cs.queue[n:]
+        self.metrics.counter("client.rdma_reads").add(n)
         try:
-            read_ev = conn.client_qp.post_read(entry.rptr)
+            events = cs.conn.client_qp.post_read_batch(
+                [entry.rptr for _item, entry in batch])
         except QpError:
-            # The pointer no longer matches this route (e.g. the shard was
-            # promoted onto another machine after a failover): unusable.
-            cache.record_invalid(key)
-            return None
-        wc = yield read_ev
-        yield self.sim.timeout(self.cpu.parse_ns)
-        if wc.ok:
-            item = parse_item(wc.data)
-            if item is not None and item.live and item.key == key:
+            # Dead QP: nothing on this connection can be read one-sidedly.
+            failed = [item for item, _entry in batch]
+            failed.extend(item for item, _entry in cs.queue)
+            cs.queue = []
+            return [], failed
+        cs.inflight += n
+        return [(item, ev, cs)
+                for (item, _entry), ev in zip(batch, events)], []
+
+    def _read_fanout(self, items: list[_ReadItem], on_demote=None):
+        """Pipelined one-sided GET fan-out (§4.2.2, batched).
+
+        Looks up every remote pointer up front, posts the hit set as
+        doorbell-coalesced RDMA-Read batches — at most
+        ``hydra.max_inflight_reads`` outstanding per connection — and
+        gathers completions as they arrive.  Keys that cannot be served
+        one-sidedly (no usable pointer, QP error, dead/garbage item, key
+        mismatch) are *demoted*: handed to ``on_demote`` the moment the
+        miss is known, so a message-path request overlaps with the Reads
+        still in flight, or collected when no callback is given.
+
+        Returns ``(hits, demoted)``: ``hits`` maps item index -> value,
+        ``demoted`` lists items the caller must route through messages
+        (empty when ``on_demote`` consumed them).
+        """
+        cache = self.cache
+        hits: dict[int, bytes] = {}
+        demoted: list[_ReadItem] = []
+
+        def demote(item: _ReadItem):
+            if on_demote is None:
+                demoted.append(item)
+            else:
+                yield from on_demote(item)
+
+        yield self.sim.timeout(cache.batch_op_cost_ns(len(items)))
+        entries = cache.lookup_batch([it.key for it in items], self.sim.now)
+        states: dict[int, _ReadState] = {}
+        misses: list[_ReadItem] = []
+        for item, entry in zip(items, entries):
+            if entry is None:
+                misses.append(item)
+                continue
+            conn = self.connection_to(item.shard)
+            cs = states.get(conn.conn_id)
+            if cs is None:
+                cs = states[conn.conn_id] = _ReadState(conn)
+            cs.queue.append((item, entry))
+        #: (item, event, conn state) completion gather list; reads are in
+        #: flight from here on, so everything below overlaps with them.
+        pending: list = []
+        unusable: list[_ReadItem] = []
+        for cs in states.values():
+            posted, failed = self._post_read_batch(cs)
+            pending.extend(posted)
+            unusable.extend(failed)
+        for item in misses:
+            yield from demote(item)
+        for item in unusable:
+            cache.record_invalid(item.key)
+            yield from demote(item)
+        i = 0
+        while i < len(pending):
+            item, ev, cs = pending[i]
+            i += 1
+            wc = yield ev
+            cs.inflight -= 1
+            yield self.sim.timeout(self.cpu.parse_ns)
+            parsed = parse_item(wc.data) if wc.ok else None
+            if parsed is not None and parsed.live and parsed.key == item.key:
                 cache.record_successful()
-                return item.value
-        cache.record_invalid(key)
-        return None
+                hits[item.idx] = parsed.value
+            else:
+                # Outdated pointer (dead item after an out-of-place
+                # update, reclaimed/garbage bytes, failed completion).
+                cache.record_invalid(item.key)
+                yield from demote(item)
+            if cs.inflight == 0 and cs.queue:
+                posted, failed = self._post_read_batch(cs)
+                pending.extend(posted)
+                for failed_item in failed:
+                    cache.record_invalid(failed_item.key)
+                    yield from demote(failed_item)
+        return hits, demoted
 
     def _maybe_cache(self, key: bytes, resp: Response) -> None:
         if self.cache is None or not resp.remote_pointer_valid:
@@ -397,51 +508,95 @@ class HydraClient:
 
     # -- multi-key operations -----------------------------------------------
     def get_many(self, keys: list[bytes]):
-        """Pipelined multi-GET; returns values aligned with ``keys``.
+        """Hybrid pipelined multi-GET; returns values aligned with ``keys``.
 
-        Requests fan out across slots and shards (message path only — the
-        one-sided fast path stays per-key) and responses are gathered as
-        they complete, so total latency approaches the slowest single
-        round trip rather than the sum of them.  Successful responses
-        still prime the remote-pointer cache for later single-key GETs.
+        Every remote pointer is looked up in the cache up front; the hit
+        set is posted as doorbell-coalesced RDMA-Read batches while every
+        miss — and every Read demoted by validation — joins one pipelined
+        message-path batch that overlaps with the still-in-flight Reads.
+        Successful message responses re-prime the pointer cache.  A non-OK
+        response or a timeout is reported only after every outstanding
+        request has been drained, so no in-flight slot is abandoned.
         """
         results: list[Optional[bytes]] = [None] * len(keys)
         if self.hydra.transport == "tcp":
             for i, key in enumerate(keys):
                 results[i] = yield from self.get(key)
             return results
-        pendings = []
-        for key in keys:
-            shard = self.router.route(key)
-            pendings.append((yield from self.issue(
-                shard, Request(op=Op.GET, key=key))))
-        for i, pending in enumerate(pendings):
-            resp = yield from self.wait(pending)
-            if resp.status is Status.NOT_FOUND:
+        items = [_ReadItem(i, key, self.router.route(key))
+                 for i, key in enumerate(keys)]
+        msg_pendings: list[tuple[_ReadItem, PendingRequest]] = []
+
+        def send_message(item: _ReadItem):
+            pending = yield from self.issue(
+                item.shard, Request(op=Op.GET, key=item.key))
+            msg_pendings.append((item, pending))
+
+        failure: Optional[BaseException] = None
+        try:
+            if self.cache is None:
+                for item in items:
+                    yield from send_message(item)
+            else:
+                hits, _demoted = yield from self._read_fanout(
+                    items, on_demote=send_message)
+                for idx, value in hits.items():
+                    results[idx] = value
+        except RequestTimeout as exc:
+            # Issue-phase timeout (window full against a silent shard):
+            # stop fanning out, but still drain what is already in flight.
+            failure = exc
+        for item, pending in msg_pendings:
+            try:
+                resp = yield from self.wait(pending)
+            except RequestTimeout as exc:
+                failure = failure or exc
                 continue
-            if resp.status is not Status.OK:
-                raise RuntimeError(f"GET failed: {resp.status.name}")
-            self._maybe_cache(keys[i], resp)
-            results[i] = resp.value
+            if resp.status is Status.OK:
+                self._maybe_cache(item.key, resp)
+                results[item.idx] = resp.value
+            elif resp.status is not Status.NOT_FOUND and failure is None:
+                failure = RuntimeError(f"GET failed: {resp.status.name}")
+        if failure is not None:
+            raise failure
         return results
 
     def put_many(self, pairs: list[tuple[bytes, bytes]]):
-        """Pipelined multi-PUT; returns a Status per ``(key, value)``."""
+        """Pipelined multi-PUT; returns a Status per ``(key, value)``.
+
+        Like :meth:`get_many`, a timeout is re-raised only after every
+        already-issued request has been drained — abandoning the remaining
+        pendings would leak their in-flight slots.
+        """
         statuses: list[Status] = [Status.ERROR] * len(pairs)
         if self.hydra.transport == "tcp":
             for i, (key, value) in enumerate(pairs):
                 statuses[i] = yield from self.put(key, value)
             return statuses
-        pendings = []
-        for key, value in pairs:
+        pendings: list[Optional[PendingRequest]] = [None] * len(pairs)
+        failure: Optional[BaseException] = None
+        for i, (key, value) in enumerate(pairs):
             shard = self.router.route(key)
-            pendings.append((yield from self.issue(
-                shard, Request(op=Op.PUT, key=key, value=value))))
+            try:
+                pendings[i] = yield from self.issue(
+                    shard, Request(op=Op.PUT, key=key, value=value))
+            except RequestTimeout as exc:
+                failure = exc
+                break
         for i, pending in enumerate(pendings):
-            resp = yield from self.wait(pending)
-            if self.cache is not None and resp.status is Status.OK:
+            if pending is None:
+                continue
+            try:
+                resp = yield from self.wait(pending)
+            except RequestTimeout as exc:
+                failure = failure or exc
+                continue
+            if self.cache is not None:
+                # Any completed mutation invalidates, as in _mutate.
                 self.cache.invalidate(pairs[i][0])
             statuses[i] = resp.status
+        if failure is not None:
+            raise failure
         return statuses
 
     def _tcp_request(self, shard: Shard, req: Request):

@@ -49,6 +49,15 @@ class RptrCache:
         self.expired = 0
         #: Lookups with no entry at all.
         self.misses = 0
+        #: Batched fast-path accounting (the get_many read fan-out):
+        #: number of batch lookups, keys they examined, and usable
+        #: pointers they returned.  Every returned pointer is posted as
+        #: exactly one RDMA Read, so ``successful_hits + invalid_hits``
+        #: reconciles with ``batch_hits`` whenever the fan-out is the only
+        #: fast-path user (single-key GETs go through batches of one).
+        self.batches = 0
+        self.batch_keys = 0
+        self.batch_hits = 0
 
     # -- sharing ---------------------------------------------------------
     def add_sharer(self) -> None:
@@ -63,6 +72,19 @@ class RptrCache:
         """CPU cost of one cache operation (lock-free vs locked model)."""
         return self._map.op_cost_ns()
 
+    def batch_op_cost_ns(self, n: int) -> int:
+        """CPU cost of one batched lookup sweep over ``n`` keys.
+
+        The fixed per-operation overhead — the epoch announce/retire
+        fences of the lock-free map, or the acquire/release (plus
+        contention) of the locked ablation — is paid once per sweep;
+        each additional key costs only the probe itself, modeled at half
+        a standalone op.  A batch of one degenerates to ``op_cost_ns``.
+        """
+        if n <= 1:
+            return self.op_cost_ns() * max(0, n)
+        return self.op_cost_ns() + (n - 1) * (self.op_cost_ns() // 2)
+
     # -- cache ops ---------------------------------------------------------
     def lookup(self, key: bytes, now: int) -> Optional[CachedPointer]:
         """A usable entry for ``key``, or None (counts the miss kind)."""
@@ -76,6 +98,20 @@ class RptrCache:
             self.expired += 1
             return None
         return entry
+
+    def lookup_batch(self, keys: list[bytes],
+                     now: int) -> list[Optional[CachedPointer]]:
+        """Usable entries for a whole batch of keys (None per miss).
+
+        Per-key miss kinds are counted exactly as :meth:`lookup` does;
+        the batch counters additionally record how many pointers each
+        fan-out attempt had to work with (Fig. 11 analysis).
+        """
+        self.batches += 1
+        self.batch_keys += len(keys)
+        entries = [self.lookup(key, now) for key in keys]
+        self.batch_hits += sum(1 for e in entries if e is not None)
+        return entries
 
     def store(self, key: bytes, entry: CachedPointer) -> None:
         """Install/refresh the pointer for ``key``."""
@@ -109,4 +145,7 @@ class RptrCache:
             "misses": self.misses,
             "entries": len(self._map),
             "evictions": self._map.evictions,
+            "batches": self.batches,
+            "batch_keys": self.batch_keys,
+            "batch_hits": self.batch_hits,
         }

@@ -12,7 +12,8 @@ from .nic import Nic, NicDown
 from .qp import QpError, QueuePair
 from .tcp import TcpConnection, TcpError, TcpNetwork, TcpStack
 from .ud import UD_MTU, UdQueuePair
-from .verbs import Completion, Opcode, RdmaError, RemotePointer, WcStatus
+from .verbs import (Completion, Opcode, RdmaError, ReadWorkRequest,
+                    RemotePointer, WcStatus)
 
 __all__ = [
     "CompletionQueue",
@@ -33,5 +34,6 @@ __all__ = [
     "Opcode",
     "WcStatus",
     "RemotePointer",
+    "ReadWorkRequest",
     "RdmaError",
 ]

@@ -191,7 +191,9 @@ class Nic:
         return ev
 
     def issue_read(self, qp: "QueuePair", region: MemoryRegion, offset: int,
-                   length: int, wr_id: int) -> Event:
+                   length: int, wr_id: int, coalesced: bool = False) -> Event:
+        """One RDMA Read.  ``coalesced`` WQEs ride an earlier WQE's
+        doorbell and skip the per-op MMIO cost (``doorbell_ns``)."""
         ev = self.sim.event()
         op = Opcode.RDMA_READ
         if not self.alive:
@@ -200,6 +202,10 @@ class Nic:
             return ev
         self.metrics.counter("rdma.read.ops").add()
         self.metrics.counter("rdma.read.bytes").add(length)
+        if coalesced:
+            self.metrics.counter("rdma.read.coalesced").add()
+        else:
+            self.metrics.counter("rdma.read.doorbells").add()
         peer_nic: "Nic" = qp.peer.nic
         prop = self.fabric.prop_ns(self, peer_nic)
         self._arm_retry_timer(ev, op, wr_id, qp.qp_num)
@@ -245,8 +251,36 @@ class Nic:
                                       data=state["data"],  # type: ignore[arg-type]
                                       qp_num=qp.qp_num))
 
-        self.tx.submit(lambda: self._tx_cost(0), after_tx)
+        discount = min(self.cfg.doorbell_ns, self.cfg.tx_op_ns) \
+            if coalesced else 0
+        self.tx.submit(lambda: max(0, self._tx_cost(0) - discount), after_tx)
         return ev
+
+    def issue_read_batch(self, qp: "QueuePair",
+                         requests: list) -> list[Event]:
+        """Post several RDMA Reads behind one coalesced doorbell.
+
+        ``requests`` entries are ``(region, offset, length, wr_id)``; a
+        ``None`` region (rkey that no longer resolves against this QP's
+        peer, e.g. after a failover re-homed the shard) completes
+        immediately with ``LOCAL_QP_ERR`` instead of poisoning the rest of
+        the chain.  The first resolvable WQE pays the full initiator cost;
+        the rest skip the doorbell write.
+        """
+        events: list[Event] = []
+        first = True
+        for region, offset, length, wr_id in requests:
+            if region is None:
+                ev = self.sim.event()
+                self._fail_completion(ev, Opcode.RDMA_READ,
+                                      WcStatus.LOCAL_QP_ERR, wr_id,
+                                      qp.qp_num)
+                events.append(ev)
+                continue
+            events.append(self.issue_read(qp, region, offset, length, wr_id,
+                                          coalesced=not first))
+            first = False
+        return events
 
     def issue_ud_send(self, src_qp, dst_qp, data: bytes,
                       wr_id: int) -> Event:

@@ -13,7 +13,7 @@ from typing import Deque, TYPE_CHECKING
 from ..sim.events import Event
 from .cq import CompletionQueue
 from .memory import MemoryRegion
-from .verbs import RemotePointer
+from .verbs import ReadWorkRequest, RemotePointer
 
 if TYPE_CHECKING:  # pragma: no cover
     from .nic import Nic
@@ -93,6 +93,29 @@ class QueuePair:
         region = self._resolve(rptr)
         return self.nic.issue_read(self, region, rptr.offset, rptr.length,
                                    self._next_wr(wr_id))
+
+    def post_read_batch(self, requests) -> list[Event]:
+        """Post a chain of one-sided Reads with one coalesced doorbell.
+
+        ``requests`` may mix :class:`RemotePointer` and
+        :class:`ReadWorkRequest` entries; one completion event is returned
+        per entry, in order.  An entry whose rkey does not resolve against
+        this QP's peer completes immediately with ``LOCAL_QP_ERR`` — the
+        remaining WQEs in the chain still post (the caller demotes the
+        failed key individually, exactly as it would a dead item).
+        """
+        self._check_connected()
+        prepared = []
+        for req in requests:
+            if isinstance(req, RemotePointer):
+                req = ReadWorkRequest(rptr=req)
+            try:
+                region = self._resolve(req.rptr)
+            except QpError:
+                region = None
+            prepared.append((region, req.rptr.offset, req.rptr.length,
+                             self._next_wr(req.wr_id)))
+        return self.nic.issue_read_batch(self, prepared)
 
     def post_send(self, data: bytes, wr_id: int = 0) -> Event:
         """Two-sided Send; consumes a posted receive at the peer."""

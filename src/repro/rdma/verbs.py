@@ -6,7 +6,8 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Optional
 
-__all__ = ["Opcode", "WcStatus", "Completion", "RemotePointer", "RdmaError"]
+__all__ = ["Opcode", "WcStatus", "Completion", "RemotePointer",
+           "ReadWorkRequest", "RdmaError"]
 
 
 class Opcode(Enum):
@@ -71,3 +72,17 @@ class RemotePointer:
         if rel_offset < 0 or rel_offset + length > self.length:
             raise ValueError("slice outside remote pointer extent")
         return RemotePointer(self.rkey, self.offset + rel_offset, length)
+
+
+@dataclass(frozen=True)
+class ReadWorkRequest:
+    """One entry of a doorbell-coalesced RDMA-Read batch.
+
+    ``QueuePair.post_read_batch`` accepts a chain of these (or bare
+    :class:`RemotePointer` targets); the NIC rings one doorbell for the
+    whole chain and every WQE after the first skips the MMIO write
+    (``NicConfig.doorbell_ns``).
+    """
+
+    rptr: RemotePointer
+    wr_id: int = 0

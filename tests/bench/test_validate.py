@@ -1,0 +1,58 @@
+"""The artifact schema validator behind `make bench-smoke`."""
+
+import json
+
+from repro.bench.validate import main, validate_artifact
+
+
+def good_multiget_payload():
+    return {
+        "experiment": "multiget_fanout_sweep",
+        "description": "d", "unit": "kops",
+        "rows": [
+            {"mode": "message", "batch": 16, "get_kops": 100.0,
+             "speedup_vs_message": 1.0, "pointer_hits": 0,
+             "successful_hits": 0, "invalid_hits": 0, "demoted": 10,
+             "reconciled": True},
+            {"mode": "hybrid", "batch": 16, "get_kops": 250.0,
+             "speedup_vs_message": 2.5, "pointer_hits": 10,
+             "successful_hits": 10, "invalid_hits": 0, "demoted": 0,
+             "reconciled": True},
+        ],
+    }
+
+
+def test_good_payload_validates():
+    assert validate_artifact(good_multiget_payload()) == []
+
+
+def test_unreconciled_row_rejected():
+    payload = good_multiget_payload()
+    payload["rows"][1]["reconciled"] = False
+    assert any("reconcile" in p for p in validate_artifact(payload))
+
+
+def test_missing_row_key_and_bad_speedup_rejected():
+    payload = good_multiget_payload()
+    del payload["rows"][0]["demoted"]
+    payload["rows"][1]["speedup_vs_message"] = 0
+    problems = validate_artifact(payload)
+    assert any("demoted" in p for p in problems)
+    assert any("speedup_vs_message" in p for p in problems)
+
+
+def test_unknown_experiment_rejected():
+    problems = validate_artifact({"experiment": "nope", "description": "d",
+                                  "unit": "kops", "rows": [{}]})
+    assert any("unknown experiment" in p for p in problems)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(good_multiget_payload()))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main([str(good)]) == 0
+    assert "ok" in capsys.readouterr().out
+    assert main([str(good), str(bad)]) == 1
+    assert main([]) == 2
