@@ -5,8 +5,11 @@ A primary shard replicates every mutation to a secondary through the RDMA
 logging protocol.  We then kill the whole server machine: the shard's
 ZooKeeper session expires, the SWAT leader notices the missing liveness
 znode, promotes the secondary around its existing store, republishes the
-routing metadata — and the client, after one timed-out request, continues
-against the promoted shard with every acknowledged write intact.
+routing metadata — and the failover-aware client *rides through*: a GET
+issued mid-blackout retries inside its deadline budget, re-routes via
+the bumped routing generation, and completes against the promoted shard
+with every acknowledged write intact.  A legacy single-attempt client
+(``deadline_us=0``) sees the blackout as a ``RequestTimeout`` instead.
 
 Run with::
 
@@ -55,17 +58,28 @@ def main() -> None:
           f"{cluster.servers[0].machine.machine_id} (shards + NIC)...")
     cluster.servers[0].kill()
 
-    def phase_timeout():
+    legacy = cluster.client(deadline_us=0)  # pre-taxonomy single attempt
+
+    def phase_blackout():
         try:
-            yield from client.get(b"order:0000")
+            yield from legacy.get(b"order:0000")
             print("unexpected: request served by a dead machine")
         except RequestTimeout:
-            print(f"[{sim.now/MS:9.2f}ms] client request timed out "
-                  f"(primary dead, failover in progress)")
+            print(f"[{sim.now/MS:9.2f}ms] legacy client (deadline_us=0) "
+                  f"timed out: primary dead, failover in progress")
+        # The failover-aware client issued at the same moment retries
+        # through the blackout and lands on the promoted secondary.
+        t0 = sim.now
+        got = yield from client.get(b"order:0000")
+        print(f"[{sim.now/MS:9.2f}ms] failover-aware client rode through "
+              f"in {(sim.now - t0)/MS:.1f} ms -> {got!r} "
+              f"(retries={cluster.metrics.counter('client.retries').value}, "
+              f"failovers="
+              f"{cluster.metrics.counter('client.failovers').value})")
 
-    cluster.run(phase_timeout())
+    cluster.run(phase_blackout())
 
-    # ZooKeeper session expiry (2 s) + SWAT reaction + promotion.
+    # Let SWAT finish republishing routing metadata.
     sim.run(until=sim.now + 4_000 * MS)
     new_shard = cluster.routing.resolve(shard_id)
     print(f"[{sim.now/MS:9.2f}ms] SWAT failovers={ha.swat.failovers}; "

@@ -16,10 +16,14 @@ US = 1000  # ns per microsecond
 
 def main() -> None:
     # One server machine with 4 shards (the paper's default), one client
-    # machine; both cabled to a simulated 40 Gb/s RDMA fabric.
-    cluster = HydraCluster(n_server_machines=1, shards_per_server=4,
-                           n_client_machines=1)
-    cluster.start()
+    # machine; both cabled to a simulated 40 Gb/s RDMA fabric.  The
+    # context manager starts the cluster and tears it down on exit.
+    with HydraCluster(n_server_machines=1, shards_per_server=4,
+                      n_client_machines=1) as cluster:
+        run_app(cluster)
+
+
+def run_app(cluster) -> None:
     client = cluster.client()
     sim = cluster.sim
 

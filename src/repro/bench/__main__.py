@@ -20,6 +20,7 @@ from typing import Callable
 
 from .experiments import (
     ablation_ack_interval,
+    failover_availability,
     ablation_lease_length,
     ablation_sleep_backoff,
     ablation_transport,
@@ -39,6 +40,7 @@ from .experiments import (
     fig13_replication,
     inflight_sweep,
     multiget_sweep,
+    write_failover_artifact,
     write_inflight_artifact,
     write_multiget_artifact,
 )
@@ -85,6 +87,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
                  inflight_sweep, True),
     "multiget": ("Batched one-sided GET fan-out — message vs hybrid vs mixed",
                  multiget_sweep, True),
+    "failover": ("Availability — blackout + recovered throughput after a "
+                 "primary kill", failover_availability, True),
 }
 
 #: Experiments that also emit a machine-readable perf artifact (one per
@@ -92,6 +96,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
 ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
     "inflight": write_inflight_artifact,
     "multiget": write_multiget_artifact,
+    "failover": write_failover_artifact,
 }
 
 

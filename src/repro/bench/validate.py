@@ -1,7 +1,8 @@
 """Validate emitted bench artifacts: ``python -m repro.bench.validate F...``.
 
 The bench harness writes machine-readable perf artifacts
-(``BENCH_inflight.json``, ``BENCH_multiget.json``) that are tracked
+(``BENCH_inflight.json``, ``BENCH_multiget.json``,
+``BENCH_failover.json``) that are tracked
 across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
 that each file matches its experiment's schema — required top-level
 fields, per-row keys and types — plus the semantic invariants the
@@ -11,7 +12,10 @@ experiments promise:
 * throughputs and speedups are strictly positive finite numbers;
 * multiget rows must have ``reconciled`` == True — the remote-pointer
   accounting (``successful_hits + invalid_hits == batch_hits``) balanced
-  for every mode/batch cell.
+  for every mode/batch cell;
+* failover rows must show the availability contract held: zero
+  client-visible exceptions, zero lost acked writes, at least one SWAT
+  promotion, and post-kill throughput >= 80% of pre-kill.
 
 Exit status is 0 only if every named file validates; problems are listed
 one per line as ``<file>: <complaint>``.
@@ -34,6 +38,10 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
     "multiget_fanout_sweep": (
         "mode", "batch", "get_kops", "speedup_vs_message", "pointer_hits",
         "successful_hits", "invalid_hits", "demoted", "reconciled"),
+    "failover_availability": (
+        "clients", "pre_kops", "post_kops", "recovered_ratio",
+        "blackout_ms", "failovers", "client_retries", "exceptions",
+        "lost_acked_writes"),
 }
 
 
@@ -81,6 +89,23 @@ def validate_artifact(payload: dict) -> list[str]:
                 problems.append(f"row {i} (mode={row.get('mode')!r}, "
                                 f"batch={row.get('batch')!r}): pointer "
                                 f"accounting did not reconcile")
+    if experiment == "failover_availability":
+        for i, row in enumerate(rows):
+            if row.get("exceptions") != 0:
+                problems.append(f"row {i}: {row.get('exceptions')!r} "
+                                f"client-visible exceptions (must be 0)")
+            if row.get("lost_acked_writes") != 0:
+                problems.append(f"row {i}: {row.get('lost_acked_writes')!r} "
+                                f"acknowledged writes lost (must be 0)")
+            failovers = row.get("failovers")
+            if not isinstance(failovers, int) or failovers < 1:
+                problems.append(f"row {i}: failovers must be >= 1, "
+                                f"got {failovers!r}")
+            ratio = row.get("recovered_ratio")
+            if not (isinstance(ratio, (int, float))
+                    and math.isfinite(ratio) and ratio >= 0.8):
+                problems.append(f"row {i}: recovered_ratio must be >= 0.8, "
+                                f"got {ratio!r}")
     return problems
 
 

@@ -202,7 +202,24 @@ class HydraConfig:
     #: default changes nothing for them.
     max_inflight_reads: int = 16
     #: Client gives up on a response after this long (failover trigger).
+    #: This bounds ONE message-path attempt; the public operations retry
+    #: attempts under the ``op_deadline_us`` budget below.
     op_timeout_ns: int = 50_000_000
+    #: Per-request deadline budget (microseconds) for every public client
+    #: operation.  On a timeout / QP error the client tears down the stale
+    #: connection, re-resolves the key through the (versioned) routing
+    #: table, and replays the request with capped exponential backoff
+    #: until this budget lapses — then raises ShardUnavailable.  The
+    #: default comfortably covers a full SWAT failover (ZooKeeper session
+    #: expiry + reaction + promotion ≈ 2.5 s).  0 disables retries: every
+    #: attempt failure surfaces immediately (the pre-retry API).
+    op_deadline_us: int = 4_000_000
+    #: Capped exponential backoff between retry attempts (microseconds):
+    #: first wait, and the cap it doubles up to.  A routing-table change
+    #: notification short-circuits the wait, so promoted shards are
+    #: retried as soon as SWAT republishes the route.
+    retry_backoff_min_us: int = 1_000
+    retry_backoff_max_us: int = 100_000
     #: Hash-table buckets per shard (power of two).
     buckets_per_shard: int = 1 << 15
     #: Lease bounds (paper: 1 s .. 64 s scaled by observed popularity).

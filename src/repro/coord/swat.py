@@ -142,11 +142,15 @@ class SwatTeam:
                 yield self.zk.watch(SHARDS_PATH, "children")
 
     def _route_blob(self, shard_id: str) -> bytes:
+        # The blob carries the routing generation so observers can order
+        # republications without comparing machine ids.
         shard = self.cluster.routing.resolve(shard_id)
-        return f"machine={shard.machine.machine_id}".encode()
+        return (f"machine={shard.machine.machine_id};"
+                f"gen={self.cluster.routing.generation}").encode()
 
     def _react_to_failure(self, session: ZkSession, shard_id: str):
         """Promote a secondary and republish routing (§5.1)."""
+        react_start = self.sim.now
         yield self.sim.timeout(self.config.coord.swat_react_ns)
         old_primary = self.cluster.routing.resolve(shard_id)
         if old_primary.alive and old_primary.nic.alive:
@@ -164,6 +168,8 @@ class SwatTeam:
         promoted = candidates[0]
         remaining = candidates[1:]
         promoted.stop()
+        # Acked-but-unmerged ring records must survive the handover.
+        promoted.promote_drain()
         new_primary = Shard(self.sim, self.config, shard_id,
                             promoted.machine, promoted.core,
                             metrics=self.cluster.metrics,
@@ -192,6 +198,10 @@ class SwatTeam:
         ShardAgent(self.sim, self.zk, new_primary)
         self.failovers += 1
         self.cluster.metrics.counter("swat.failovers").add()
+        #: Reaction-to-republication latency (excludes detection, i.e. the
+        #: ZK session expiry that triggered _lead's missing-shard sweep).
+        self.cluster.metrics.tally("swat.promotion_ns").observe(
+            self.sim.now - react_start)
 
     def _resync(self, primary: Shard, sec):
         """Bulk state transfer: make ``sec``'s store match the new primary."""

@@ -1,7 +1,9 @@
 """HydraDB core: shards, clients, consistent hashing, leases, the cluster."""
 
 from .api import HydraCluster, RoutingTable
-from .client import HydraClient, RequestTimeout, StaticRouter
+from .client import HydraClient, StaticRouter
+from .errors import (BadStatus, HydraError, LifecycleError, RequestTimeout,
+                     ShardUnavailable, SlotOverflow)
 from .lease import LeaseManager, LeaseState
 from .ring import HashRing
 from .rptr import CachedPointer, RptrCache
@@ -14,8 +16,13 @@ __all__ = [
     "HydraCluster",
     "RoutingTable",
     "HydraClient",
-    "RequestTimeout",
     "StaticRouter",
+    "HydraError",
+    "RequestTimeout",
+    "ShardUnavailable",
+    "BadStatus",
+    "SlotOverflow",
+    "LifecycleError",
     "HydraServer",
     "Shard",
     "SubShardedShard",

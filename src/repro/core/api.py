@@ -28,8 +28,9 @@ from typing import Generator, Optional
 from ..config import SimConfig
 from ..hardware import Machine
 from ..rdma import Fabric, TcpNetwork
-from ..sim import MetricSet, Simulator
+from ..sim import Gate, MetricSet, Simulator
 from .client import HydraClient
+from .errors import LifecycleError
 from .ring import HashRing
 from .rptr import RptrCache
 from .server import HydraServer
@@ -39,14 +40,38 @@ __all__ = ["HydraCluster", "RoutingTable"]
 
 
 class RoutingTable:
-    """shard-id -> live Shard object; the SWAT failover path swaps entries."""
+    """shard-id -> live Shard object; the SWAT failover path swaps entries.
 
-    def __init__(self) -> None:
+    The table is *versioned*: every swap of an already-routed entry bumps
+    ``generation``, so clients can detect staleness with one integer
+    compare instead of re-resolving every key.  When built with a
+    simulator, ``route_change`` is a broadcast :class:`~repro.sim.Gate`
+    fired on each swap — a retrying client blocks on it to pick up a SWAT
+    promotion the instant the route is republished rather than sleeping
+    out its whole backoff.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
         self._map: dict[str, Shard] = {}
+        #: Bumped on every entry *swap* (not on initial installs).
+        self.generation = 0
+        #: Fires on every swap (None when built without a simulator).
+        self.route_change: Optional[Gate] = (
+            Gate(sim) if sim is not None else None)
 
     def set(self, shard_id: str, shard: Shard) -> None:
-        """Install/replace the shard serving ``shard_id``."""
+        """Install/replace the shard serving ``shard_id``.
+
+        Replacing a routed entry with a different shard object is a
+        *swap* (SWAT promotion): the generation counter advances and the
+        change gate fires.
+        """
+        prev = self._map.get(shard_id)
         self._map[shard_id] = shard
+        if prev is not None and prev is not shard:
+            self.generation += 1
+            if self.route_change is not None:
+                self.route_change.fire(shard_id)
 
     def resolve(self, shard_id: str) -> Shard:
         """The live shard currently serving ``shard_id``."""
@@ -80,7 +105,7 @@ class HydraCluster:
         self.client_machines: list[Machine] = []
         self.servers: list[HydraServer] = []
         self.ring = HashRing()
-        self.routing = RoutingTable()
+        self.routing = RoutingTable(self.sim)
         self._machine_counter = 0
         #: Per-client-machine shared remote-pointer caches (§4.2.4).
         self._shared_caches: dict[int, RptrCache] = {}
@@ -149,17 +174,53 @@ class HydraCluster:
         """All live shards, in ring-member order."""
         return [self.routing.resolve(sid) for sid in self.ring.members]
 
+    @property
+    def generation(self) -> int:
+        """Routing-table generation (bumped on every SWAT swap)."""
+        return self.routing.generation
+
+    @property
+    def route_change(self):
+        """Broadcast gate fired whenever a route is swapped."""
+        return self.routing.route_change
+
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         """Launch every shard (and secondary) process."""
         if self._started:
-            raise RuntimeError("cluster already started")
+            raise LifecycleError("cluster already started")
         self._started = True
         for server in self.servers:
             server.start()
         for secs in self.secondaries.values():
             for sec in secs:
                 sec.start()
+
+    def stop(self) -> None:
+        """Cleanly halt every shard, secondary, and reclaimer process.
+
+        Idempotent; unlike a failure injection (``server.kill()``) the
+        NICs stay up, so a stopped cluster's simulator can keep running
+        other processes.  Used by the context-manager protocol.
+        """
+        for server in self.servers:
+            for shard in server.shards:
+                if shard.alive:
+                    shard.kill()
+        for secs in self.secondaries.values():
+            for sec in secs:
+                sec.kill()
+        self._started = False
+
+    def __enter__(self) -> "HydraCluster":
+        """``with HydraCluster(...) as cluster:`` starts the cluster."""
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Leaving the ``with`` block stops every cluster process."""
+        self.stop()
 
     def run(self, *processes: Generator, until=None):
         """Spawn processes and run the simulation until they all finish."""
@@ -178,13 +239,19 @@ class HydraCluster:
         return self.ha
 
     # -- clients ---------------------------------------------------------
-    def client(self, machine_index: int = 0,
-               connect: bool = True) -> HydraClient:
-        """Create a client on the i-th client machine."""
-        machine = self.client_machines[machine_index]
-        return self.client_on(machine, connect=connect)
+    def client(self, machine_index: int = 0, connect: bool = True,
+               deadline_us: Optional[int] = None) -> HydraClient:
+        """Create a client on the i-th client machine.
 
-    def client_on(self, machine: Machine, connect: bool = True) -> HydraClient:
+        ``deadline_us`` overrides ``hydra.op_deadline_us`` for this client
+        only (0 = single-attempt mode, no retries).
+        """
+        machine = self.client_machines[machine_index]
+        return self.client_on(machine, connect=connect,
+                              deadline_us=deadline_us)
+
+    def client_on(self, machine: Machine, connect: bool = True,
+                  deadline_us: Optional[int] = None) -> HydraClient:
         """Create a client on an arbitrary machine (co-location allowed)."""
         cache = None
         if (self.config.hydra.rptr_cache_enabled
@@ -196,7 +263,8 @@ class HydraCluster:
             else:
                 cache.add_sharer()
         client = HydraClient(self.sim, self.config, machine, router=self,
-                             metrics=self.metrics, rptr_cache=cache)
+                             metrics=self.metrics, rptr_cache=cache,
+                             deadline_us=deadline_us)
         if connect:
             client.connect_all()
         return client

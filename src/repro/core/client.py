@@ -29,6 +29,20 @@ one-sidedly — no usable pointer, QP error, dead item, key mismatch — is
 *demoted* into a single pipelined message-path batch that overlaps with
 the still-in-flight Reads; its message response re-primes the pointer
 cache.  Single-key ``get`` rides the same engine with a batch of one.
+
+Failure handling (§5): every public operation runs under a per-request
+deadline budget (``hydra.op_deadline_us``).  When one message-path attempt
+times out (``hydra.op_timeout_ns``) or dies at the QP/NIC layer, the
+client tears down the stale connection, drops the key's remote-pointer
+cache entry, re-resolves the key through the (versioned) routing table —
+blocking on the router's ``route_change`` gate so a SWAT promotion is
+picked up the instant it is republished — and replays the request against
+whatever shard now owns the key, with capped exponential backoff between
+attempts.  Only when the whole budget lapses does the caller see a
+:class:`~repro.core.errors.ShardUnavailable`.  Setting
+``op_deadline_us=0`` (or ``deadline_us=0`` per client) restores the
+pre-retry single-attempt contract.  See docs/PROTOCOLS.md for the full
+state machine and the idempotency rules (INSERT is never replayed).
 """
 
 from __future__ import annotations
@@ -43,8 +57,10 @@ from ..hardware import Machine
 from ..kvmem import parse_item
 from ..protocol import (Op, Request, Response, Status, clear, consume,
                          frame, frame_len)
-from ..rdma import Nic, QpError
+from ..rdma import Nic, NicDown, QpError
 from ..sim import MetricSet, Simulator
+from .errors import (BadStatus, RequestTimeout, ShardUnavailable,
+                     SlotOverflow)
 from .rptr import CachedPointer, RptrCache
 from .shard import Connection, Shard
 
@@ -52,9 +68,10 @@ __all__ = ["HydraClient", "PendingRequest", "RequestTimeout", "StaticRouter"]
 
 _client_ids = count(1)
 
-
-class RequestTimeout(Exception):
-    """No response within the operation timeout (dead shard suspected)."""
+#: Transport-level failures a retrying client absorbs and replays.  A
+#: :class:`BadStatus` is *not* in this set — the shard answered, so the
+#: operation completed and replaying it would double-apply.
+_RETRYABLE = (RequestTimeout, QpError, NicDown)
 
 
 @dataclass(frozen=True)
@@ -105,6 +122,11 @@ class _ConnPipeline:
 class StaticRouter:
     """Trivial router for single/few-shard setups and unit tests."""
 
+    #: Static routes never change; retrying clients read these and skip
+    #: the route-change wakeup (see ``HydraCluster`` for the live pair).
+    generation = 0
+    route_change = None
+
     def __init__(self, shards: list[Shard]):
         if not shards:
             raise ValueError("need at least one shard")
@@ -123,12 +145,28 @@ class StaticRouter:
 
 
 class HydraClient:
-    """One client endpoint (the paper's 'client library' instance)."""
+    """One client endpoint (the paper's 'client library' instance).
+
+    Result/raise contract for the public generator API (stable across
+    transports and pipelining modes):
+
+    * ``get``/``get_many`` return the value bytes, or ``None`` per absent
+      key — NOT_FOUND is a *result*, never an exception.
+    * mutations (``put``/``insert``/``update``/``delete``/``put_many``/
+      ``lease_renew``) return the response :class:`~repro.protocol.Status`
+      uniformly (OK/NOT_FOUND/EXISTS); they raise only for failures.
+    * every raise derives from :class:`~repro.core.errors.HydraError`:
+      :class:`ShardUnavailable` when the retry deadline lapses with no
+      live route (or :class:`RequestTimeout` per attempt in
+      single-attempt mode), :class:`BadStatus` when the shard answers
+      with a status the operation cannot express.
+    """
 
     def __init__(self, sim: Simulator, config: SimConfig, machine: Machine,
                  router, metrics: Optional[MetricSet] = None,
                  rptr_cache: Optional[RptrCache] = None,
-                 client_id: Optional[str] = None, numa_domain: int = 0):
+                 client_id: Optional[str] = None, numa_domain: int = 0,
+                 deadline_us: Optional[int] = None):
         self.sim = sim
         self.config = config
         self.hydra = config.hydra
@@ -140,6 +178,9 @@ class HydraClient:
         self.router = router
         self.metrics = metrics or MetricSet(sim)
         self.client_id = client_id or f"client{next(_client_ids)}"
+        #: Per-request retry budget in µs; 0 = single-attempt (legacy) mode.
+        self.deadline_us = (self.hydra.op_deadline_us
+                            if deadline_us is None else deadline_us)
         if not self.hydra.rptr_cache_enabled or self.hydra.transport != "rdma":
             # No one-sided reads over TCP: the pointer cache is moot.
             self.cache: Optional[RptrCache] = None
@@ -158,8 +199,17 @@ class HydraClient:
 
     # -- connections ---------------------------------------------------------
     def connection_to(self, shard: Shard) -> Connection:
-        """The (lazily created) RDMA connection to a shard."""
+        """The (lazily created) RDMA connection to a shard.
+
+        A cached connection whose QP is no longer usable — torn down by
+        the peer, or either NIC dead — is dropped and re-established
+        up front, so a post-failover operation reconnects immediately
+        instead of black-holing a post and burning a whole timeout.
+        """
         conn = self.conns.get(shard)
+        if conn is not None and not conn.client_qp.usable:
+            self.drop_connection(shard)
+            conn = None
         if conn is None:
             conn = shard.connect(self.nic,
                                  client_numa_domain=self.numa_domain)
@@ -183,68 +233,178 @@ class HydraClient:
             self.connection_to(shard)
 
     def drop_connection(self, shard: Shard) -> None:
-        """Tear down the connection to one shard."""
+        """Tear down every connection to one shard.
+
+        Evicts the pipeline entry along with the connection, so a
+        reconnect after a failover starts from a clean slot map instead
+        of inheriting in-flight bookkeeping that belonged to the dead
+        link, and tells the shard so its poll loop stops sweeping the
+        dead connection's slots.
+        """
         conn = self.conns.pop(shard, None)
         if conn is not None:
             self._pipes.pop(conn.conn_id, None)
-            conn.close()
+            shard.disconnect(conn)
+        tconn = self._tcp_conns.pop(shard, None)
+        if tconn is not None:
+            tconn.close()
 
     # -- public operations (generator API) ---------------------------------
     def get(self, key: bytes):
-        """GET: RDMA-Read fast path, else message path. Returns bytes|None."""
-        shard = self.router.route(key)
-        if self.cache is not None:
-            hits, _demoted = yield from self._read_fanout(
-                [_ReadItem(0, key, shard)])
-            if 0 in hits:
-                return hits[0]
-        resp = yield from self._request(shard, Request(op=Op.GET, key=key))
-        if resp.status is Status.NOT_FOUND:
-            return None
-        if resp.status is not Status.OK:
-            raise RuntimeError(f"GET failed: {resp.status.name}")
-        self._maybe_cache(key, resp)
-        return resp.value
+        """GET: RDMA-Read fast path, else message path.
+
+        Returns the value bytes, or ``None`` when the key is absent.
+        Replayed across failovers under the deadline budget (GETs are
+        idempotent); raises :class:`ShardUnavailable` when the budget
+        lapses, :class:`BadStatus` on an error status.
+        """
+        def attempt(shard: Shard, timeout_ns: int):
+            if self.cache is not None:
+                hits, _demoted = yield from self._read_fanout(
+                    [_ReadItem(0, key, shard)])
+                if 0 in hits:
+                    return hits[0]
+            resp = yield from self._request(
+                shard, Request(op=Op.GET, key=key), timeout_ns)
+            if resp.status is Status.NOT_FOUND:
+                return None
+            if resp.status is not Status.OK:
+                raise BadStatus(resp.status, f"GET {key!r}")
+            self._maybe_cache(key, resp)
+            return resp.value
+        return (yield from self._retrying(key, attempt, "GET"))
 
     def put(self, key: bytes, value: bytes):
-        """Insert-or-update; returns the response Status."""
+        """Insert-or-update; returns the response Status (always OK).
+
+        Idempotent — replayed across failovers under the deadline budget.
+        """
         return (yield from self._mutate(Op.PUT, key, value))
 
     def insert(self, key: bytes, value: bytes):
-        """Insert; EXISTS if the key is already present."""
+        """Insert; returns EXISTS if the key is already present.
+
+        *Not* replayed: a lost response leaves it unknowable whether the
+        insert applied, and a blind replay would report EXISTS for our
+        own write.  A transport failure surfaces as
+        :class:`ShardUnavailable` immediately (the insert may or may not
+        have been applied).
+        """
         return (yield from self._mutate(Op.INSERT, key, value))
 
     def update(self, key: bytes, value: bytes):
-        """Update; NOT_FOUND if the key is absent."""
+        """Update; returns NOT_FOUND if the key is absent.  Replayed."""
         return (yield from self._mutate(Op.UPDATE, key, value))
 
     def delete(self, key: bytes):
-        """Delete; NOT_FOUND if the key is absent."""
+        """Delete; returns NOT_FOUND if the key is absent.
+
+        Replayed (at-least-once): a replay whose first attempt's response
+        was lost can report NOT_FOUND for a delete this client itself
+        performed.
+        """
         return (yield from self._mutate(Op.DELETE, key, b""))
 
     def lease_renew(self, key: bytes):
-        """Explicitly extend the lease of a (popular) key."""
-        shard = self.router.route(key)
-        resp = yield from self._request(
-            shard, Request(op=Op.LEASE_RENEW, key=key))
-        if resp.status is Status.OK:
-            self._maybe_cache(key, resp)
-        return resp.status
+        """Explicitly extend the lease of a (popular) key; returns Status."""
+        def attempt(shard: Shard, timeout_ns: int):
+            resp = yield from self._request(
+                shard, Request(op=Op.LEASE_RENEW, key=key), timeout_ns)
+            if resp.status is Status.OK:
+                self._maybe_cache(key, resp)
+            return resp.status
+        return (yield from self._retrying(key, attempt, "LEASE_RENEW"))
+
+    # -- retry engine -------------------------------------------------------
+    def _budget_ns(self) -> int:
+        return self.deadline_us * 1_000
+
+    def _backoff(self, wait_ns: int):
+        """Sleep out one backoff step — or less, if a route change lands.
+
+        Routers that publish failovers (``HydraCluster``) expose a
+        ``route_change`` gate; blocking on it alongside the timer turns
+        the worst-case blackout from *promotion + residual backoff* into
+        just *promotion*.
+        """
+        gate = getattr(self.router, "route_change", None)
+        if gate is None:
+            yield self.sim.timeout(wait_ns)
+        else:
+            yield self.sim.any_of([gate.wait(), self.sim.timeout(wait_ns)])
+
+    def _retrying(self, key: bytes, attempt, opname: str,
+                  replayable: bool = True):
+        """Run one single-key ``attempt(shard, timeout_ns)`` to completion.
+
+        The request is re-routed and replayed on transport failures
+        (timeout / QP error / dead NIC) until it succeeds or the deadline
+        budget lapses; each failure tears down the shard's connection and
+        drops the key's cached pointer so the replay starts clean.  With
+        a zero budget the first failure is re-raised unchanged
+        (single-attempt mode).  Non-replayable ops fail over to
+        :class:`ShardUnavailable` on the first transport failure.
+        """
+        budget = self._budget_ns()
+        deadline = self.sim.now + budget if budget > 0 else None
+        backoff_ns = max(1, self.hydra.retry_backoff_min_us) * 1_000
+        backoff_cap_ns = max(1, self.hydra.retry_backoff_max_us) * 1_000
+        first_failure_ns: Optional[int] = None
+        failed_shard: Optional[Shard] = None
+        while True:
+            shard = self.router.route(key)
+            timeout_ns = self.hydra.op_timeout_ns
+            if deadline is not None:
+                timeout_ns = min(timeout_ns, deadline - self.sim.now)
+            try:
+                result = yield from attempt(shard, timeout_ns)
+            except _RETRYABLE as exc:
+                if deadline is None:
+                    raise  # single-attempt mode: legacy contract
+                self.metrics.counter("client.retries").add()
+                if first_failure_ns is None:
+                    first_failure_ns = self.sim.now
+                    failed_shard = shard
+                self.drop_connection(shard)
+                if self.cache is not None:
+                    self.cache.invalidate(key)
+                if not replayable:
+                    raise ShardUnavailable(
+                        f"{self.client_id}: {opname} {key!r} aborted after "
+                        f"transport failure (not replayable; it may or may "
+                        f"not have been applied)") from exc
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    raise ShardUnavailable(
+                        f"{self.client_id}: {opname} {key!r} deadline "
+                        f"({self.deadline_us}us) lapsed with no live "
+                        f"route") from exc
+                yield from self._backoff(min(backoff_ns, remaining))
+                backoff_ns = min(backoff_ns * 2, backoff_cap_ns)
+                continue
+            if first_failure_ns is not None and shard is not failed_shard:
+                self.metrics.counter("client.failovers").add()
+                self.metrics.tally("client.failover_latency_ns").observe(
+                    self.sim.now - first_failure_ns)
+            return result
 
     # -- internals ---------------------------------------------------------
     def _mutate(self, op: Op, key: bytes, value: bytes):
-        shard = self.router.route(key)
-        resp = yield from self._request(
-            shard, Request(op=op, key=key, value=value))
-        if self.cache is not None:
-            # Any *completed* mutation drops the cached pointer — not just
-            # Status.OK.  A DELETE/UPDATE that raced to NOT_FOUND means a
-            # concurrent writer already retired the extent we point at;
-            # keeping the entry would leave co-located sharers Reading a
-            # dead item until the lease lapsed.  (Out-of-place updates make
-            # our own pointer stale on OK, as before.)
-            self.cache.invalidate(key)
-        return resp.status
+        def attempt(shard: Shard, timeout_ns: int):
+            resp = yield from self._request(
+                shard, Request(op=op, key=key, value=value), timeout_ns)
+            if self.cache is not None:
+                # Any *completed* mutation drops the cached pointer — not
+                # just Status.OK.  A DELETE/UPDATE that raced to NOT_FOUND
+                # means a concurrent writer already retired the extent we
+                # point at; keeping the entry would leave co-located
+                # sharers Reading a dead item until the lease lapsed.
+                # (Out-of-place updates make our own pointer stale on OK,
+                # as before.)
+                self.cache.invalidate(key)
+            return resp.status
+        return (yield from self._retrying(
+            key, attempt, op.name, replayable=op is not Op.INSERT))
 
     # -- pipelined one-sided read engine ------------------------------------
     def _post_read_batch(self, cs: _ReadState):
@@ -367,13 +527,16 @@ class HydraClient:
             window = min(window, conn.n_slots)
         return window
 
-    def issue(self, shard: Shard, req: Request):
+    def issue(self, shard: Shard, req: Request,
+              timeout_ns: Optional[int] = None):
         """Issue one message-path request; returns a :class:`PendingRequest`.
 
         Blocks (in simulated time) only while the connection's in-flight
         window is exhausted — draining completed responses as it waits —
         never on the issued request's own response.  Collect the response
-        later with :meth:`wait`.
+        later with :meth:`wait`.  ``timeout_ns`` caps the window wait
+        (defaults to ``hydra.op_timeout_ns``); the retry engine passes
+        the remaining deadline budget here.
         """
         req = Request(op=req.op, key=req.key, value=req.value,
                       req_id=next(self._req_ids))
@@ -383,7 +546,9 @@ class HydraClient:
         conn = self.connection_to(shard)
         pipe = self._pipe(conn)
         window = self._window(conn)
-        deadline = self.sim.now + self.hydra.op_timeout_ns
+        if timeout_ns is None:
+            timeout_ns = self.hydra.op_timeout_ns
+        deadline = self.sim.now + timeout_ns
         while (len(pipe.inflight) >= window
                or (self.hydra.rdma_write_messaging and not pipe.free_slots)):
             drained = yield from self._drain(pipe)
@@ -399,7 +564,7 @@ class HydraClient:
         if self.hydra.rdma_write_messaging:
             slot_bytes = conn.layout.slot_bytes
             if frame_len(len(data)) > slot_bytes:
-                raise ValueError(
+                raise SlotOverflow(
                     f"request of {len(data)}B exceeds the {slot_bytes}B "
                     f"message slot; raise hydra.conn_buf_bytes or lower "
                     f"hydra.msg_slots_per_conn for large items")
@@ -414,12 +579,15 @@ class HydraClient:
         return PendingRequest(req_id=req.req_id, shard=shard, conn=conn,
                               slot=slot)
 
-    def wait(self, pending: PendingRequest):
+    def wait(self, pending: PendingRequest,
+             timeout_ns: Optional[int] = None):
         """Collect the response for an issued request (blocks until it
-        lands or the operation timeout expires)."""
+        lands or the timeout — default ``hydra.op_timeout_ns`` — expires)."""
         conn = pending.conn
         pipe = self._pipe(conn)
-        deadline = self.sim.now + self.hydra.op_timeout_ns
+        if timeout_ns is None:
+            timeout_ns = self.hydra.op_timeout_ns
+        deadline = self.sim.now + timeout_ns
         while True:
             resp = pipe.completed.pop(pending.req_id, None)
             if resp is not None:
@@ -497,13 +665,14 @@ class HydraClient:
                 landed += 1
         return landed
 
-    def _request(self, shard: Shard, req: Request):
+    def _request(self, shard: Shard, req: Request,
+                 timeout_ns: Optional[int] = None):
         """Message path: send the request, await the framed response."""
         if self.hydra.transport == "tcp":
             resp = yield from self._tcp_request(shard, req)
             return resp
-        pending = yield from self.issue(shard, req)
-        resp = yield from self.wait(pending)
+        pending = yield from self.issue(shard, req, timeout_ns)
+        resp = yield from self.wait(pending, timeout_ns)
         return resp
 
     # -- multi-key operations -----------------------------------------------
@@ -514,9 +683,18 @@ class HydraClient:
         set is posted as doorbell-coalesced RDMA-Read batches while every
         miss — and every Read demoted by validation — joins one pipelined
         message-path batch that overlaps with the still-in-flight Reads.
-        Successful message responses re-prime the pointer cache.  A non-OK
-        response or a timeout is reported only after every outstanding
-        request has been drained, so no in-flight slot is abandoned.
+        Successful message responses re-prime the pointer cache.
+
+        Results align with ``keys``: value bytes per hit, ``None`` per
+        absent key — the same NOT_FOUND-is-a-result contract as
+        :meth:`get`, so a mixed batch never raises mid-population.  Keys
+        that fail at the transport level are re-routed and replayed in
+        further rounds under the shared deadline budget;
+        :class:`ShardUnavailable` is raised only when the budget lapses
+        with keys still unserved, and only after every in-flight request
+        of the final round has been drained (no leaked slots).  In
+        single-attempt mode (zero budget) the first round's timeout is
+        re-raised as before.
         """
         results: list[Optional[bytes]] = [None] * len(keys)
         if self.hydra.transport == "tcp":
@@ -525,82 +703,178 @@ class HydraClient:
             return results
         items = [_ReadItem(i, key, self.router.route(key))
                  for i, key in enumerate(keys)]
-        msg_pendings: list[tuple[_ReadItem, PendingRequest]] = []
-
-        def send_message(item: _ReadItem):
-            pending = yield from self.issue(
-                item.shard, Request(op=Op.GET, key=item.key))
-            msg_pendings.append((item, pending))
-
-        failure: Optional[BaseException] = None
-        try:
-            if self.cache is None:
-                for item in items:
-                    yield from send_message(item)
-            else:
-                hits, _demoted = yield from self._read_fanout(
-                    items, on_demote=send_message)
-                for idx, value in hits.items():
-                    results[idx] = value
-        except RequestTimeout as exc:
-            # Issue-phase timeout (window full against a silent shard):
-            # stop fanning out, but still drain what is already in flight.
-            failure = exc
-        for item, pending in msg_pendings:
-            try:
-                resp = yield from self.wait(pending)
-            except RequestTimeout as exc:
-                failure = failure or exc
-                continue
-            if resp.status is Status.OK:
-                self._maybe_cache(item.key, resp)
-                results[item.idx] = resp.value
-            elif resp.status is not Status.NOT_FOUND and failure is None:
-                failure = RuntimeError(f"GET failed: {resp.status.name}")
-        if failure is not None:
-            raise failure
+        yield from self._retrying_rounds(
+            items, lambda batch, timeout_ns:
+                self._get_round(batch, results, timeout_ns), "GET_MANY")
         return results
 
     def put_many(self, pairs: list[tuple[bytes, bytes]]):
         """Pipelined multi-PUT; returns a Status per ``(key, value)``.
 
-        Like :meth:`get_many`, a timeout is re-raised only after every
-        already-issued request has been drained — abandoning the remaining
-        pendings would leak their in-flight slots.
+        Statuses align with ``pairs``.  Like :meth:`get_many`, transport
+        failures are replayed in re-routed rounds under the deadline
+        budget (PUTs are idempotent), every issued request is drained
+        before a round reports its failures, and the budget lapsing
+        raises :class:`ShardUnavailable`.
         """
         statuses: list[Status] = [Status.ERROR] * len(pairs)
         if self.hydra.transport == "tcp":
             for i, (key, value) in enumerate(pairs):
                 statuses[i] = yield from self.put(key, value)
             return statuses
-        pendings: list[Optional[PendingRequest]] = [None] * len(pairs)
+        items = [_ReadItem(i, key, self.router.route(key))
+                 for i, (key, _value) in enumerate(pairs)]
+        yield from self._retrying_rounds(
+            items, lambda batch, timeout_ns:
+                self._put_round(batch, pairs, statuses, timeout_ns),
+            "PUT_MANY")
+        return statuses
+
+    def _retrying_rounds(self, items: list[_ReadItem], round_fn,
+                         opname: str):
+        """Replay engine for multi-key ops.
+
+        Runs ``round_fn(items, timeout_ns)`` — which must drain everything
+        it issued and return the items that failed at the transport level
+        — then tears down the failed shards' connections, waits out a
+        backoff step (or a route change), re-routes the survivors, and
+        goes again until nothing fails or the deadline budget lapses.
+        """
+        budget = self._budget_ns()
+        deadline = self.sim.now + budget if budget > 0 else None
+        backoff_ns = max(1, self.hydra.retry_backoff_min_us) * 1_000
+        backoff_cap_ns = max(1, self.hydra.retry_backoff_max_us) * 1_000
+        first_failure_ns: Optional[int] = None
+        failed_shards: set[Shard] = set()
+        while True:
+            timeout_ns = self.hydra.op_timeout_ns
+            if deadline is not None:
+                timeout_ns = max(1, min(timeout_ns, deadline - self.sim.now))
+            failed = yield from round_fn(items, timeout_ns)
+            if not failed:
+                # A retried round that succeeded against a shard that never
+                # failed on us is a completed failover (re-routed replay);
+                # same-shard success is just a transient absorbed by retry.
+                if first_failure_ns is not None and any(
+                        item.shard not in failed_shards for item in items):
+                    self.metrics.counter("client.failovers").add()
+                    self.metrics.tally("client.failover_latency_ns").observe(
+                        self.sim.now - first_failure_ns)
+                return
+            if deadline is None:
+                raise RequestTimeout(
+                    f"{self.client_id}: {opname}: {len(failed)} of "
+                    f"{len(items)} keys got no response")
+            self.metrics.counter("client.retries").add(len(failed))
+            if first_failure_ns is None:
+                first_failure_ns = self.sim.now
+            for shard in {item.shard for item in failed}:
+                failed_shards.add(shard)
+                self.drop_connection(shard)
+            if self.cache is not None:
+                for item in failed:
+                    self.cache.invalidate(item.key)
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                raise ShardUnavailable(
+                    f"{self.client_id}: {opname} deadline "
+                    f"({self.deadline_us}us) lapsed with {len(failed)} of "
+                    f"{len(items)} keys unserved")
+            yield from self._backoff(min(backoff_ns, remaining))
+            backoff_ns = min(backoff_ns * 2, backoff_cap_ns)
+            items = [_ReadItem(it.idx, it.key, self.router.route(it.key))
+                     for it in failed]
+
+    def _get_round(self, items: list[_ReadItem],
+                   results: list[Optional[bytes]], timeout_ns: int):
+        """One multi-GET fan-out round; returns transport-failed items.
+
+        Drains every request it issued before returning — abandoning
+        pendings would leak their in-flight slots.  A shard that fails
+        once is skipped for the round's remaining items (fail-fast), so
+        one dead primary costs one timeout, not one per key.
+        """
+        msg_pendings: list[tuple[_ReadItem, PendingRequest]] = []
+        failed: list[_ReadItem] = []
+        dead_shards: set[Shard] = set()
         failure: Optional[BaseException] = None
-        for i, (key, value) in enumerate(pairs):
-            shard = self.router.route(key)
+
+        def send_message(item: _ReadItem):
+            if item.shard in dead_shards:
+                failed.append(item)
+                return
             try:
-                pendings[i] = yield from self.issue(
-                    shard, Request(op=Op.PUT, key=key, value=value))
-            except RequestTimeout as exc:
-                failure = exc
-                break
-        for i, pending in enumerate(pendings):
-            if pending is None:
+                pending = yield from self.issue(
+                    item.shard, Request(op=Op.GET, key=item.key), timeout_ns)
+            except _RETRYABLE:
+                dead_shards.add(item.shard)
+                failed.append(item)
+                return
+            msg_pendings.append((item, pending))
+
+        if self.cache is None:
+            for item in items:
+                yield from send_message(item)
+        else:
+            hits, _demoted = yield from self._read_fanout(
+                items, on_demote=send_message)
+            for idx, value in hits.items():
+                results[idx] = value
+        for item, pending in msg_pendings:
+            try:
+                resp = yield from self.wait(pending, timeout_ns)
+            except _RETRYABLE:
+                dead_shards.add(item.shard)
+                failed.append(item)
+                continue
+            if resp.status is Status.OK:
+                self._maybe_cache(item.key, resp)
+                results[item.idx] = resp.value
+            elif resp.status is not Status.NOT_FOUND and failure is None:
+                failure = BadStatus(resp.status, f"GET {item.key!r}")
+        if failure is not None:
+            raise failure
+        return failed
+
+    def _put_round(self, items: list[_ReadItem],
+                   pairs: list[tuple[bytes, bytes]],
+                   statuses: list[Status], timeout_ns: int):
+        """One multi-PUT fan-out round; returns transport-failed items."""
+        msg_pendings: list[tuple[_ReadItem, PendingRequest]] = []
+        failed: list[_ReadItem] = []
+        dead_shards: set[Shard] = set()
+        for item in items:
+            if item.shard in dead_shards:
+                failed.append(item)
                 continue
             try:
-                resp = yield from self.wait(pending)
-            except RequestTimeout as exc:
-                failure = failure or exc
+                pending = yield from self.issue(
+                    item.shard, Request(op=Op.PUT, key=item.key,
+                                        value=pairs[item.idx][1]), timeout_ns)
+            except _RETRYABLE:
+                dead_shards.add(item.shard)
+                failed.append(item)
+                continue
+            msg_pendings.append((item, pending))
+        for item, pending in msg_pendings:
+            try:
+                resp = yield from self.wait(pending, timeout_ns)
+            except _RETRYABLE:
+                dead_shards.add(item.shard)
+                failed.append(item)
                 continue
             if self.cache is not None:
                 # Any completed mutation invalidates, as in _mutate.
-                self.cache.invalidate(pairs[i][0])
-            statuses[i] = resp.status
-        if failure is not None:
-            raise failure
-        return statuses
+                self.cache.invalidate(item.key)
+            statuses[item.idx] = resp.status
+        return failed
 
     def _tcp_request(self, shard: Shard, req: Request):
-        """Kernel-TCP request path (transport == "tcp")."""
+        """Kernel-TCP request path (transport == "tcp").
+
+        The socket has no timeout machinery, so this path is effectively
+        single-attempt regardless of the deadline budget.
+        """
         req = Request(op=req.op, key=req.key, value=req.value,
                       req_id=next(self._req_ids))
         self.metrics.counter("client.messages").add()
@@ -609,8 +883,9 @@ class HydraClient:
         conn = self._tcp_conns.get(shard)
         if conn is None:
             if shard.tcp_port < 0:
-                raise RuntimeError(f"{shard.shard_id} has no TCP listener "
-                                   "(is the cluster started?)")
+                raise ShardUnavailable(
+                    f"{shard.shard_id} has no TCP listener "
+                    "(is the cluster started?)")
             conn = yield self.machine.tcp.connect(shard.machine.tcp,
                                                   shard.tcp_port)
             self._tcp_conns[shard] = conn

@@ -1,0 +1,87 @@
+"""The HydraDB client error taxonomy.
+
+Every exception a public :class:`~repro.core.client.HydraClient` operation
+(or the :class:`~repro.core.api.HydraCluster` facade) can raise derives
+from :class:`HydraError`, so applications write one ``except HydraError``
+and get a stable contract across transports, pipelining modes, and
+failovers.  The taxonomy (see docs/PROTOCOLS.md for the full retry /
+deadline state machine):
+
+``HydraError``
+    Base class; never raised directly.
+
+``RequestTimeout``
+    One message-path attempt got no response within
+    ``hydra.op_timeout_ns`` (dead or overloaded shard suspected).  With
+    retries enabled (``hydra.op_deadline_us > 0``, the default) public
+    operations absorb these internally and replay; callers only see the
+    subclass :class:`ShardUnavailable` once the whole deadline budget is
+    gone.  With ``op_deadline_us == 0`` (single-attempt mode) it is
+    raised directly, preserving the pre-retry API.
+
+``ShardUnavailable``
+    The per-request deadline budget (``hydra.op_deadline_us``) was
+    exhausted without any live route serving the key — every retry timed
+    out, errored at the QP level, or found the NIC dark, and no SWAT
+    promotion arrived in time.  Subclasses :class:`RequestTimeout` so
+    pre-existing ``except RequestTimeout`` handlers keep working.
+
+``BadStatus``
+    The shard answered, but with a status the operation cannot express in
+    its return value (e.g. ``Status.ERROR`` from a GET).  Carries the
+    offending :class:`~repro.protocol.Status` as ``.status``.  NOT_FOUND
+    is *not* an error: GETs return ``None`` and mutations return the
+    status.
+
+``SlotOverflow``
+    A request frame exceeds the connection's message-slot size; raise
+    ``hydra.conn_buf_bytes`` or lower ``hydra.msg_slots_per_conn``.
+    Also a :class:`ValueError` for backward compatibility.
+
+``LifecycleError``
+    Component misuse: double ``start()``, operations on a cluster that
+    was never started, etc.  Also a :class:`RuntimeError` for backward
+    compatibility.
+"""
+
+from __future__ import annotations
+
+from ..protocol import Status
+
+__all__ = [
+    "HydraError",
+    "RequestTimeout",
+    "ShardUnavailable",
+    "BadStatus",
+    "SlotOverflow",
+    "LifecycleError",
+]
+
+
+class HydraError(Exception):
+    """Base class for every client-visible HydraDB error."""
+
+
+class RequestTimeout(HydraError):
+    """No response within one operation timeout (dead shard suspected)."""
+
+
+class ShardUnavailable(RequestTimeout):
+    """The retry deadline budget lapsed without a live route for the key."""
+
+
+class BadStatus(HydraError):
+    """The shard replied with a status the operation cannot return."""
+
+    def __init__(self, status: Status, detail: str = ""):
+        self.status = status
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"unexpected status {status.name}{suffix}")
+
+
+class SlotOverflow(HydraError, ValueError):
+    """A request frame does not fit the connection's message slot."""
+
+
+class LifecycleError(HydraError, RuntimeError):
+    """A component was started twice, stopped twice, or used unstarted."""

@@ -19,6 +19,7 @@ from ..config import SimConfig
 from ..hardware import Core, Machine
 from ..protocol import Request, Response, Status
 from ..sim import Interrupt, MetricSet, RwLock, Simulator, Store
+from .errors import LifecycleError
 from .shard import Connection, Shard, WRITE_OPS
 from .store import ShardStore
 
@@ -61,7 +62,7 @@ class PipelinedShard(Shard):
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         if self.alive:
-            raise RuntimeError(f"{self.shard_id} already running")
+            raise LifecycleError(f"{self.shard_id} already running")
         self.alive = True
         for tid, io_core in enumerate(self.io_cores):
             self._procs.append(self.sim.process(
@@ -79,6 +80,13 @@ class PipelinedShard(Shard):
         for p in self._procs:
             if p.is_alive:
                 p.interrupt("killed")
+        # Requests handed off but never picked up by a worker die with the
+        # process; count them so availability experiments can see how much
+        # in-flight work a failover drops on the floor.
+        dropped = len(self._queue.items)
+        if dropped:
+            self._queue.items.clear()
+            self.metrics.counter("shard.dropped_handoffs").add(dropped)
 
     # -- I/O dispatchers ------------------------------------------------------
     def _my_conns(self, tid: int) -> list[Connection]:

@@ -33,8 +33,9 @@ from ..protocol import (
     frame,
     frame_len,
 )
-from ..rdma import MemoryRegion, Nic, QueuePair, RemotePointer
+from ..rdma import MemoryRegion, Nic, QpError, QueuePair, RemotePointer
 from ..sim import Gate, MetricSet, Interrupt, Simulator, Store
+from .errors import LifecycleError
 from .store import ShardStore, StoreResult
 
 __all__ = ["Shard", "Connection", "WRITE_OPS"]
@@ -114,7 +115,7 @@ class Shard:
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         if self.alive:
-            raise RuntimeError(f"{self.shard_id} already running")
+            raise LifecycleError(f"{self.shard_id} already running")
         self.alive = True
         if self.hydra.transport == "tcp":
             stack = self.machine.tcp
@@ -382,9 +383,16 @@ class Shard:
                 resp = Response(op=resp.op, status=Status.ERROR,
                                 req_id=resp.req_id)
                 data = resp.encode()
-            conn.shard_qp.post_write(rptr, frame(data))
-        else:
-            conn.shard_qp.post_send(data)
+        try:
+            if self.hydra.rdma_write_messaging:
+                conn.shard_qp.post_write(rptr, frame(data))
+            else:
+                conn.shard_qp.post_send(data)
+        except QpError:
+            # The client tore the connection down (failover retry or
+            # teardown) between issuing the request and this response:
+            # the response is undeliverable, not a shard failure.
+            self.metrics.counter("shard.undeliverable_responses").add()
         # Fire-and-forget: the shard moves to the next request buffer
         # without waiting for the completion (§4.1.1).
 

@@ -28,6 +28,7 @@ from ..hardware import Core, Machine
 from ..index.hashing import hash64
 from ..protocol import Op, Request, Response, Status
 from ..sim import Interrupt, MetricSet, Simulator, Store
+from .errors import LifecycleError
 from .shard import Shard
 from .store import ShardStore
 
@@ -85,9 +86,9 @@ class SubShardedShard(Shard):
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         if self.alive:
-            raise RuntimeError(f"{self.shard_id} already running")
+            raise LifecycleError(f"{self.shard_id} already running")
         if self.replicator is not None:
-            raise RuntimeError(
+            raise LifecycleError(
                 "sub-sharded instances do not support replication hooks")
         self.alive = True
         self._procs = [self.sim.process(self._dispatch_loop(),

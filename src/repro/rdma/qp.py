@@ -51,6 +51,18 @@ class QueuePair:
             self.nic.qps.remove(self)
         self.connected = False
 
+    @property
+    def usable(self) -> bool:
+        """True while posts on this QP can still make progress.
+
+        A QP stops being usable when either endpoint tears it down
+        (``destroy``) or either NIC dies — a retrying client probes this
+        before reusing a cached connection so it reconnects up front
+        instead of burning an operation timeout on a black-holed post.
+        """
+        return (self.connected and self.peer is not None
+                and self.nic.alive and self.peer.nic.alive)
+
     def _next_wr(self, wr_id: int) -> int:
         if wr_id:
             return wr_id

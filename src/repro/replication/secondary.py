@@ -22,6 +22,7 @@ from ..hardware import Core, Machine
 from ..protocol import RingReader
 from ..rdma import MemoryRegion, QueuePair, RemotePointer
 from ..sim import Gate, Interrupt, MetricSet, Simulator
+from ..core.errors import LifecycleError
 from ..core.store import ShardStore
 from .log import Ack, LogRecord, RecordType
 
@@ -85,7 +86,7 @@ class SecondaryShard:
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
         if self.alive:
-            raise RuntimeError(f"{self.shard_id} already running")
+            raise LifecycleError(f"{self.shard_id} already running")
         self.alive = True
         self._proc = self.sim.process(self._merge_loop(), name=self.shard_id)
         if self.store.reclaimer._proc is None:
@@ -100,6 +101,35 @@ class SecondaryShard:
     def kill(self) -> None:
         self.stop()
         self.store.reclaimer.stop()
+
+    def promote_drain(self) -> int:
+        """Fold every in-sequence ring record into the store (promotion).
+
+        Called by SWAT after stopping the merge thread and before wrapping
+        this store in a fresh primary: writes the dead primary acked and
+        replicated — but that the merge thread had not folded in yet — must
+        not be lost in the handover, or a client would observe an acked
+        write vanish across the failover.  Stops at the first gap exactly
+        like the merge loop (a failing stream's tail is unrecoverable).
+        Returns the number of records applied.
+        """
+        applied = 0
+        while not self.failing:
+            payload = self.reader.poll()
+            if payload is None:
+                break
+            record = LogRecord.decode(payload)
+            if record.rtype is RecordType.ACK_REQUEST:
+                continue
+            if record.seq != self.applied_seq + 1:
+                break
+            self.store.apply(record.op, record.key, record.value,
+                             version=record.version)
+            self.applied_seq = record.seq
+            applied += 1
+        if applied:
+            self.metrics.counter("replica.drained").add(applied)
+        return applied
 
     # -- merge thread -------------------------------------------------------
     def _should_fault(self) -> bool:

@@ -104,8 +104,10 @@ def test_failover_with_two_replicas_rewires_remaining():
 
 
 def test_client_times_out_then_recovers():
+    # Single-attempt mode (deadline_us=0) preserves the pre-retry
+    # contract: one attempt, one RequestTimeout, no replay.
     cluster, ha = ha_cluster()
-    client = cluster.client()
+    client = cluster.client(deadline_us=0)
 
     def before():
         yield from client.put(b"k", b"v")
@@ -125,6 +127,31 @@ def test_client_times_out_then_recovers():
         assert (yield from client.get(b"k")) == b"v"
 
     cluster.run(after())
+
+
+def test_client_rides_through_failover():
+    # Default deadline budget: a GET issued mid-blackout replays across
+    # the SWAT promotion and completes without any client-visible error.
+    cluster, ha = ha_cluster()
+    client = cluster.client()
+
+    def before():
+        yield from client.put(b"k", b"v")
+
+    cluster.run(before())
+    settle(cluster, 10_000_000)
+    cluster.servers[0].kill()
+
+    def during():
+        assert (yield from client.get(b"k")) == b"v"
+
+    cluster.run(during())
+    settle(cluster, 20_000_000)  # let SWAT finish republishing
+    assert ha.swat.failovers == 1
+    assert cluster.routing.generation >= 1
+    assert cluster.metrics.counter("client.retries").value >= 1
+    assert cluster.metrics.counter("client.failovers").value >= 1
+    assert cluster.metrics.tally("client.failover_latency_ns").count >= 1
 
 
 def test_failure_without_replica_counts_data_loss():

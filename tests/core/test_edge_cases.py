@@ -3,6 +3,7 @@
 import pytest
 
 from repro import HydraCluster, SimConfig
+from repro.core import BadStatus
 from repro.protocol import Status
 
 
@@ -36,8 +37,9 @@ def test_oversized_response_degrades_to_error_status():
     client = cluster.client()
 
     def app():
-        with pytest.raises(RuntimeError, match="GET failed"):
+        with pytest.raises(BadStatus, match="unexpected status ERROR") as exc:
             yield from client.get(b"big")
+        assert exc.value.status is Status.ERROR
         # Clean failure, not a timeout; the shard logged the overflow.
         assert cluster.metrics.counter("shard.resp_overflow").value == 1
         # Small items still work on the same connection.

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import HydraCluster, SimConfig
-from repro.core import RequestTimeout
+from repro.core import BadStatus, RequestTimeout
 from repro.protocol import Op, Status
 
 
@@ -135,7 +135,9 @@ def test_stale_response_discarded_not_fatal():
     and discarded, not poison the next call on the connection."""
     cfg = pipelined_config(1, op_timeout_ns=2_000)
     cluster = make_cluster(cfg)
-    client = cluster.client()
+    # Single-attempt mode: a retrying client would drop the connection,
+    # so the late response could never land on this client.
+    client = cluster.client(deadline_us=0)
 
     def app():
         with pytest.raises(RequestTimeout):
@@ -188,7 +190,7 @@ def test_resp_overflow_degrades_to_clean_error():
     shard.store_for_key(b"big").upsert(b"big", b"x" * 2048, Op.PUT)
 
     def app():
-        with pytest.raises(RuntimeError, match="ERROR"):
+        with pytest.raises(BadStatus, match="ERROR"):
             yield from client.get(b"big")
 
     cluster.run(app())

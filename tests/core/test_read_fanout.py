@@ -1,6 +1,7 @@
 """Batched one-sided GET fan-out: hits, demotions, windows, drain rules."""
 
 from repro import HydraCluster, SimConfig
+from repro.core import BadStatus
 from repro.protocol import Op, Status
 
 
@@ -124,7 +125,7 @@ def test_get_many_failure_drains_batch_before_raising():
             yield from client.put(k, b"v" * 8)
         try:
             yield from client.get_many(KEYS[:4] + [b"big"] + KEYS[4:])
-        except RuntimeError as exc:
+        except BadStatus as exc:
             out["error"] = str(exc)
         # No leaked slots: the very next full-width batch must succeed.
         out["after"] = yield from client.get_many(KEYS)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import HydraCluster, SimConfig
+from repro.core import ShardUnavailable
 from repro.protocol import Status
 
 
@@ -106,7 +107,7 @@ def test_request_before_start_rejected():
     client = cluster.client()
 
     def app():
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ShardUnavailable):
             yield from client.get(b"k")
 
     cluster.sim.run(until=cluster.sim.process(app()))
