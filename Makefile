@@ -4,7 +4,7 @@ PYTEST ?= python -m pytest
 RUFF ?= ruff
 
 .PHONY: test lint bench bench-quick bench-inflight bench-multiget \
-	bench-failover bench-smoke figures examples clean
+	bench-failover bench-sweep bench-smoke figures examples clean
 
 test:
 	$(PYTEST) tests/
@@ -33,15 +33,20 @@ bench-failover:
 	python -m repro.bench failover --scale 1.0
 	python -m repro.bench.validate BENCH_failover.json
 
+bench-sweep:
+	python -m repro.bench server_sweep --scale 1.0
+	python -m repro.bench.validate BENCH_sweep.json
+
 # Tiny end-to-end run of the artifact-emitting benches plus schema
 # validation of what they wrote; fast enough for CI.
 bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	cd .bench-smoke && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench inflight multiget \
-			failover --scale 0.05 && \
+			failover server_sweep --scale 0.05 && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate \
-			BENCH_inflight.json BENCH_multiget.json BENCH_failover.json
+			BENCH_inflight.json BENCH_multiget.json BENCH_failover.json \
+			BENCH_sweep.json
 
 figures:
 	python -m repro.bench all --scale 0.5

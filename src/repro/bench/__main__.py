@@ -40,9 +40,11 @@ from .experiments import (
     fig13_replication,
     inflight_sweep,
     multiget_sweep,
+    server_sweep,
     write_failover_artifact,
     write_inflight_artifact,
     write_multiget_artifact,
+    write_sweep_artifact,
 )
 from .report import format_table
 
@@ -89,6 +91,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
                  multiget_sweep, True),
     "failover": ("Availability — blackout + recovered throughput after a "
                  "primary kill", failover_availability, True),
+    "server_sweep": ("Server sweep scalability — CPU ns/op vs connections "
+                     "(occupancy word / ready hints / resp batching)",
+                     server_sweep, True),
 }
 
 #: Experiments that also emit a machine-readable perf artifact (one per
@@ -97,6 +102,7 @@ ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
     "inflight": write_inflight_artifact,
     "multiget": write_multiget_artifact,
     "failover": write_failover_artifact,
+    "server_sweep": write_sweep_artifact,
 }
 
 

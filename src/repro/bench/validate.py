@@ -2,7 +2,7 @@
 
 The bench harness writes machine-readable perf artifacts
 (``BENCH_inflight.json``, ``BENCH_multiget.json``,
-``BENCH_failover.json``) that are tracked
+``BENCH_failover.json``, ``BENCH_sweep.json``) that are tracked
 across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
 that each file matches its experiment's schema — required top-level
 fields, per-row keys and types — plus the semantic invariants the
@@ -15,7 +15,10 @@ experiments promise:
   for every mode/batch cell;
 * failover rows must show the availability contract held: zero
   client-visible exceptions, zero lost acked writes, at least one SWAT
-  promotion, and post-kill throughput >= 80% of pre-kill.
+  promotion, and post-kill throughput >= 80% of pre-kill;
+* server_sweep rows must carry a linear-sweep baseline (speedup and
+  cpu_ratio == 1.0) and, at >= 32 connections, the all-layers mode must
+  beat it by >= 2x in throughput or server CPU ns/op.
 
 Exit status is 0 only if every named file validates; problems are listed
 one per line as ``<file>: <complaint>``.
@@ -42,6 +45,10 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
         "clients", "pre_kops", "post_kops", "recovered_ratio",
         "blackout_ms", "failovers", "client_retries", "exceptions",
         "lost_acked_writes"),
+    "server_sweep": (
+        "conns", "window", "mode", "kops", "speedup",
+        "server_cpu_ns_per_op", "cpu_ratio", "sweeps", "probes",
+        "resp_doorbells"),
 }
 
 
@@ -74,7 +81,8 @@ def validate_artifact(payload: dict) -> list[str]:
             continue
         for key in row_keys:
             if key.endswith("_kops") or key.endswith("speedup") \
-                    or key == "speedup_vs_message":
+                    or key == "speedup_vs_message" \
+                    or key in ("kops", "server_cpu_ns_per_op", "cpu_ratio"):
                 if not _positive(row, key):
                     problems.append(f"row {i}: {key} must be a positive "
                                     f"number, got {row[key]!r}")
@@ -89,6 +97,22 @@ def validate_artifact(payload: dict) -> list[str]:
                 problems.append(f"row {i} (mode={row.get('mode')!r}, "
                                 f"batch={row.get('batch')!r}): pointer "
                                 f"accounting did not reconcile")
+    if experiment == "server_sweep":
+        if not any(row.get("mode") == "baseline" and row.get("speedup") == 1.0
+                   and row.get("cpu_ratio") == 1.0 for row in rows):
+            problems.append("no linear-sweep baseline row with speedup and "
+                            "cpu_ratio == 1.0")
+        for i, row in enumerate(rows):
+            if row.get("mode") != "all" or row.get("conns", 0) < 32:
+                continue
+            speedup, ratio = row.get("speedup"), row.get("cpu_ratio")
+            if not ((isinstance(speedup, (int, float)) and speedup >= 2.0)
+                    or (isinstance(ratio, (int, float)) and ratio >= 2.0)):
+                problems.append(
+                    f"row {i} (conns={row.get('conns')!r}): all-layers mode "
+                    f"must show >= 2x throughput or >= 2x lower server CPU "
+                    f"per op vs the linear sweep, got speedup={speedup!r} "
+                    f"cpu_ratio={ratio!r}")
     if experiment == "failover_availability":
         for i, row in enumerate(rows):
             if row.get("exceptions") != 0:

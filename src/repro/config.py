@@ -237,6 +237,22 @@ class HydraConfig:
     rptr_cache_entries: int = 1 << 16
     #: Use RDMA-Write indicator messaging (False = two-sided Send/Recv).
     rdma_write_messaging: bool = True
+    #: 64-bit occupancy bitmap in a header word of each request buffer
+    #: (the connection-buffer analogue of §4.1.3's bucket occupancy
+    #: filter): the client sets a slot's bit with the same doorbell as
+    #: its slot write, the shard snapshots+clears the word, and a sweep
+    #: probes one word per connection instead of every slot.
+    occupancy_word: bool = True
+    #: Doorbells carry *which* connection fired, and the shard keeps a
+    #: ready set so a sweep visits only dirty connections (periodic full
+    #: sweeps remain as a safety net).  False = every sweep walks every
+    #: connection (the seed design).
+    ready_hints: bool = True
+    #: Responses produced by one sweep are buffered per connection and
+    #: flushed as a single doorbell-coalesced RDMA Write chain of at most
+    #: this many WQEs.  0 disables batching: every response rings its own
+    #: doorbell (the seed design).
+    resp_doorbell_batch: int = 16
     #: Transport: "rdma" (the paper's main mode) or "tcp" (the kernel
     #: TCP/IPoIB fallback HydraDB also supports, §6) — in tcp mode the
     #: remote-pointer fast path is unavailable and every message costs

@@ -56,7 +56,7 @@ from ..config import SimConfig
 from ..hardware import Machine
 from ..kvmem import parse_item
 from ..protocol import (Op, Request, Response, Status, clear, consume,
-                         frame, frame_len)
+                         frame, frame_len, occ_encode, occ_word)
 from ..rdma import Nic, NicDown, QpError
 from ..sim import MetricSet, Simulator
 from .errors import (BadStatus, RequestTimeout, ShardUnavailable,
@@ -569,8 +569,20 @@ class HydraClient:
                     f"message slot; raise hydra.conn_buf_bytes or lower "
                     f"hydra.msg_slots_per_conn for large items")
             slot = pipe.free_slots.pop(0)
-            conn.client_qp.post_write(conn.req_slot_rptrs[slot], frame(data))
             pipe.slot_req[slot] = req.req_id
+            if conn.layout.occupancy:
+                # The occupancy word rides the frame's doorbell, posted
+                # second so RC lands the frame before its announce bit.
+                # The full in-flight word is rewritten each time: a bit
+                # for an already-consumed slot merely costs the shard one
+                # spurious probe, never a lost message.
+                conn.client_qp.post_write_batch([
+                    (conn.req_slot_rptrs[slot], frame(data)),
+                    (conn.req_occ_rptr, occ_encode(occ_word(pipe.slot_req))),
+                ])
+            else:
+                conn.client_qp.post_write(conn.req_slot_rptrs[slot],
+                                          frame(data))
         else:
             conn.client_qp.post_recv()
             conn.client_qp.post_send(data)

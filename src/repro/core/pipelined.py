@@ -87,6 +87,7 @@ class PipelinedShard(Shard):
         if dropped:
             self._queue.items.clear()
             self.metrics.counter("shard.dropped_handoffs").add(dropped)
+        self._teardown_conns()
 
     # -- I/O dispatchers ------------------------------------------------------
     def _my_conns(self, tid: int) -> list[Connection]:
@@ -102,11 +103,18 @@ class PipelinedShard(Shard):
                 if not conns:
                     yield self.doorbell.wait()
                     continue
-                yield core.execute(self.cpu.poll_probe_ns
-                                   * sum(c.n_slots for c in conns))
+                picked = self._select_conns(owned=conns)
+                if picked:
+                    self.metrics.counter("shard.sweeps").add()
+                    yield core.execute(self._sweep_cost(picked))
+                else:
+                    yield core.execute(self.cpu.poll_probe_ns)
                 processed = 0
-                for conn in conns:
-                    for slot, payload in self._poll_conn(conn):
+                for conn in picked:
+                    ready, extra_ns = self._poll_conn(conn)
+                    if extra_ns:
+                        yield core.execute(extra_ns)
+                    for slot, payload in ready:
                         # Hand off to a worker: queueing + cacheline bounce.
                         yield core.execute(h.pipeline_handoff_ns)
                         self._queue.put((conn, slot, payload))
@@ -114,11 +122,12 @@ class PipelinedShard(Shard):
                 if processed:
                     idle_sweeps = 0
                     continue
+                if any(c.conn_id in self._ready for c in conns):
+                    continue  # a doorbell fired mid-sweep on our partition
                 idle_sweeps += 1
                 if idle_sweeps < self.cpu.idle_polls_before_sleep:
                     continue
-                yield self.doorbell.wait()
-                yield core.execute(self.cpu.idle_sleep_ns // 2)
+                yield from self._idle_wait(core)
                 idle_sweeps = 0
         except Interrupt:
             self.alive = False
@@ -126,6 +135,9 @@ class PipelinedShard(Shard):
     # -- workers ---------------------------------------------------------
     def _worker_loop(self, core: Core):
         h = self.hydra
+        # Long-lived response batch: flushed when the hand-off queue
+        # drains or at the resp_doorbell_batch cap, whichever is sooner.
+        batch = self._new_batch()
         try:
             while self.alive:
                 conn, slot, payload = yield self._queue.get()
@@ -158,7 +170,10 @@ class PipelinedShard(Shard):
                         req.op, req.key, req.value, result.version)
                     yield core.execute(rep_cost)
                     if wait_ev is not None:
-                        yield wait_ev
+                        if batch is not None:
+                            batch.rep_waits.append(wait_ev)
+                        else:
+                            yield wait_ev
                 if is_write:
                     self._store_lock.write_release()
                 else:
@@ -174,6 +189,9 @@ class PipelinedShard(Shard):
                     lease_expiry_ns=result.lease_expiry_ns,
                     version=result.version,
                 )
-                self._respond(conn, resp, slot)
+                self._respond(conn, resp, slot, batch)
+                if batch is not None and (not self._queue.items
+                                          or self._batch_full(batch)):
+                    yield from self._finish_sweep(batch)
         except Interrupt:
             self.alive = False

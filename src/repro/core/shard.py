@@ -12,6 +12,24 @@ thread enters high-resolution sleep (§4.2.1); in the simulator the sleep
 phase blocks on a doorbell and charges half a sleep quantum of detection
 latency on wake-up, so the latency/CPU trade-off of the real design is
 preserved without simulating dead sweeps.
+
+Sweep scalability: three independently-ablatable layers keep server CPU
+per op flat as connections x slots grow (each has a ``hydra`` knob):
+
+* **Occupancy-word probing** (``hydra.occupancy_word``): each request
+  buffer carries a 64-bit occupancy bitmap the client sets with the same
+  doorbell as its slot write; a sweep probes one word per connection
+  instead of every slot (§4.1.3's bucket filter applied to messaging).
+* **Ready-connection scheduling** (``hydra.ready_hints``): the doorbell
+  carries *which* connection fired and the shard keeps a ready set, so a
+  sweep visits only dirty connections; every ``FULL_SWEEP_EVERY``-th
+  sweep probes everything as a safety net, and the ready list is rotated
+  so one hot connection cannot starve the rest.
+* **Doorbell-batched responses + pipelined replication**
+  (``hydra.resp_doorbell_batch``): responses produced by one sweep are
+  buffered per connection and flushed as a single chained RDMA-Write
+  post (slot order, one doorbell), and the sweep's replication waits are
+  awaited once as a batch instead of stalling per request.
 """
 
 from __future__ import annotations
@@ -23,6 +41,7 @@ from typing import Optional
 from ..config import SimConfig
 from ..hardware import Core, Machine
 from ..protocol import (
+    OCC_WORD_BYTES,
     Op,
     Request,
     Response,
@@ -32,16 +51,38 @@ from ..protocol import (
     consume,
     frame,
     frame_len,
+    occ_consume,
+    occ_slots,
 )
 from ..rdma import MemoryRegion, Nic, QpError, QueuePair, RemotePointer
 from ..sim import Gate, MetricSet, Interrupt, Simulator, Store
 from .errors import LifecycleError
 from .store import ShardStore, StoreResult
 
-__all__ = ["Shard", "Connection", "WRITE_OPS"]
+__all__ = ["Shard", "Connection", "WRITE_OPS", "FULL_SWEEP_EVERY"]
 
 WRITE_OPS = frozenset({Op.PUT, Op.INSERT, Op.UPDATE, Op.DELETE})
+#: With ready hints on, every N-th sweep probes all connections anyway —
+#: the safety net that catches a connection whose hint was lost.
+FULL_SWEEP_EVERY = 64
 _conn_ids = count(1)
+
+
+class _SweepBatch:
+    """Deferred output of one sweep: responses + replication waits.
+
+    Responses are buffered per connection and flushed in slot order with
+    one chained post (one doorbell) per connection; replication waits
+    accumulate so the sweep blocks once on the whole batch of acks
+    instead of once per mutation.
+    """
+
+    __slots__ = ("resp", "rep_waits")
+
+    def __init__(self):
+        #: conn_id -> (conn, [(slot, encoded response), ...])
+        self.resp: dict[int, tuple["Connection", list]] = {}
+        self.rep_waits: list = []
 
 
 @dataclass
@@ -68,6 +109,9 @@ class Connection:
                                                 default_factory=list)
     resp_slot_rptrs: list[RemotePointer] = field(repr=False,
                                                  default_factory=list)
+    #: Client-held capability for the request buffer's occupancy word
+    #: (None when the layout has no occupancy header).
+    req_occ_rptr: Optional[RemotePointer] = field(repr=False, default=None)
 
     @property
     def n_slots(self) -> int:
@@ -103,6 +147,11 @@ class Shard:
         )
         self.conns: list[Connection] = []
         self.doorbell = Gate(sim)
+        #: Ready-connection scheduling state: connections flagged dirty by
+        #: their doorbell, drained by the next sweep (insertion-ordered).
+        self._ready: dict[int, Connection] = {}
+        self._rr = 0
+        self._sweep_seq = 0
         #: TCP-mode state (transport == "tcp"): epoll-style ready queue.
         self.tcp_port: int = -1
         self._tcp_ready = Store(sim)
@@ -136,6 +185,19 @@ class Shard:
         self.store.reclaimer.stop()
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("killed")
+        self._teardown_conns()
+
+    def _teardown_conns(self) -> None:
+        """Destroy every connection's QPs on death.
+
+        A crashed process's QPs must not linger in the fabric (they used
+        to leak after failure injection): tearing them down flips the
+        peers' ``usable`` probes and turns client posts into immediate
+        ``QpError`` retries instead of full operation timeouts.
+        """
+        for conn in list(self.conns):
+            conn.close()
+        self._ready.clear()
 
     def store_for_key(self, key: bytes) -> ShardStore:
         """The store an out-of-band loader should install ``key`` into
@@ -155,7 +217,10 @@ class Shard:
         fabric = self.nic.fabric
         client_qp, shard_qp = fabric.connect(client_nic, self.nic)
         buf = self.hydra.conn_buf_bytes
-        layout = SlotLayout(buf, self.hydra.msg_slots_per_conn)
+        occupancy = (self.hydra.occupancy_word
+                     and self.hydra.rdma_write_messaging)
+        layout = SlotLayout(buf, self.hydra.msg_slots_per_conn,
+                            occupancy=occupancy)
         req_region = MemoryRegion(buf, numa_domain=self.core.numa_domain,
                                   name=f"{self.shard_id}.req")
         self.nic.register(req_region)
@@ -180,15 +245,21 @@ class Shard:
                 RemotePointer(resp_region.rkey, layout.offset(i),
                               layout.slot_bytes)
                 for i in range(layout.n_slots)],
+            req_occ_rptr=(RemotePointer(req_region.rkey, layout.occ_offset,
+                                        OCC_WORD_BYTES)
+                          if occupancy else None),
         )
         if self.hydra.rdma_write_messaging:
-            req_region.subscribe(lambda _r: self.doorbell.fire())
+            # The doorbell carries which connection fired so the sweep
+            # can visit only dirty connections (ready hints).
+            req_region.subscribe(lambda _r, c=conn: self._mark_ready(c))
             resp_region.subscribe(lambda _r, c=conn: c.client_doorbell.fire())
         else:
             # Two-sided mode: pre-post receives, doorbell on CQ pushes.
             for _ in range(max(16, self.hydra.max_inflight_per_conn)):
                 shard_qp.post_recv()
-            shard_qp.recv_cq.on_push.append(lambda _cq: self.doorbell.fire())
+            shard_qp.recv_cq.on_push.append(
+                lambda _cq, c=conn: self._mark_ready(c))
             client_qp.recv_cq.on_push.append(
                 lambda _cq, c=conn: c.client_doorbell.fire())
         self.conns.append(conn)
@@ -197,39 +268,129 @@ class Shard:
     def disconnect(self, conn: Connection) -> None:
         if conn in self.conns:
             self.conns.remove(conn)
+        self._ready.pop(conn.conn_id, None)
         conn.close()
 
     # -- main loop ---------------------------------------------------------
-    def _poll_conn(self, conn: Connection) -> list[tuple[int, bytes]]:
-        """Non-blocking multi-slot request sweep for one connection.
+    def _mark_ready(self, conn: Connection) -> None:
+        """Doorbell callback: flag ``conn`` dirty and wake the poller."""
+        if self.hydra.ready_hints:
+            self._ready[conn.conn_id] = conn
+        self.doorbell.fire(conn)
 
-        Returns every ready ``(slot, payload)`` pair, draining all slots
-        (or all pending CQEs in two-sided mode) in one pass so the probe
-        cost charged by :meth:`_sweep_cost` is amortized across requests.
+    def _select_conns(self, owned: Optional[list] = None
+                      ) -> list[Connection]:
+        """Pick the connections the next sweep should probe.
+
+        With ready hints on, only flagged connections (drained from the
+        ready set); every ``FULL_SWEEP_EVERY``-th *working* sweep is a
+        full sweep over the whole pool — the safety net against a lost
+        hint.  The cadence advances only when a sweep actually had ready
+        work, so an idle shard spinning before sleep never degenerates
+        into periodic O(conns x slots) walks.  The result is rotated so
+        a hot connection at the front cannot starve the rest.
+        ``owned`` restricts the pool (pipelined I/O threads partition the
+        connections among themselves).
+        """
+        pool = self.conns if owned is None else \
+            [c for c in owned if c in self.conns]
+        if not pool:
+            return []
+        if not self.hydra.ready_hints:
+            picked = pool
+        else:
+            picked = [c for c in pool if c.conn_id in self._ready]
+            if not picked:
+                return []
+            self._sweep_seq += 1
+            if self._sweep_seq % FULL_SWEEP_EVERY == 0:
+                self.metrics.counter("shard.full_sweeps").add()
+                for c in pool:
+                    self._ready.pop(c.conn_id, None)
+                picked = pool
+            else:
+                for c in picked:
+                    del self._ready[c.conn_id]
+        if len(picked) > 1:
+            self._rr = (self._rr + 1) % len(picked)
+            picked = picked[self._rr:] + picked[:self._rr]
+        return picked
+
+    def _poll_conn(self, conn: Connection
+                   ) -> tuple[list[tuple[int, bytes]], int]:
+        """Non-blocking request sweep for one connection.
+
+        Returns ``(ready, extra_ns)``: every ready ``(slot, payload)``
+        pair plus the per-slot probe cost *beyond* what
+        :meth:`_sweep_cost` already charged.  With an occupancy layout
+        the sweep cost covers only the one-word probe, so the slots the
+        snapshot indicates are charged here.  The word is trusted even
+        on safety-net full sweeps: the client writes it in the same
+        chained WQE as the frame, so — unlike a doorbell hint — it can
+        never under-report a landed request.
         """
         ready: list[tuple[int, bytes]] = []
         if self.hydra.rdma_write_messaging:
             layout = conn.layout
+            if layout.occupancy:
+                word = occ_consume(conn.req_region, layout.occ_offset)
+                slots = list(occ_slots(word, layout.n_slots))
+                probed = 0
+                for slot in slots:
+                    probed += 1
+                    off = layout.offset(slot)
+                    payload = consume(conn.req_region, off)
+                    if payload is not None:
+                        clear(conn.req_region, off, len(payload))
+                        ready.append((slot, payload))
+                self.metrics.counter("shard.probes").add(probed)
+                self.metrics.counter("shard.probes_skipped").add(
+                    layout.n_slots - probed)
+                return ready, self.cpu.poll_probe_ns * probed
             for slot in range(layout.n_slots):
                 off = layout.offset(slot)
                 payload = consume(conn.req_region, off)
                 if payload is not None:
                     clear(conn.req_region, off, len(payload))
                     ready.append((slot, payload))
-            return ready
+            self.metrics.counter("shard.probes").add(layout.n_slots)
+            return ready, 0
         while True:
             cqe = conn.shard_qp.recv_cq.poll_one()
             if cqe is None or not cqe.ok:
-                return ready
+                return ready, 0
             conn.shard_qp.post_recv()  # replenish
             ready.append((-1, cqe.data))
 
-    def _sweep_cost(self) -> int:
+    def _sweep_cost(self, conns: list[Connection]) -> int:
+        """CPU cost of probing ``conns`` once (excluding per-ready-slot
+        work, which :meth:`_poll_conn` reports as it finds it)."""
         if self.hydra.rdma_write_messaging:
-            probes = sum(c.n_slots for c in self.conns)
+            # One occupancy-word probe per connection, or every slot on
+            # layouts without the header.
+            probes = sum(1 if c.layout.occupancy else c.n_slots
+                         for c in conns)
             return self.cpu.poll_probe_ns * max(1, probes)
-        return (self.cpu.cq_poll_ns * max(1, len(self.conns))
+        return (self.cpu.cq_poll_ns * max(1, len(conns))
                 + self.cpu.post_recv_ns)
+
+    def _idle_wait(self, core: Core):
+        """Idle phase after ``idle_polls_before_sleep`` empty sweeps:
+        high-resolution sleep, or pegged-core busy polling when the
+        ``cpu.sleep_backoff`` ablation turns sleeping off."""
+        if self.cpu.sleep_backoff:
+            # Block until a doorbell, then pay the average residual
+            # sleep before detection.
+            yield self.doorbell.wait()
+            yield core.execute(self.cpu.idle_sleep_ns // 2)
+        else:
+            # Pure busy polling: the core stays pegged while idle
+            # (modeled by accounting the whole wait as busy) but a
+            # request is picked up by the very next probe.
+            core.busy.add(1.0)
+            yield self.doorbell.wait()
+            core.busy.add(-1.0)
+            yield core.execute(self.cpu.poll_probe_ns)
 
     def _tcp_acceptor(self, listener):
         while self.alive:
@@ -290,31 +451,32 @@ class Shard:
                 if not self.conns:
                     yield self.doorbell.wait()
                     continue
-                yield self.core.execute(self._sweep_cost())
+                picked = self._select_conns()
+                if picked:
+                    self.metrics.counter("shard.sweeps").add()
+                    yield self.core.execute(self._sweep_cost(picked))
+                else:
+                    # Nothing flagged ready: one probe to check the flag.
+                    yield self.core.execute(self.cpu.poll_probe_ns)
                 processed = 0
-                for conn in list(self.conns):
-                    for slot, payload in self._poll_conn(conn):
-                        yield from self._handle(conn, slot, payload)
+                batch = self._new_batch()
+                for conn in picked:
+                    ready, extra_ns = self._poll_conn(conn)
+                    if extra_ns:
+                        yield self.core.execute(extra_ns)
+                    for slot, payload in ready:
+                        yield from self._handle(conn, slot, payload, batch)
                         processed += 1
+                yield from self._finish_sweep(batch)
                 if processed:
                     idle_sweeps = 0
                     continue
+                if self._ready:
+                    continue  # a doorbell fired mid-sweep
                 idle_sweeps += 1
                 if idle_sweeps < self.cpu.idle_polls_before_sleep:
                     continue
-                if self.cpu.sleep_backoff:
-                    # High-resolution sleep phase: block until a doorbell,
-                    # then pay the average residual sleep before detection.
-                    yield self.doorbell.wait()
-                    yield self.core.execute(self.cpu.idle_sleep_ns // 2)
-                else:
-                    # Pure busy polling: the core stays pegged while idle
-                    # (modeled by accounting the whole wait as busy) but a
-                    # request is picked up by the very next probe.
-                    self.core.busy.add(1.0)
-                    yield self.doorbell.wait()
-                    self.core.busy.add(-1.0)
-                    yield self.core.execute(self.cpu.poll_probe_ns)
+                yield from self._idle_wait(self.core)
                 idle_sweeps = 0
         except Interrupt:
             self.alive = False
@@ -331,7 +493,8 @@ class Shard:
             return self.store.lease_renew(req.key)
         return StoreResult(status=Status.ERROR, cost_ns=self.cpu.parse_ns)
 
-    def _handle(self, conn: Connection, slot: int, payload: bytes):
+    def _handle(self, conn: Connection, slot: int, payload: bytes,
+                batch: Optional[_SweepBatch] = None):
         self.metrics.counter("shard.requests").add()
         try:
             req = Request.decode(payload)
@@ -350,12 +513,18 @@ class Shard:
             # Replication is issued after local processing; in rdma_log
             # mode the shard moves on immediately and the secondary's merge
             # overlaps with the *next* requests, while strict mode blocks
-            # for the full request/acknowledge round trip.
+            # for the full request/acknowledge round trip.  When this
+            # sweep batches responses, the ack wait joins the sweep's
+            # batch (awaited once in _finish_sweep, before any response
+            # of the sweep is flushed) instead of stalling here.
             rep_cost, wait_ev = self.replicator.replicate(
                 req.op, req.key, req.value, result.version)
             yield self.core.execute(rep_cost)
             if wait_ev is not None:
-                yield wait_ev
+                if batch is not None:
+                    batch.rep_waits.append(wait_ev)
+                else:
+                    yield wait_ev
         resp = Response(
             op=req.op, status=result.status, req_id=req.req_id,
             value=result.value,
@@ -367,10 +536,26 @@ class Shard:
             lease_expiry_ns=result.lease_expiry_ns,
             version=result.version,
         )
-        self._respond(conn, resp, slot)
+        self._respond(conn, resp, slot, batch)
 
-    def _respond(self, conn: Connection, resp: Response,
-                 slot: int = 0) -> None:
+    # -- responses ---------------------------------------------------------
+    def _new_batch(self) -> Optional[_SweepBatch]:
+        """A fresh sweep batch, or None when response batching is off
+        (``resp_doorbell_batch`` <= 0, or the two-sided/TCP paths)."""
+        if (self.hydra.resp_doorbell_batch > 0
+                and self.hydra.rdma_write_messaging):
+            return _SweepBatch()
+        return None
+
+    def _batch_full(self, batch: _SweepBatch) -> bool:
+        """Long-lived batches (executor/worker loops) flush at this cap
+        even when their input queue never drains."""
+        cap = max(1, self.hydra.resp_doorbell_batch)
+        buffered = sum(len(entries) for _c, entries in batch.resp.values())
+        return buffered >= cap or len(batch.rep_waits) >= cap
+
+    def _respond(self, conn: Connection, resp: Response, slot: int = 0,
+                 batch: Optional[_SweepBatch] = None) -> None:
         data = resp.encode()
         if self.hydra.rdma_write_messaging:
             rptr = conn.resp_slot_rptrs[max(slot, 0)]
@@ -383,9 +568,14 @@ class Shard:
                 resp = Response(op=resp.op, status=Status.ERROR,
                                 req_id=resp.req_id)
                 data = resp.encode()
+            if batch is not None:
+                batch.resp.setdefault(conn.conn_id, (conn, []))[1].append(
+                    (max(slot, 0), data))
+                return
         try:
             if self.hydra.rdma_write_messaging:
                 conn.shard_qp.post_write(rptr, frame(data))
+                self.metrics.counter("shard.resp_doorbells").add()
             else:
                 conn.shard_qp.post_send(data)
         except QpError:
@@ -395,6 +585,51 @@ class Shard:
             self.metrics.counter("shard.undeliverable_responses").add()
         # Fire-and-forget: the shard moves to the next request buffer
         # without waiting for the completion (§4.1.1).
+
+    def _flush_conn(self, conn: Connection, entries: list) -> None:
+        """Flush one connection's buffered responses.
+
+        Responses land in slot order before the (single) doorbell: the
+        chain is posted slot-sorted on the RC QP, whose in-order delivery
+        makes every frame visible to the client no later than the last
+        write of the chain.  Chains longer than ``resp_doorbell_batch``
+        are split, one doorbell per chain.
+        """
+        entries.sort(key=lambda e: e[0])
+        cap = max(1, self.hydra.resp_doorbell_batch)
+        for i in range(0, len(entries), cap):
+            chunk = entries[i:i + cap]
+            chain = [(conn.resp_slot_rptrs[slot], frame(data))
+                     for slot, data in chunk]
+            try:
+                events = conn.shard_qp.post_write_batch(chain)
+            except QpError:
+                self.metrics.counter("shard.undeliverable_responses").add(
+                    len(chunk))
+                continue
+            self.metrics.counter("shard.resp_doorbells").add()
+            self.metrics.counter("shard.resp_coalesced").add(len(chunk) - 1)
+            for ev in events:
+                # Immediately-failed WQEs (stale rkey, dead NIC): the
+                # write never left, the response is undeliverable.
+                if ev.triggered and not ev.value.ok:
+                    self.metrics.counter(
+                        "shard.undeliverable_responses").add()
+
+    def _finish_sweep(self, batch: Optional[_SweepBatch]):
+        """Settle one sweep: wait once on the batch of replication acks,
+        then flush every connection's buffered responses."""
+        if batch is None:
+            return
+        if batch.rep_waits:
+            self.metrics.tally("shard.rep_batch").observe(
+                len(batch.rep_waits))
+            yield self.sim.all_of(batch.rep_waits)
+            batch.rep_waits.clear()
+        if batch.resp:
+            for conn, entries in list(batch.resp.values()):
+                self._flush_conn(conn, entries)
+            batch.resp.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Shard {self.shard_id} conns={len(self.conns)} " \

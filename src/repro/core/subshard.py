@@ -108,6 +108,7 @@ class SubShardedShard(Shard):
         for p in self._procs:
             if p.is_alive:
                 p.interrupt("killed")
+        self._teardown_conns()
 
     # -- dispatcher (owns every connection) --------------------------------
     def _dispatch_loop(self):
@@ -117,16 +118,25 @@ class SubShardedShard(Shard):
                 if not self.conns:
                     yield self.doorbell.wait()
                     continue
-                yield self.core.execute(self._sweep_cost())
+                picked = self._select_conns()
+                if picked:
+                    self.metrics.counter("shard.sweeps").add()
+                    yield self.core.execute(self._sweep_cost(picked))
+                else:
+                    yield self.core.execute(self.cpu.poll_probe_ns)
                 processed = 0
-                for conn in list(self.conns):
-                    for slot, payload in self._poll_conn(conn):
+                for conn in picked:
+                    ready, extra_ns = self._poll_conn(conn)
+                    if extra_ns:
+                        yield self.core.execute(extra_ns)
+                    for slot, payload in ready:
                         self.metrics.counter("shard.requests").add()
                         try:
                             req = Request.decode(payload)
                         except (ValueError, KeyError):
                             self.metrics.counter("shard.bad_requests").add()
                             continue
+                        self.metrics.counter(f"shard.op.{req.op.name}").add()
                         yield self.core.execute(
                             self.cpu.parse_ns + DISPATCH_NS)
                         self._queues[self._substore_for(req.key)].put(
@@ -135,11 +145,15 @@ class SubShardedShard(Shard):
                 if processed:
                     idle_sweeps = 0
                     continue
+                if self._ready:
+                    continue
                 idle_sweeps += 1
                 if idle_sweeps < self.cpu.idle_polls_before_sleep:
                     continue
-                yield self.doorbell.wait()
-                yield self.core.execute(self.cpu.idle_sleep_ns // 2)
+                # Honors cpu.sleep_backoff like the base shard loop (the
+                # dispatcher used to sleep unconditionally, skewing the
+                # busy-poll ablation's CPU numbers).
+                yield from self._idle_wait(self.core)
                 idle_sweeps = 0
         except Interrupt:
             self.alive = False
@@ -160,6 +174,9 @@ class SubShardedShard(Shard):
     def _executor_loop(self, k: int):
         store = self.substores[k]
         core = self.subcores[k]
+        # Long-lived response batch: flushed when this executor's queue
+        # drains or at the resp_doorbell_batch cap, whichever is sooner.
+        batch = self._new_batch()
         try:
             while self.alive:
                 conn, slot, req = yield self._queues[k].get()
@@ -178,7 +195,10 @@ class SubShardedShard(Shard):
                     lease_expiry_ns=result.lease_expiry_ns,
                     version=result.version,
                 )
-                self._respond(conn, resp, slot)
+                self._respond(conn, resp, slot, batch)
+                if batch is not None and (not self._queues[k].items
+                                          or self._batch_full(batch)):
+                    yield from self._finish_sweep(batch)
         except Interrupt:
             self.alive = False
 

@@ -20,7 +20,16 @@ from .messages import (
     response_wire_len,
 )
 from .ringbuf import RingFull, RingReader, RingWriter, WRAP_MAGIC
-from .slots import SlotLayout
+from .slots import (
+    OCC_WORD_BYTES,
+    SlotLayout,
+    occ_bit,
+    occ_consume,
+    occ_encode,
+    occ_set,
+    occ_slots,
+    occ_word,
+)
 
 __all__ = [
     "Op",
@@ -43,4 +52,11 @@ __all__ = [
     "RingFull",
     "WRAP_MAGIC",
     "SlotLayout",
+    "OCC_WORD_BYTES",
+    "occ_bit",
+    "occ_word",
+    "occ_encode",
+    "occ_set",
+    "occ_consume",
+    "occ_slots",
 ]

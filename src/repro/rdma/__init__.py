@@ -13,7 +13,7 @@ from .qp import QpError, QueuePair
 from .tcp import TcpConnection, TcpError, TcpNetwork, TcpStack
 from .ud import UD_MTU, UdQueuePair
 from .verbs import (Completion, Opcode, RdmaError, ReadWorkRequest,
-                    RemotePointer, WcStatus)
+                    RemotePointer, WcStatus, WriteWorkRequest)
 
 __all__ = [
     "CompletionQueue",
@@ -35,5 +35,6 @@ __all__ = [
     "WcStatus",
     "RemotePointer",
     "ReadWorkRequest",
+    "WriteWorkRequest",
     "RdmaError",
 ]

@@ -148,7 +148,9 @@ class Nic:
         timer.callbacks.append(_expire)
 
     def issue_write(self, qp: "QueuePair", region: MemoryRegion, offset: int,
-                    data: bytes, wr_id: int) -> Event:
+                    data: bytes, wr_id: int, coalesced: bool = False) -> Event:
+        """One RDMA Write.  ``coalesced`` WQEs ride an earlier WQE's
+        doorbell and skip the per-op MMIO cost (``doorbell_ns``)."""
         ev = self.sim.event()
         op = Opcode.RDMA_WRITE
         if not self.alive:
@@ -157,6 +159,10 @@ class Nic:
             return ev
         self.metrics.counter("rdma.write.ops").add()
         self.metrics.counter("rdma.write.bytes").add(len(data))
+        if coalesced:
+            self.metrics.counter("rdma.write.coalesced").add()
+        else:
+            self.metrics.counter("rdma.write.doorbells").add()
         peer_nic: "Nic" = qp.peer.nic
         prop = self.fabric.prop_ns(self, peer_nic)
         self._arm_retry_timer(ev, op, wr_id, qp.qp_num)
@@ -187,7 +193,10 @@ class Nic:
 
             ack.callbacks.append(_acked)
 
-        self.tx.submit(lambda: self._tx_cost(len(data)), after_tx)
+        discount = min(self.cfg.doorbell_ns, self.cfg.tx_op_ns) \
+            if coalesced else 0
+        self.tx.submit(lambda: max(0, self._tx_cost(len(data)) - discount),
+                       after_tx)
         return ev
 
     def issue_read(self, qp: "QueuePair", region: MemoryRegion, offset: int,
@@ -279,6 +288,33 @@ class Nic:
                 continue
             events.append(self.issue_read(qp, region, offset, length, wr_id,
                                           coalesced=not first))
+            first = False
+        return events
+
+    def issue_write_batch(self, qp: "QueuePair",
+                          requests: list) -> list[Event]:
+        """Post several RDMA Writes behind one coalesced doorbell.
+
+        The write-side twin of :meth:`issue_read_batch`: ``requests``
+        entries are ``(region, offset, data, wr_id)``; a ``None`` region
+        (stale rkey) completes immediately with ``LOCAL_QP_ERR`` while
+        the rest of the chain still posts.  The first resolvable WQE pays
+        the full initiator cost; the rest skip the doorbell write.  RC
+        keeps the chain in post order at the target, which is what lets a
+        shard land a batch of slot responses before the final doorbell.
+        """
+        events: list[Event] = []
+        first = True
+        for region, offset, data, wr_id in requests:
+            if region is None:
+                ev = self.sim.event()
+                self._fail_completion(ev, Opcode.RDMA_WRITE,
+                                      WcStatus.LOCAL_QP_ERR, wr_id,
+                                      qp.qp_num)
+                events.append(ev)
+                continue
+            events.append(self.issue_write(qp, region, offset, data, wr_id,
+                                           coalesced=not first))
             first = False
         return events
 

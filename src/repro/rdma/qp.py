@@ -13,7 +13,7 @@ from typing import Deque, TYPE_CHECKING
 from ..sim.events import Event
 from .cq import CompletionQueue
 from .memory import MemoryRegion
-from .verbs import ReadWorkRequest, RemotePointer
+from .verbs import ReadWorkRequest, RemotePointer, WriteWorkRequest
 
 if TYPE_CHECKING:  # pragma: no cover
     from .nic import Nic
@@ -128,6 +128,35 @@ class QueuePair:
             prepared.append((region, req.rptr.offset, req.rptr.length,
                              self._next_wr(req.wr_id)))
         return self.nic.issue_read_batch(self, prepared)
+
+    def post_write_batch(self, requests) -> list[Event]:
+        """Post a chain of one-sided Writes with one coalesced doorbell.
+
+        The write-side twin of :meth:`post_read_batch`: ``requests`` may
+        mix :class:`WriteWorkRequest` entries and bare
+        ``(RemotePointer, bytes)`` pairs; one completion event is
+        returned per entry, in order.  An oversized payload or an entry
+        whose rkey does not resolve against this QP's peer completes
+        immediately with ``LOCAL_QP_ERR`` — the remaining WQEs in the
+        chain still post.  RC delivery keeps the chain in post order at
+        the target, so a shard can land all of a sweep's responses for
+        one connection in slot order before the single doorbell.
+        """
+        self._check_connected()
+        prepared = []
+        for req in requests:
+            if not isinstance(req, WriteWorkRequest):
+                rptr, data = req
+                req = WriteWorkRequest(rptr=rptr, data=data)
+            region = None
+            if len(req.data) <= req.rptr.length:
+                try:
+                    region = self._resolve(req.rptr)
+                except QpError:
+                    region = None
+            prepared.append((region, req.rptr.offset, req.data,
+                             self._next_wr(req.wr_id)))
+        return self.nic.issue_write_batch(self, prepared)
 
     def post_send(self, data: bytes, wr_id: int = 0) -> Event:
         """Two-sided Send; consumes a posted receive at the peer."""

@@ -7,7 +7,7 @@ from enum import Enum, auto
 from typing import Optional
 
 __all__ = ["Opcode", "WcStatus", "Completion", "RemotePointer",
-           "ReadWorkRequest", "RdmaError"]
+           "ReadWorkRequest", "WriteWorkRequest", "RdmaError"]
 
 
 class Opcode(Enum):
@@ -85,4 +85,21 @@ class ReadWorkRequest:
     """
 
     rptr: RemotePointer
+    wr_id: int = 0
+
+
+@dataclass(frozen=True)
+class WriteWorkRequest:
+    """One entry of a doorbell-coalesced RDMA-Write batch.
+
+    The write-side twin of :class:`ReadWorkRequest`:
+    ``QueuePair.post_write_batch`` accepts a chain of these, rings one
+    doorbell for the whole chain, and — because RC delivers per-QP in
+    post order — guarantees the writes land at the target in chain
+    order.  HydraDB shards use this to flush every response of one sweep
+    to a connection with a single MMIO write.
+    """
+
+    rptr: RemotePointer
+    data: bytes
     wr_id: int = 0

@@ -56,3 +56,36 @@ def test_cli_exit_codes(tmp_path, capsys):
     assert "ok" in capsys.readouterr().out
     assert main([str(good), str(bad)]) == 1
     assert main([]) == 2
+
+
+def good_sweep_payload():
+    return {
+        "experiment": "server_sweep",
+        "description": "d", "unit": "kops / ns-per-op",
+        "rows": [
+            {"conns": 32, "window": 16, "mode": "baseline", "kops": 150.0,
+             "speedup": 1.0, "server_cpu_ns_per_op": 6000.0,
+             "cpu_ratio": 1.0, "sweeps": 100, "probes": 10000,
+             "resp_doorbells": 500},
+            {"conns": 32, "window": 16, "mode": "all", "kops": 151.0,
+             "speedup": 1.01, "server_cpu_ns_per_op": 1000.0,
+             "cpu_ratio": 6.0, "sweeps": 120, "probes": 400,
+             "resp_doorbells": 120},
+        ],
+    }
+
+
+def test_good_sweep_payload_validates():
+    assert validate_artifact(good_sweep_payload()) == []
+
+
+def test_sweep_all_mode_must_win_2x_at_32_conns():
+    payload = good_sweep_payload()
+    payload["rows"][1]["cpu_ratio"] = 1.4
+    assert any("2x" in p for p in validate_artifact(payload))
+
+
+def test_sweep_needs_a_unity_baseline_row():
+    payload = good_sweep_payload()
+    payload["rows"][0]["cpu_ratio"] = 1.1
+    assert any("baseline" in p for p in validate_artifact(payload))
