@@ -4,7 +4,7 @@ PYTEST ?= python -m pytest
 RUFF ?= ruff
 
 .PHONY: test lint bench bench-quick bench-inflight bench-multiget \
-	bench-failover bench-sweep bench-smoke figures examples clean
+	bench-failover bench-sweep bench-smoke chaos-soak figures examples clean
 
 test:
 	$(PYTEST) tests/
@@ -37,16 +37,24 @@ bench-sweep:
 	python -m repro.bench server_sweep --scale 1.0
 	python -m repro.bench.validate BENCH_sweep.json
 
+# Seeded chaos soak: five fault-storm profiles (torn writes, gray
+# failure, ZK expiry, QP flaps, mixed) against the resilience contract —
+# no acked write lost, no corrupt value surfaced, typed bounded errors,
+# post-storm recovery — plus a same-seed replay determinism check.
+chaos-soak:
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench chaos --scale 0.5
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_chaos.json
+
 # Tiny end-to-end run of the artifact-emitting benches plus schema
 # validation of what they wrote; fast enough for CI.
 bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	cd .bench-smoke && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench inflight multiget \
-			failover server_sweep --scale 0.05 && \
+			failover server_sweep chaos --scale 0.05 && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate \
 			BENCH_inflight.json BENCH_multiget.json BENCH_failover.json \
-			BENCH_sweep.json
+			BENCH_sweep.json BENCH_chaos.json
 
 figures:
 	python -m repro.bench all --scale 0.5

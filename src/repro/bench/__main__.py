@@ -20,6 +20,7 @@ from typing import Callable
 
 from .experiments import (
     ablation_ack_interval,
+    chaos_soak,
     failover_availability,
     ablation_lease_length,
     ablation_sleep_backoff,
@@ -41,6 +42,7 @@ from .experiments import (
     inflight_sweep,
     multiget_sweep,
     server_sweep,
+    write_chaos_artifact,
     write_failover_artifact,
     write_inflight_artifact,
     write_multiget_artifact,
@@ -94,6 +96,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
     "server_sweep": ("Server sweep scalability — CPU ns/op vs connections "
                      "(occupancy word / ready hints / resp batching)",
                      server_sweep, True),
+    "chaos": ("Chaos soak — seeded fault storms vs the resilience "
+              "contract (acked writes, guardian words, typed errors)",
+              chaos_soak, True),
 }
 
 #: Experiments that also emit a machine-readable perf artifact (one per
@@ -103,6 +108,7 @@ ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
     "multiget": write_multiget_artifact,
     "failover": write_failover_artifact,
     "server_sweep": write_sweep_artifact,
+    "chaos": write_chaos_artifact,
 }
 
 

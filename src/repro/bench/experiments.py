@@ -1197,65 +1197,100 @@ def server_sweep(scale: float = 1.0,
     (occupancy word, ready hints, response doorbell batching); the
     headline columns are ``server_cpu_ns_per_op`` and ``cpu_ratio``
     (baseline CPU / mode CPU, higher is better) at >= 32 connections.
+
+    A second, write-heavy pass at the largest connection count replaces
+    the ``get_many`` bursts with replicated ``put_many`` bursts
+    (``replicas=1``): those rows (``workload == "write"``) surface how
+    doorbell batching amortizes replication waits — ``rep_batch_mean``
+    is the average number of replication acks awaited per flush, > 1
+    whenever batching coalesces them.
     """
     n_rounds = max(4, int(24 * scale))
     burst = 4
     think_ns = 800_000
+
+    def cell(workload, conns, mode, knobs, base_kops, base_cpu):
+        hydra = {"msg_slots_per_conn": window,
+                 "max_inflight_per_conn": window,
+                 "rptr_cache_enabled": False}
+        hydra.update(knobs)
+        overrides = {"hydra": hydra}
+        if workload == "write":
+            # Strict-mode replication so every mutation returns an ack
+            # wait — the regime where batching the waits pays.
+            overrides["replication"] = {"replicas": 1, "mode": "strict"}
+        cfg = SimConfig().with_overrides(**overrides)
+        n_cm = max(1, conns // 8)
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=1,
+                               n_client_machines=n_cm)
+        keys = [f"k{i:06d}".encode() for i in range(256)]
+        for key in keys:
+            cluster.route(key).store_for_key(key).upsert(
+                key, b"v" * value_bytes, Op.PUT)
+        cluster.start()
+        sim = cluster.sim
+
+        def app(cid, client):
+            # Stagger bursts so arrivals stay spread out rather than
+            # phase-locking every connection onto the same sweep.
+            yield sim.timeout(cid * (think_ns // max(1, conns)))
+            for r in range(n_rounds):
+                picks = [keys[(cid * 131 + r * 17 + j) % len(keys)]
+                         for j in range(burst)]
+                if workload == "write":
+                    yield from client.put_many(
+                        [(k, b"w" * value_bytes) for k in picks])
+                else:
+                    yield from client.get_many(picks)
+                if r != n_rounds - 1:
+                    yield sim.timeout(think_ns)
+
+        clients = [cluster.client(i % n_cm) for i in range(conns)]
+        t0 = sim.now
+        cluster.run(*(app(i, c) for i, c in enumerate(clients)))
+        elapsed = max(1, sim.now - t0)
+        n_ops = conns * n_rounds * burst
+        shard = cluster.shards()[0]
+        busy_ns = shard.core.utilization() * sim.now
+        kops = n_ops / elapsed * 1e6
+        cpu = busy_ns / n_ops
+        if base_kops is None:
+            base_kops, base_cpu = kops, cpu
+        rep = cluster.metrics.tally("shard.rep_batch")
+        row = {
+            "workload": workload,
+            "conns": conns,
+            "window": window,
+            "mode": mode,
+            "kops": kops,
+            "speedup": kops / base_kops,
+            "server_cpu_ns_per_op": cpu,
+            "cpu_ratio": base_cpu / cpu,
+            "sweeps": int(cluster.metrics.counter("shard.sweeps").value),
+            "probes": int(cluster.metrics.counter("shard.probes").value),
+            "resp_doorbells": int(
+                cluster.metrics.counter("shard.resp_doorbells").value),
+            "rep_batch_mean": rep.mean if rep.count else 0.0,
+            "rep_flushes": rep.count,
+        }
+        return row, base_kops, base_cpu
+
     rows: list[dict] = []
     for conns in conn_counts:
         base_kops = base_cpu = None
         for mode, knobs in _SWEEP_MODES:
-            hydra = {"msg_slots_per_conn": window,
-                     "max_inflight_per_conn": window,
-                     "rptr_cache_enabled": False}
-            hydra.update(knobs)
-            cfg = SimConfig().with_overrides(hydra=hydra)
-            n_cm = max(1, conns // 8)
-            cluster = HydraCluster(config=cfg, n_server_machines=1,
-                                   shards_per_server=1,
-                                   n_client_machines=n_cm)
-            keys = [f"k{i:06d}".encode() for i in range(256)]
-            for key in keys:
-                cluster.route(key).store_for_key(key).upsert(
-                    key, b"v" * value_bytes, Op.PUT)
-            cluster.start()
-            sim = cluster.sim
-
-            def app(cid, client):
-                # Stagger bursts so arrivals stay spread out rather than
-                # phase-locking every connection onto the same sweep.
-                yield sim.timeout(cid * (think_ns // max(1, conns)))
-                for r in range(n_rounds):
-                    picks = [keys[(cid * 131 + r * 17 + j) % len(keys)]
-                             for j in range(burst)]
-                    yield from client.get_many(picks)
-                    if r != n_rounds - 1:
-                        yield sim.timeout(think_ns)
-
-            clients = [cluster.client(i % n_cm) for i in range(conns)]
-            t0 = sim.now
-            cluster.run(*(app(i, c) for i, c in enumerate(clients)))
-            elapsed = max(1, sim.now - t0)
-            n_ops = conns * n_rounds * burst
-            shard = cluster.shards()[0]
-            busy_ns = shard.core.utilization() * sim.now
-            kops = n_ops / elapsed * 1e6
-            cpu = busy_ns / n_ops
-            if base_kops is None:
-                base_kops, base_cpu = kops, cpu
-            rows.append({
-                "conns": conns,
-                "window": window,
-                "mode": mode,
-                "kops": kops,
-                "speedup": kops / base_kops,
-                "server_cpu_ns_per_op": cpu,
-                "cpu_ratio": base_cpu / cpu,
-                "sweeps": int(cluster.metrics.counter("shard.sweeps").value),
-                "probes": int(cluster.metrics.counter("shard.probes").value),
-                "resp_doorbells": int(
-                    cluster.metrics.counter("shard.resp_doorbells").value),
-            })
+            row, base_kops, base_cpu = cell("read", conns, mode, knobs,
+                                            base_kops, base_cpu)
+            rows.append(row)
+    wconns = max(conn_counts)
+    base_kops = base_cpu = None
+    for mode, knobs in _SWEEP_MODES:
+        if mode not in ("baseline", "resp-batch", "all"):
+            continue
+        row, base_kops, base_cpu = cell("write", wconns, mode, knobs,
+                                        base_kops, base_cpu)
+        rows.append(row)
     return rows
 
 
@@ -1268,8 +1303,44 @@ def write_sweep_artifact(rows: list[dict],
                        "window 16, ablating occupancy-word probing, "
                        "ready-connection scheduling, and doorbell-batched "
                        "responses against the linear-sweep baseline "
-                       "(1 shard, rptr cache off, paced get_many bursts)",
+                       "(1 shard, rptr cache off, paced get_many bursts; "
+                       "write rows: replicated put_many bursts with "
+                       "rep-ack batching stats)",
         "unit": "kops / ns-per-op",
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def chaos_soak(scale: float = 1.0) -> list[dict]:
+    """Chaos soak: seeded fault storms vs the resilience contract.
+
+    Thin wrapper over :func:`repro.chaos.harness.chaos_soak` — one row
+    per ``(profile, seed)`` storm cell (torn-write, gray-failure,
+    ZK-expiry, QP-flap, and mixed crash storms), each reporting the
+    acked-write / corrupt-value / typed-error / deadline invariants plus
+    availability numbers, with a same-seed rerun proving determinism.
+    """
+    from ..chaos.harness import chaos_soak as _soak
+    return _soak(scale=scale)
+
+
+def write_chaos_artifact(rows: list[dict],
+                         path: str = "BENCH_chaos.json") -> str:
+    """Dump the chaos soak as a machine-readable artifact."""
+    payload = {
+        "experiment": "chaos_soak",
+        "description": "mixed GET/PUT/DELETE workload under five seeded "
+                       "fault storms (torn writes, gray failure, ZK "
+                       "session expiry, QP flaps, crash+replication "
+                       "faults): zero lost acked writes, zero corrupt "
+                       "values, typed bounded errors, post-storm "
+                       "recovery, and same-seed replayability "
+                       "(2 shards, replicas=1, HA on)",
+        "unit": "kops / ms",
         "rows": rows,
     }
     with open(path, "w") as fh:

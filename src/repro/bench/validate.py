@@ -2,7 +2,8 @@
 
 The bench harness writes machine-readable perf artifacts
 (``BENCH_inflight.json``, ``BENCH_multiget.json``,
-``BENCH_failover.json``, ``BENCH_sweep.json``) that are tracked
+``BENCH_failover.json``, ``BENCH_sweep.json``, ``BENCH_chaos.json``)
+that are tracked
 across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
 that each file matches its experiment's schema — required top-level
 fields, per-row keys and types — plus the semantic invariants the
@@ -16,9 +17,16 @@ experiments promise:
 * failover rows must show the availability contract held: zero
   client-visible exceptions, zero lost acked writes, at least one SWAT
   promotion, and post-kill throughput >= 80% of pre-kill;
-* server_sweep rows must carry a linear-sweep baseline (speedup and
+* server_sweep read rows must carry a linear-sweep baseline (speedup and
   cpu_ratio == 1.0) and, at >= 32 connections, the all-layers mode must
-  beat it by >= 2x in throughput or server CPU ns/op.
+  beat it by >= 2x in throughput or server CPU ns/op; write rows in the
+  all-layers mode must show replication-ack batching (rep_batch_mean
+  > 1);
+* chaos_soak rows must show the resilience contract held under every
+  storm: zero lost acked writes, zero corrupt values, zero untyped
+  errors, zero deadline violations, convergence and recovered_ratio
+  >= 0.8 post-storm, with torn/gray/zk profiles all present and the
+  same-seed rerun flagged deterministic.
 
 Exit status is 0 only if every named file validates; problems are listed
 one per line as ``<file>: <complaint>``.
@@ -49,7 +57,20 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
         "conns", "window", "mode", "kops", "speedup",
         "server_cpu_ns_per_op", "cpu_ratio", "sweeps", "probes",
         "resp_doorbells"),
+    "chaos_soak": (
+        "profile", "seed", "ops", "errors", "error_rate",
+        "untyped_errors", "corrupt_values", "lost_acked_writes",
+        "deadline_violations", "pre_kops", "post_kops",
+        "recovered_ratio", "p99_ms", "blackout_ms", "failovers",
+        "injected_faults", "schedule_hash", "converged"),
 }
+
+#: chaos_soak row fields that must be exactly zero for the contract.
+_CHAOS_ZERO = ("untyped_errors", "corrupt_values", "lost_acked_writes",
+               "deadline_violations")
+
+#: storm profiles the acceptance criteria require in every artifact.
+_CHAOS_REQUIRED_PROFILES = ("torn", "gray", "zk")
 
 
 def _positive(row: dict, key: str) -> bool:
@@ -105,6 +126,16 @@ def validate_artifact(payload: dict) -> list[str]:
         for i, row in enumerate(rows):
             if row.get("mode") != "all" or row.get("conns", 0) < 32:
                 continue
+            if row.get("workload", "read") == "write":
+                # Write-heavy rows promise replication-ack batching, not
+                # the read-path CPU headline.
+                rep = row.get("rep_batch_mean")
+                if not (isinstance(rep, (int, float)) and rep > 1.0):
+                    problems.append(
+                        f"row {i} (write, conns={row.get('conns')!r}): "
+                        f"all-layers mode must batch replication acks "
+                        f"(rep_batch_mean > 1), got {rep!r}")
+                continue
             speedup, ratio = row.get("speedup"), row.get("cpu_ratio")
             if not ((isinstance(speedup, (int, float)) and speedup >= 2.0)
                     or (isinstance(ratio, (int, float)) and ratio >= 2.0)):
@@ -113,6 +144,33 @@ def validate_artifact(payload: dict) -> list[str]:
                     f"must show >= 2x throughput or >= 2x lower server CPU "
                     f"per op vs the linear sweep, got speedup={speedup!r} "
                     f"cpu_ratio={ratio!r}")
+    if experiment == "chaos_soak":
+        profiles = {row.get("profile") for row in rows}
+        missing = [p for p in _CHAOS_REQUIRED_PROFILES if p not in profiles]
+        if missing:
+            problems.append(f"missing required storm profiles: "
+                            f"{', '.join(missing)}")
+        if len(rows) < 5:
+            problems.append(f"need >= 5 seeded storm cells, got {len(rows)}")
+        if not any(row.get("deterministic") is True for row in rows):
+            problems.append("no row carries the deterministic == True "
+                            "same-seed replay proof")
+        for i, row in enumerate(rows):
+            label = f"row {i} (profile={row.get('profile')!r})"
+            for key in _CHAOS_ZERO:
+                if row.get(key) != 0:
+                    problems.append(f"{label}: {key} must be 0, "
+                                    f"got {row.get(key)!r}")
+            if row.get("converged") is not True:
+                problems.append(f"{label}: workload did not converge "
+                                f"post-storm")
+            if "deterministic" in row and row["deterministic"] is not True:
+                problems.append(f"{label}: same-seed rerun diverged")
+            ratio = row.get("recovered_ratio")
+            if not (isinstance(ratio, (int, float))
+                    and math.isfinite(ratio) and ratio >= 0.8):
+                problems.append(f"{label}: recovered_ratio must be >= 0.8, "
+                                f"got {ratio!r}")
     if experiment == "failover_availability":
         for i, row in enumerate(rows):
             if row.get("exceptions") != 0:

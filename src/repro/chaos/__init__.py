@@ -1,0 +1,27 @@
+"""Deterministic fault injection + chaos soak harness.
+
+The chaos layer turns the simulator's determinism into a testing weapon:
+a :class:`FaultSchedule` (pure data, derived from a seed) says what
+breaks and when, a :class:`FaultInjector` samples it against live
+traffic through one narrow hook per layer, and the soak harness
+(:mod:`repro.chaos.harness`) checks the acked-write / guardian-word /
+typed-error invariants under the resulting storm.  Identical seeds
+replay identical storms, byte for byte — ``schedule_hash`` proves it.
+"""
+
+from .injector import FaultInjector
+from .harness import WriteOracle, chaos_soak, run_soak
+from .schedule import (FaultAction, FaultSchedule, FaultWindow, PROFILES,
+                       build_schedule)
+
+__all__ = [
+    "FaultAction",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultWindow",
+    "PROFILES",
+    "WriteOracle",
+    "build_schedule",
+    "chaos_soak",
+    "run_soak",
+]

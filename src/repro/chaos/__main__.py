@@ -1,0 +1,7 @@
+"""CLI entry point: ``python -m repro.chaos --profile torn --seed 11``."""
+
+import sys
+
+from .harness import main
+
+sys.exit(main())

@@ -253,6 +253,24 @@ class HydraConfig:
     #: this many WQEs.  0 disables batching: every response rings its own
     #: doorbell (the seed design).
     resp_doorbell_batch: int = 16
+    #: Age bound (ns) on a buffered response: once the oldest response in a
+    #: ``_SweepBatch`` has sat this long, the batch is flushed even if the
+    #: sweep/queue that is filling it has not finished.  Bounds the added
+    #: latency of doorbell batching under trickle load and under giant
+    #: sweeps.  0 disables the age flush (flush only at sweep boundary /
+    #: queue drain / batch cap).
+    resp_flush_max_ns: int = 100_000
+    #: "Announced since last response" masking of the occupancy word,
+    #: on both ends of the wire.  Client side: each occupancy write
+    #: carries only the in-flight slots not yet proven consumed (a
+    #: response for req r proves every older in-flight announce was in
+    #: the snapshot the shard swept).  Shard side: a re-announced bit
+    #: for a slot that was consumed but whose response has not been
+    #: posted yet is provably stale — the client cannot have reused the
+    #: slot — and is skipped without a probe.  Long in-flight windows
+    #: then stop re-announcing consumed slots, keeping shard probes ~=
+    #: requests.  False = full-window rewrite, probe every bit.
+    occ_announce_mask: bool = True
     #: Transport: "rdma" (the paper's main mode) or "tcp" (the kernel
     #: TCP/IPoIB fallback HydraDB also supports, §6) — in tcp mode the
     #: remote-pointer fast path is unavailable and every message costs

@@ -51,6 +51,11 @@ class ShardAgent:
                 yield from self.session.create(path, ephemeral=True)
                 break
             except ZkError:
+                if not self.session.alive:
+                    # Session expired mid-registration (e.g. injected
+                    # ensemble-side expiry).  Retire; the SWAT leader will
+                    # notice the missing znode and re-register the shard.
+                    return
                 # A predecessor's ephemeral is still lingering; wait for
                 # the ensemble to clear it.
                 if self.zk.node_exists(path):
@@ -95,6 +100,19 @@ class SwatTeam:
         if proc.is_alive:
             proc.interrupt("killed")
 
+    def spawn_member(self) -> int:
+        """Add a replacement member (keeps quorum across leader churn).
+
+        Chaos schedules that repeatedly kill the leader would otherwise
+        drain the fixed member pool; operationally this is a supervisor
+        restarting the watcher process.
+        """
+        mid = len(self._member_alive)
+        self._member_alive.append(True)
+        self.member_procs.append(
+            self.sim.process(self._member(mid), name=f"swat.m{mid}"))
+        return mid
+
     # -- membership / election ------------------------------------------------
     def _member(self, mid: int):
         try:
@@ -118,6 +136,14 @@ class SwatTeam:
                 yield self.zk.watch(predecessor, "deleted")
         except Interrupt:
             pass
+        except ZkError:
+            # This member's session expired at the ensemble (injected
+            # storm or partition): its ephemeral is already gone, so the
+            # survivors' predecessor watches fire and re-elect without
+            # us.  Retire cleanly rather than crashing the sim.
+            self._member_alive[mid] = False
+            if self.leader_id == mid:
+                self.leader_id = None
 
     # -- leader duties ---------------------------------------------------------
     def _lead(self, session: ZkSession):

@@ -62,6 +62,9 @@ class ZooKeeper:
         self._session_ids = count(1)
         #: (path, kind) -> list of one-shot events.
         self._watches: dict[tuple[str, str], list[Event]] = {}
+        #: Optional chaos hook (:class:`repro.chaos.FaultInjector`): when
+        #: set, watch delivery may be delayed and sessions force-expired.
+        self.fault_injector = None
         self._expiry_proc = sim.process(self._expiry_loop(), name="zk.expiry")
 
     # -- sessions ---------------------------------------------------------
@@ -103,8 +106,40 @@ class ZooKeeper:
 
     def _fire(self, path: str, kind: str) -> None:
         events = self._watches.pop((path, kind), [])
+        if not events:
+            return
+        delay = 0
+        if self.fault_injector is not None:
+            delay = self.fault_injector.watch_delay(path, kind)
+        if delay > 0:
+            # Injected slow watch delivery: the notification sat in the
+            # ensemble/client channel before reaching the watcher.
+            timer = self.sim.timeout(delay)
+
+            def _deliver(_e: Event) -> None:
+                for ev in events:
+                    ev.succeed(WatchEvent(path=path, kind=kind))
+
+            timer.callbacks.append(_deliver)
+            return
         for ev in events:
             ev.succeed(WatchEvent(path=path, kind=kind))
+
+    # -- chaos helpers -----------------------------------------------------
+    def expire_sessions_of(self, owner: str) -> int:
+        """Force-expire every live session registered by ``owner``.
+
+        Models the ensemble dropping a client (partition, GC pause past
+        the session timeout).  The owner's ephemerals vanish and its next
+        operation raises ``SessionExpired``.  Returns how many sessions
+        were expired.  Chaos-injection entry point.
+        """
+        expired = 0
+        for sess in list(self._sessions.values()):
+            if sess.alive and sess.owner == owner:
+                self._expire_session(sess)
+                expired += 1
+        return expired
 
     # -- tree primitives (no latency; sessions add it) ----------------------
     @staticmethod

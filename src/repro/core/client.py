@@ -58,6 +58,7 @@ from ..kvmem import parse_item
 from ..protocol import (Op, Request, Response, Status, clear, consume,
                          frame, frame_len, occ_encode, occ_word)
 from ..rdma import Nic, NicDown, QpError
+from ..rdma.tcp import TcpError
 from ..sim import MetricSet, Simulator
 from .errors import (BadStatus, RequestTimeout, ShardUnavailable,
                      SlotOverflow)
@@ -117,6 +118,10 @@ class _ConnPipeline:
     inflight: dict[int, int] = field(default_factory=dict)
     #: Responses drained while waiting for a different request.
     completed: dict[int, Response] = field(default_factory=dict)
+    #: Slots whose announce is proven consumed by the shard
+    #: (``hydra.occ_announce_mask``): excluded from subsequent occupancy
+    #: words so long windows stop re-announcing drained slots.
+    confirmed: set = field(default_factory=set)
 
 
 class StaticRouter:
@@ -573,12 +578,21 @@ class HydraClient:
             if conn.layout.occupancy:
                 # The occupancy word rides the frame's doorbell, posted
                 # second so RC lands the frame before its announce bit.
-                # The full in-flight word is rewritten each time: a bit
-                # for an already-consumed slot merely costs the shard one
-                # spurious probe, never a lost message.
+                # The word REPLACES the remote value, so it must carry a
+                # bit for every in-flight slot whose announce might still
+                # be unconsumed; a bit for an already-consumed slot merely
+                # costs the shard one spurious probe, never a lost
+                # message.  With the announce mask on, slots proven
+                # consumed (see _drain) are excluded, so long windows stop
+                # re-announcing drained slots.
+                if self.hydra.occ_announce_mask and pipe.confirmed:
+                    announce = [s for s in pipe.slot_req
+                                if s not in pipe.confirmed]
+                else:
+                    announce = pipe.slot_req
                 conn.client_qp.post_write_batch([
                     (conn.req_slot_rptrs[slot], frame(data)),
-                    (conn.req_occ_rptr, occ_encode(occ_word(pipe.slot_req))),
+                    (conn.req_occ_rptr, occ_encode(occ_word(announce))),
                 ])
             else:
                 conn.client_qp.post_write(conn.req_slot_rptrs[slot],
@@ -616,6 +630,7 @@ class HydraClient:
                 slot = pipe.inflight.pop(pending.req_id, None)
                 if slot is not None and slot >= 0:
                     pipe.slot_req.pop(slot, None)
+                    pipe.confirmed.discard(slot)
                     insort(pipe.free_slots, slot)
                 raise RequestTimeout(
                     f"{self.client_id}: no response from shard "
@@ -655,10 +670,21 @@ class HydraClient:
                     self.metrics.counter("client.stale_responses").add()
                     continue
                 pipe.slot_req.pop(slot)
+                pipe.confirmed.discard(slot)
                 insort(pipe.free_slots, slot)
                 pipe.inflight.pop(resp.req_id, None)
                 pipe.completed[resp.req_id] = resp
                 landed += 1
+                if self.hydra.occ_announce_mask:
+                    # A response for req r proves the shard's occupancy
+                    # snapshot that carried r also carried every older
+                    # still-in-flight slot (each occ write is the OR of
+                    # all unconfirmed in-flight slots, and RC delivers
+                    # in post order) — so those announces are consumed
+                    # and need not be re-announced.
+                    for other_slot, other_req in pipe.slot_req.items():
+                        if other_req < resp.req_id:
+                            pipe.confirmed.add(other_slot)
         else:
             while True:
                 cqe = conn.client_qp.recv_cq.poll_one()
@@ -884,8 +910,10 @@ class HydraClient:
     def _tcp_request(self, shard: Shard, req: Request):
         """Kernel-TCP request path (transport == "tcp").
 
-        The socket has no timeout machinery, so this path is effectively
-        single-attempt regardless of the deadline budget.
+        One attempt bounded by ``hydra.op_timeout_ns``: resets, truncated
+        messages, and silent loss all surface as :class:`RequestTimeout`
+        (retryable) after the stale socket is torn down, never as a raw
+        transport exception or an unbounded recv.
         """
         req = Request(op=req.op, key=req.key, value=req.value,
                       req_id=next(self._req_ids))
@@ -893,18 +921,55 @@ class HydraClient:
         data = req.encode()
         yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
         conn = self._tcp_conns.get(shard)
+        if conn is not None and not conn.open:
+            self.drop_connection(shard)
+            conn = None
         if conn is None:
             if shard.tcp_port < 0:
                 raise ShardUnavailable(
                     f"{shard.shard_id} has no TCP listener "
                     "(is the cluster started?)")
-            conn = yield self.machine.tcp.connect(shard.machine.tcp,
-                                                  shard.tcp_port)
+            try:
+                conn = yield self.machine.tcp.connect(shard.machine.tcp,
+                                                      shard.tcp_port)
+            except TcpError as exc:
+                raise RequestTimeout(
+                    f"{self.client_id}: TCP connect to {shard.shard_id} "
+                    f"failed ({exc})") from exc
             self._tcp_conns[shard] = conn
-        yield conn.send(data, req.wire_len + 40)
+        deadline = self.sim.now + self.hydra.op_timeout_ns
+        try:
+            yield conn.send(data, req.wire_len + 40)
+        except TcpError as exc:
+            self.drop_connection(shard)
+            raise RequestTimeout(
+                f"{self.client_id}: TCP send to {shard.shard_id} "
+                f"failed ({exc})") from exc
         while True:
-            payload, _n = yield conn.recv()
-            resp = Response.decode(payload)
+            remaining = deadline - self.sim.now
+            if remaining <= 0 or not conn.open:
+                self.drop_connection(shard)
+                raise RequestTimeout(
+                    f"{self.client_id}: no TCP response from "
+                    f"{shard.shard_id}")
+            recv_ev = conn.recv()
+            yield self.sim.any_of([recv_ev, self.sim.timeout(remaining)])
+            if not recv_ev.triggered:
+                # Timed out: the response is lost (reset, short read on
+                # the request, gray shard).  Abandon the socket — a late
+                # response must not be matched to a future request.
+                self.drop_connection(shard)
+                raise RequestTimeout(
+                    f"{self.client_id}: no TCP response from "
+                    f"{shard.shard_id}")
+            payload, _n = recv_ev.value
+            try:
+                resp = Response.decode(payload)
+            except (ValueError, KeyError):
+                # Truncated/garbled message (injected short read): drop
+                # it and keep reading until the deadline.
+                self.metrics.counter("client.stale_responses").add()
+                continue
             if resp.req_id == req.req_id:
                 return resp
             # A stale response from a previously timed-out request on this

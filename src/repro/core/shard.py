@@ -55,6 +55,7 @@ from ..protocol import (
     occ_slots,
 )
 from ..rdma import MemoryRegion, Nic, QpError, QueuePair, RemotePointer
+from ..rdma.tcp import TcpError
 from ..sim import Gate, MetricSet, Interrupt, Simulator, Store
 from .errors import LifecycleError
 from .store import ShardStore, StoreResult
@@ -77,12 +78,16 @@ class _SweepBatch:
     instead of once per mutation.
     """
 
-    __slots__ = ("resp", "rep_waits")
+    __slots__ = ("resp", "rep_waits", "first_ns")
 
     def __init__(self):
         #: conn_id -> (conn, [(slot, encoded response), ...])
         self.resp: dict[int, tuple["Connection", list]] = {}
         self.rep_waits: list = []
+        #: Sim time the oldest still-buffered response entered the batch
+        #: (None while empty) — drives the age-based flush
+        #: (``hydra.resp_flush_max_ns``).
+        self.first_ns: Optional[int] = None
 
 
 @dataclass
@@ -112,6 +117,12 @@ class Connection:
     #: Client-held capability for the request buffer's occupancy word
     #: (None when the layout has no occupancy header).
     req_occ_rptr: Optional[RemotePointer] = field(repr=False, default=None)
+    #: Slots consumed by this shard whose response has not been posted
+    #: yet (``hydra.occ_announce_mask``).  The client frees a slot only
+    #: after draining its response (every timeout/retry path drops the
+    #: whole connection instead of reusing the slot), so an occupancy
+    #: bit re-announcing one of these is provably stale.
+    consumed_pending: set = field(repr=False, default_factory=set)
 
     @property
     def n_slots(self) -> int:
@@ -158,6 +169,12 @@ class Shard:
         self._tcp_conns: list = []
         #: Replication hook; installed by the HA wiring (repro.replication).
         self.replicator = None
+        #: Gray-failure state: True = the shard thread has stopped sweeping
+        #: while the process, NIC, and QPs all stay up (wedged core, lost
+        #: scheduler quantum).  Heartbeats keep flowing, so SWAT never
+        #: promotes — only client deadlines bound the damage.
+        self._gray = False
+        self._gray_gate = Gate(sim)
         self.alive = False
         self._proc = None
 
@@ -198,6 +215,23 @@ class Shard:
         for conn in list(self.conns):
             conn.close()
         self._ready.clear()
+
+    def gray_fail(self) -> None:
+        """Enter gray failure: stop sweeping, keep everything else alive.
+
+        The agent's liveness checks (``alive`` + NIC up) still pass, the
+        QPs still accept writes, so requests land in the buffers and rot.
+        Chaos-injection entry point.
+        """
+        self._gray = True
+        self.metrics.counter("shard.gray_failures").add()
+
+    def gray_recover(self) -> None:
+        """Leave gray failure and resume sweeping (buffered requests are
+        picked up by the next sweep)."""
+        self._gray = False
+        self._gray_gate.fire()
+        self.doorbell.fire()
 
     def store_for_key(self, key: bytes) -> ShardStore:
         """The store an out-of-band loader should install ``key`` into
@@ -335,14 +369,22 @@ class Shard:
             if layout.occupancy:
                 word = occ_consume(conn.req_region, layout.occ_offset)
                 slots = list(occ_slots(word, layout.n_slots))
+                mask = self.hydra.occ_announce_mask
                 probed = 0
                 for slot in slots:
+                    if mask and slot in conn.consumed_pending:
+                        # Consumed on an earlier sweep, response still
+                        # unposted: no new frame can occupy this slot
+                        # yet, so the re-announced bit is stale.
+                        continue
                     probed += 1
                     off = layout.offset(slot)
                     payload = consume(conn.req_region, off)
                     if payload is not None:
                         clear(conn.req_region, off, len(payload))
                         ready.append((slot, payload))
+                        if mask:
+                            conn.consumed_pending.add(slot)
                 self.metrics.counter("shard.probes").add(probed)
                 self.metrics.counter("shard.probes_skipped").add(
                     layout.n_slots - probed)
@@ -409,6 +451,9 @@ class Shard:
     def _tcp_run(self):
         try:
             while self.alive:
+                if self._gray:
+                    yield self._gray_gate.wait()
+                    continue
                 conn, payload = yield self._tcp_ready.get()
                 yield self.core.execute(self.cpu.poll_probe_ns)  # epoll wake
                 yield from self._handle_tcp(conn, payload)
@@ -439,7 +484,12 @@ class Shard:
         data = resp.encode()
         # send() charges the kernel TX path to this (single) shard thread —
         # the CPU toll that separates TCP mode from RDMA-Write messaging.
-        yield conn.send(data, resp.wire_len + 40)
+        try:
+            yield conn.send(data, resp.wire_len + 40)
+        except TcpError:
+            # The connection was reset under us (injected fault or client
+            # teardown): the response is undeliverable, not a shard crash.
+            self.metrics.counter("shard.undeliverable_responses").add()
 
     def _run(self):
         if self.hydra.transport == "tcp":
@@ -448,6 +498,12 @@ class Shard:
         idle_sweeps = 0
         try:
             while self.alive:
+                if self._gray:
+                    # Gray failure: the thread is wedged.  Doorbells still
+                    # fire and QPs still deliver, but nothing sweeps until
+                    # gray_recover() releases the gate.
+                    yield self._gray_gate.wait()
+                    continue
                 if not self.conns:
                     yield self.doorbell.wait()
                     continue
@@ -467,6 +523,11 @@ class Shard:
                     for slot, payload in ready:
                         yield from self._handle(conn, slot, payload, batch)
                         processed += 1
+                        if self._batch_aged(batch):
+                            # Mid-sweep age flush: don't let early
+                            # responses wait out the rest of a big sweep.
+                            self.metrics.counter("shard.age_flushes").add()
+                            yield from self._finish_sweep(batch)
                 yield from self._finish_sweep(batch)
                 if processed:
                     idle_sweeps = 0
@@ -554,8 +615,23 @@ class Shard:
         buffered = sum(len(entries) for _c, entries in batch.resp.values())
         return buffered >= cap or len(batch.rep_waits) >= cap
 
+    def _batch_aged(self, batch: Optional[_SweepBatch]) -> bool:
+        """Age-based flush trigger (``hydra.resp_flush_max_ns``): True once
+        the oldest buffered response has sat longer than the bound.  Keeps
+        doorbell batching from adding unbounded latency when the sweep or
+        queue feeding the batch is long/slow (trickle load, giant sweeps)."""
+        max_ns = self.hydra.resp_flush_max_ns
+        if batch is None or max_ns <= 0 or batch.first_ns is None:
+            return False
+        return self.sim.now - batch.first_ns >= max_ns
+
     def _respond(self, conn: Connection, resp: Response, slot: int = 0,
                  batch: Optional[_SweepBatch] = None) -> None:
+        if slot >= 0:
+            # From here the response is on its way (buffered or posted):
+            # the slot may legitimately carry a new frame once the client
+            # drains it, so stop treating announce bits for it as stale.
+            conn.consumed_pending.discard(slot)
         data = resp.encode()
         if self.hydra.rdma_write_messaging:
             rptr = conn.resp_slot_rptrs[max(slot, 0)]
@@ -569,6 +645,8 @@ class Shard:
                                 req_id=resp.req_id)
                 data = resp.encode()
             if batch is not None:
+                if batch.first_ns is None:
+                    batch.first_ns = self.sim.now
                 batch.resp.setdefault(conn.conn_id, (conn, []))[1].append(
                     (max(slot, 0), data))
                 return
@@ -630,6 +708,7 @@ class Shard:
             for conn, entries in list(batch.resp.values()):
                 self._flush_conn(conn, entries)
             batch.resp.clear()
+        batch.first_ns = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Shard {self.shard_id} conns={len(self.conns)} " \

@@ -197,7 +197,8 @@ class SubShardedShard(Shard):
                 )
                 self._respond(conn, resp, slot, batch)
                 if batch is not None and (not self._queues[k].items
-                                          or self._batch_full(batch)):
+                                          or self._batch_full(batch)
+                                          or self._batch_aged(batch)):
                     yield from self._finish_sweep(batch)
         except Interrupt:
             self.alive = False

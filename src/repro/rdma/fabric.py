@@ -33,6 +33,10 @@ class Fabric:
         self._rkeys = count(start=1)
         self._qp_nums = count(start=1)
         self._rkey_table: dict[int, tuple[Nic, MemoryRegion]] = {}
+        #: Optional chaos hook (:class:`repro.chaos.FaultInjector`): when
+        #: set, every RDMA Write/Read consults it for drop / delay /
+        #: duplicate / torn-write decisions before touching the wire.
+        self.fault_injector = None
         import numpy as np
         self._ud_rng = np.random.default_rng(config.seed ^ 0xD06F00D)
 

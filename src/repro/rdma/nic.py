@@ -165,24 +165,56 @@ class Nic:
             self.metrics.counter("rdma.write.doorbells").add()
         peer_nic: "Nic" = qp.peer.nic
         prop = self.fabric.prop_ns(self, peer_nic)
+        inj = self.fabric.fault_injector
+        fault = inj.rdma_write_fault(self, qp, region, offset, data) \
+            if inj is not None else None
         self._arm_retry_timer(ev, op, wr_id, qp.qp_num)
 
         def after_tx() -> None:
-            fly = self.sim.timeout(prop)
+            delay = fault.get("delay_ns", 0) if fault else 0
+            fly = self.sim.timeout(prop + delay)
             fly.callbacks.append(lambda _e: arrive())
 
         def arrive() -> None:
             if not peer_nic.alive:
                 return  # silently lost; retry timer fires
+            if fault and fault.get("drop"):
+                return  # injected loss; retry timer fires
             peer_nic.rx.submit(lambda: peer_nic._rx_cost(), deliver)
 
         def deliver() -> None:
+            torn = fault.get("torn_bytes", 0) if fault else 0
+            if torn:
+                # Injected torn write: a word-aligned prefix of the payload
+                # lands (DMA is word-granular, so the occupancy/guardian
+                # words themselves are never half-written) but the RC ack
+                # never arrives — the retry timer ends the op with
+                # RETRY_EXC.  Readers must reject the partial frame via
+                # the indicator tail / guardian checks.
+                try:
+                    region.write(offset, data[:torn])
+                except AccessViolation:
+                    pass
+                return
             try:
                 region.write(offset, data)
             except AccessViolation:
                 status = WcStatus.REM_ACCESS_ERR
             else:
                 status = WcStatus.SUCCESS
+            if fault and fault.get("duplicate") \
+                    and status is WcStatus.SUCCESS:
+                # A retransmitted packet applied twice at the target: the
+                # same bytes land again shortly after the first delivery.
+                redeliver = self.sim.timeout(2 * prop + peer_nic._rx_cost())
+
+                def _redeliver(_e: Event) -> None:
+                    try:
+                        region.write(offset, data)
+                    except AccessViolation:
+                        pass
+
+                redeliver.callbacks.append(_redeliver)
             ack = self.sim.timeout(prop)
 
             def _acked(_e: Event) -> None:
@@ -217,6 +249,9 @@ class Nic:
             self.metrics.counter("rdma.read.doorbells").add()
         peer_nic: "Nic" = qp.peer.nic
         prop = self.fabric.prop_ns(self, peer_nic)
+        inj = self.fabric.fault_injector
+        fault = inj.rdma_read_fault(self, qp, region, offset, length) \
+            if inj is not None else None
         self._arm_retry_timer(ev, op, wr_id, qp.qp_num)
         state: dict[str, object] = {}
 
@@ -227,6 +262,8 @@ class Nic:
         def arrive() -> None:
             if not peer_nic.alive:
                 return
+            if fault and fault.get("drop"):
+                return  # response never generated; retry timer fires
             peer_nic.rx.submit(
                 lambda: peer_nic._rx_cost(extra=peer_nic.cfg.read_responder_ns),
                 responder_done,
@@ -245,7 +282,8 @@ class Nic:
             peer_nic.tx.submit(lambda: peer_nic._tx_cost(length), response_sent)
 
         def response_sent() -> None:
-            fly = self.sim.timeout(prop)
+            delay = fault.get("delay_ns", 0) if fault else 0
+            fly = self.sim.timeout(prop + delay)
             fly.callbacks.append(lambda _e: back_home())
 
         def back_home() -> None:

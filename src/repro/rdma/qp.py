@@ -51,6 +51,19 @@ class QueuePair:
             self.nic.qps.remove(self)
         self.connected = False
 
+    def force_error(self) -> None:
+        """Drive the QP pair into the error state (spontaneous flap).
+
+        Models a transport-level RC error (retry exhaustion, CRC storm,
+        port bounce) that kills one connection without taking the NIC
+        down: both endpoints become unusable, subsequent posts raise
+        :class:`QpError`, and the application must reconnect.  Used by
+        the chaos fault injector.
+        """
+        if self.peer is not None:
+            self.peer.destroy()
+        self.destroy()
+
     @property
     def usable(self) -> bool:
         """True while posts on this QP can still make progress.

@@ -56,6 +56,22 @@ class TcpConnection:
         """
         if not self.open:
             raise TcpError("send on closed connection")
+        inj = self.network.fault_injector
+        if inj is not None:
+            verdict = inj.tcp_fault(self, payload, nbytes)
+            if verdict == "reset":
+                # RST from the middle of the network: both sides observe
+                # the connection dying; this send fails synchronously.
+                self.close()
+                raise TcpError("connection reset (injected)")
+            if verdict == "short" and isinstance(payload, (bytes, bytearray)) \
+                    and len(payload) > 1:
+                # Short read: the peer's recv returns a truncated message
+                # (framing torn across a segment boundary); the receiver's
+                # decode-and-reject path must handle it.
+                cut = max(1, len(payload) // 2)
+                payload = bytes(payload[:cut])
+                nbytes = max(1, nbytes // 2)
         cfg = self.network.config.tcp
         syscall = self.sim.timeout(cfg.kernel_tx_ns)
         prop = self.network.prop_ns(self.local, self.remote)
@@ -159,6 +175,9 @@ class TcpNetwork:
         self.sim = sim
         self.config = config
         self.stacks: list[TcpStack] = []
+        #: Optional chaos hook (:class:`repro.chaos.FaultInjector`): when
+        #: set, every send consults it for reset / short-read decisions.
+        self.fault_injector = None
 
     def attach(self, machine: Machine) -> TcpStack:
         if machine.tcp is not None:

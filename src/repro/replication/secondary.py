@@ -60,6 +60,10 @@ class SecondaryShard:
         self.failing = False
         self._ack_epoch = 0
         self._fault_rng = fault_rng
+        #: Optional chaos hook (:class:`repro.chaos.FaultInjector`): when
+        #: set, merge-time faults can be injected per record, exercising
+        #: the failing-ack -> primary-resend recovery path under load.
+        self.fault_injector = None
         self.alive = False
         self._proc = None
 
@@ -133,6 +137,9 @@ class SecondaryShard:
 
     # -- merge thread -------------------------------------------------------
     def _should_fault(self) -> bool:
+        if self.fault_injector is not None \
+                and self.fault_injector.replication_fault(self):
+            return True
         if self._fault_rng is None or self.rep.fault_probability <= 0:
             return False
         return bool(self._fault_rng.random() < self.rep.fault_probability)

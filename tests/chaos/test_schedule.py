@@ -1,0 +1,59 @@
+"""Schedules are pure functions of (profile, seed, storm bounds)."""
+
+import pytest
+
+from repro.chaos import PROFILES, build_schedule
+from repro.chaos.schedule import FaultAction, FaultWindow
+
+_MS = 1_000_000
+
+
+def test_same_seed_same_schedule():
+    for profile in PROFILES:
+        a = build_schedule(profile, 1234)
+        b = build_schedule(profile, 1234)
+        assert a == b, profile
+
+
+def test_different_seed_different_schedule():
+    assert build_schedule("mixed", 1) != build_schedule("mixed", 2)
+
+
+def test_every_profile_builds_inside_storm_bounds():
+    t0, t1 = 100 * _MS, 400 * _MS
+    for profile in PROFILES:
+        sched = build_schedule(profile, 99, t0, t1)
+        assert sched.windows or sched.actions, profile
+        for w in sched.windows:
+            assert t0 <= w.t0_ns < w.t1_ns <= t1
+            assert 0.0 < w.p <= 1.0
+        for a in sched.actions:
+            assert t0 <= a.t_ns <= t1
+
+
+def test_active_window_lookup():
+    sched = build_schedule("torn", 5)
+    w = next(w for w in sched.windows if w.site == "write_torn")
+    assert sched.active("write_torn", w.t0_ns) is w
+    assert sched.active("write_torn", w.t1_ns) is None
+    assert sched.active("tcp_reset", w.t0_ns) is None
+
+
+def test_unknown_profile_and_site_rejected():
+    with pytest.raises(ValueError):
+        build_schedule("nope", 1)
+    with pytest.raises(ValueError):
+        FaultWindow("not_a_site", 0, 1)
+    with pytest.raises(ValueError):
+        FaultAction(0, "not_a_kind")
+    with pytest.raises(ValueError):
+        FaultWindow("write_drop", 5, 5)  # empty interval
+
+
+def test_describe_mentions_every_fault():
+    sched = build_schedule("mixed", 3)
+    text = sched.describe()
+    for w in sched.windows:
+        assert w.site in text
+    for a in sched.actions:
+        assert a.kind in text

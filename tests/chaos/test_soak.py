@@ -1,0 +1,56 @@
+"""Small chaos soaks: the resilience contract + same-seed replayability.
+
+Scaled-down versions of the bench cells — fewer keys, slower pacing —
+but the invariants are the full contract: no acked write lost, no
+corrupt value surfaced, typed bounded errors only, post-storm recovery.
+"""
+
+import pytest
+
+from repro.chaos.harness import run_soak
+
+_SMALL = dict(scale=0.05, n_keys=16, n_clients=2)
+
+
+def _check_contract(row):
+    assert row["untyped_errors"] == 0
+    assert row["corrupt_values"] == 0
+    assert row["lost_acked_writes"] == 0
+    assert row["deadline_violations"] == 0
+    assert row["converged"] is True
+    assert row["recovered_ratio"] >= 0.8
+    assert row["ops"] > 0
+
+
+def test_torn_storm_contract_and_replay():
+    a = run_soak("torn", 11, **_SMALL)
+    _check_contract(a)
+    assert a["injected_faults"] > 0
+    b = run_soak("torn", 11, **_SMALL)
+    assert a == b  # identical seed -> identical storm AND verdict
+    c = run_soak("torn", 12, **_SMALL)
+    assert c["schedule_hash"] != a["schedule_hash"]
+
+
+def test_gray_failure_storm_is_survived_by_deadlines():
+    row = run_soak("gray", 23, **_SMALL)
+    _check_contract(row)
+    # The shard went gray (QPs alive, no sweeping): SWAT must NOT have
+    # promoted — only client deadlines carried the workload through.
+    assert row["gray_failures"] >= 1
+    assert row["failovers"] == 0
+    assert row["errors"] > 0  # deadline-bounded typed failures surfaced
+
+
+def test_mixed_storm_drives_a_real_failover():
+    row = run_soak("mixed", 71, **_SMALL)
+    _check_contract(row)
+    assert row["failovers"] >= 1
+    assert row["injected_faults"] > 0
+
+
+@pytest.mark.parametrize("profile,seed", [("zk", 37), ("flap", 53)])
+def test_coordination_and_flap_storms(profile, seed):
+    row = run_soak(profile, seed, **_SMALL)
+    _check_contract(row)
+    assert row["injected_faults"] > 0

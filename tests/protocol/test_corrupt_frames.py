@@ -1,0 +1,109 @@
+"""Corrupted-frame handling: torn/garbled frames must never parse.
+
+The indicator framing (head word fused with size, tail word written
+last) and the item guardian word are the two defenses chaos injection
+leans on; these tests feed them every partial/garbled shape a torn DMA
+can produce and require a clean refusal, never a bogus payload.
+"""
+
+import struct
+
+from repro.kvmem import (GUARD_DEAD, GUARD_LIVE, encode_item, parse_item)
+from repro.protocol.indicator import (
+    HEAD_MAGIC, TAIL_MAGIC, clear, consume, frame, probe)
+from repro.rdma.memory import MemoryRegion
+
+_U64 = struct.Struct("<Q")
+
+
+def _region(nbytes=256):
+    return MemoryRegion(nbytes, name="test.req")
+
+
+def test_full_frame_round_trips():
+    region = _region()
+    payload = b"hello hydra frame"
+    region.write(0, frame(payload))
+    assert probe(region) == len(payload)
+    assert consume(region) == payload
+    clear(region, 0, len(payload))
+    assert probe(region) is None
+
+
+def test_torn_prefixes_never_parse():
+    """Every word-aligned proper prefix of a frame must probe None."""
+    payload = b"p" * 48
+    full = frame(payload)
+    for cut in range(8, len(full) - 7, 8):
+        region = _region()
+        region.write(0, full[:cut])  # head+partial payload, no tail
+        assert probe(region) is None, cut
+        assert consume(region) is None, cut
+
+
+def test_garbled_head_magic_rejected():
+    region = _region()
+    region.write(0, frame(b"x" * 24))
+    bad_head = ((HEAD_MAGIC ^ 0x1) << 32) | 24
+    region.write(0, _U64.pack(bad_head))
+    assert probe(region) is None
+
+
+def test_corrupt_size_beyond_region_rejected():
+    region = _region(64)
+    # Head claims a payload far past the buffer end; the probe must not
+    # read out of bounds or treat garbage as a tail word.
+    head = (HEAD_MAGIC << 32) | 4096
+    region.write(0, _U64.pack(head))
+    assert probe(region) is None
+
+
+def test_wrong_tail_word_rejected():
+    region = _region()
+    payload = b"y" * 32
+    region.write(0, frame(payload))
+    region.write(8 + len(payload), _U64.pack(TAIL_MAGIC ^ 0xFF))
+    assert probe(region) is None
+
+
+def test_stale_tail_from_recycled_slot_rejected():
+    """A longer previous frame's tail must not validate a shorter torn one."""
+    region = _region()
+    old = frame(b"o" * 64)
+    region.write(0, old)  # consumed but not cleared
+    new = frame(b"n" * 24)
+    region.write(0, new[:16])  # tear: head + 8 payload bytes, no tail
+    assert probe(region) is None
+
+
+def test_parse_item_guardian_fallbacks():
+    key, value = b"k1", b"v" * 32
+    good = encode_item(key, value, version=7)
+    item = parse_item(good)
+    assert item is not None and item.live and item.value == value
+
+    # DEAD guardian: well-formed but reclaimed -> live is False.
+    dead = bytearray(good)
+    dead[-8:] = _U64.pack(GUARD_DEAD)
+    item = parse_item(bytes(dead))
+    assert item is not None and not item.live
+
+    # Scribbled guardian (mid-reclaim garbage) -> unparseable.
+    garbage = bytearray(good)
+    garbage[-8:] = _U64.pack(0x1234567890ABCDEF)
+    assert parse_item(bytes(garbage)) is None
+
+    # Truncated reads and wrong magic -> unparseable.
+    assert parse_item(good[:-8]) is None
+    assert parse_item(good[:4]) is None
+    assert parse_item(b"") is None
+    flipped = bytearray(good)
+    flipped[0] ^= 0xFF
+    assert parse_item(bytes(flipped)) is None
+
+    # Length fields inconsistent with the byte count -> unparseable.
+    assert parse_item(good + b"\x00" * 8) is None
+
+
+def test_parse_item_guard_constants_distinct():
+    assert GUARD_LIVE != GUARD_DEAD
