@@ -89,7 +89,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
                lambda scale=None: ablation_ack_interval(), False),
     "inflight": ("Pipelined client — throughput vs in-flight window",
                  inflight_sweep, True),
-    "multiget": ("Batched one-sided GET fan-out — message vs hybrid vs mixed",
+    "multiget": ("Batched one-sided GET fan-out — message vs hybrid vs "
+                 "mixed vs cold/mixed-hit index traversal",
                  multiget_sweep, True),
     "failover": ("Availability — blackout + recovered throughput after a "
                  "primary kill", failover_availability, True),

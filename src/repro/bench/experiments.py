@@ -901,7 +901,7 @@ def multiget_sweep(scale: float = 1.0,
                    value_bytes: int = 64) -> list[dict]:
     """``get_many`` throughput: message path vs batched one-sided Reads.
 
-    One client machine against one single-threaded shard, three regimes
+    One client machine against one single-threaded shard, five regimes
     per batch size:
 
     * ``message`` — pointer cache disabled; the pipelined slotted message
@@ -910,64 +910,108 @@ def multiget_sweep(scale: float = 1.0,
       rate): every batch becomes doorbell-coalesced RDMA Reads and never
       touches the server CPU.
     * ``mixed`` — half the pointers are dropped before each batch
-      (modeling out-of-band updates): misses demote to one overlapped
-      message batch whose responses re-prime the cache.
+      (modeling out-of-band updates) with index traversal *off*: misses
+      demote to one overlapped message batch whose responses re-prime
+      the cache (the legacy demotion semantics).
+    * ``cold`` — every pointer is dropped before each batch and the
+      client walks the exported index buckets instead: 0% hit rate, yet
+      every key resolves through pipelined one-sided bucket + item Reads
+      with near-zero server CPU.
+    * ``mixed-hit`` — half the pointers dropped with traversal *on*:
+      hits go straight to item Reads, misses take the bucket walk, all
+      sharing one doorbell-coalesced read engine.
 
-    Rows carry the remote-pointer reconciliation columns: every usable
+    Rows carry the remote-pointer reconciliation columns — every usable
     pointer a batch lookup returns (``pointer_hits``) must come back as
-    exactly one successful or invalid Read (``reconciled``).
-    BENCH_multiget.json records the sweep across PRs; the headline is
-    the warm-cache ``hybrid`` speedup over ``message`` at batch 16.
+    exactly one successful or invalid Read (``reconciled``) — plus the
+    traversal counters (``bucket_reads``, ``traversal_races``,
+    ``demotions``, ``index_mutations_versioned``) and the measured
+    ``server_cpu_ns_per_get``.  BENCH_multiget.json records the sweep
+    across PRs; the headlines are the warm-cache ``hybrid`` speedup over
+    ``message`` at batch 16, and ``cold`` beating ``message`` at 0% hit
+    rate without touching the server CPU.
     """
     n_ops = max(240, int(BASE_OPS * scale))
     keys = [f"mg{i:06d}".encode() for i in range(256)]
+    trav_counters = ("client.bucket_reads", "client.traversal_races",
+                     "client.demotions")
     rows: list[dict] = []
     for batch in batch_sizes:
         message_kops: Optional[float] = None
-        for mode in ("message", "hybrid", "mixed"):
+        for mode in ("message", "hybrid", "mixed", "cold", "mixed-hit"):
+            traversal = mode in ("cold", "mixed-hit")
             cfg = SimConfig().with_overrides(hydra={
                 "msg_slots_per_conn": batch,
                 "max_inflight_per_conn": batch,
                 "max_inflight_reads": batch,
                 "rptr_cache_enabled": mode != "message",
                 "rptr_sharing": False,
+                "index_traversal": traversal,
+                "traversal_min_fanout": 1,
             })
             cluster = HydraCluster(config=cfg, n_server_machines=1,
                                    shards_per_server=1, n_client_machines=1)
-            for key in keys:
-                cluster.route(key).store_for_key(key).upsert(
-                    key, b"v" * value_bytes, Op.PUT)
             cluster.start()
             client = cluster.client()
+            shard = cluster.shards()[0]
+            counters = cluster.metrics.counter
             elapsed: dict[str, int] = {}
 
             stats0: dict[str, int] = {}
+            snap0: dict[str, float] = {}
+
+            def busy_ns():
+                # Cores exist from t=0, so the busy-time integral is just
+                # the time-average utilization scaled by elapsed sim time.
+                return shard.core.busy.time_average() * cluster.sim.now
 
             def app():
+                # Populate through the request path so every PUT also
+                # exercises (and counts) the exported-index versioning.
+                for s in range(0, len(keys), batch):
+                    yield from client.put_many(
+                        [(k, b"v" * value_bytes)
+                         for k in keys[s:s + batch]])
                 if client.cache is not None:
                     # Warm the pointer cache through the message path.
                     for s in range(0, len(keys), batch):
                         yield from client.get_many(keys[s:s + batch])
                     stats0.update(client.cache.stats())
+                snap0["busy"] = busy_ns()
+                for name in trav_counters:
+                    snap0[name] = counters(name).value
                 t0 = cluster.sim.now
                 done = 0
                 while done < n_ops:
                     chunk = [keys[(done + j) % len(keys)]
                              for j in range(min(batch, n_ops - done))]
-                    if mode == "mixed":
+                    if mode in ("mixed", "mixed-hit"):
                         # Out-of-band updates invalidated half the batch.
                         for key in chunk[::2]:
+                            client.cache.invalidate(key)
+                    elif mode == "cold":
+                        for key in chunk:
                             client.cache.invalidate(key)
                     values = yield from client.get_many(chunk)
                     assert all(v is not None for v in values)
                     done += len(chunk)
                 elapsed["get"] = cluster.sim.now - t0
+                elapsed["busy"] = busy_ns() - snap0["busy"]
 
             cluster.run(app())
             row = {
                 "mode": mode,
                 "batch": batch,
                 "get_kops": n_ops / elapsed["get"] * 1e6,
+                "server_cpu_ns_per_get": elapsed["busy"] / n_ops,
+                "bucket_reads": counters("client.bucket_reads").value
+                - snap0["client.bucket_reads"],
+                "traversal_races": counters("client.traversal_races").value
+                - snap0["client.traversal_races"],
+                "demotions": counters("client.demotions").value
+                - snap0["client.demotions"],
+                "index_mutations_versioned": counters(
+                    "shard.index_mutations_versioned").value,
             }
             if message_kops is None:
                 message_kops = row["get_kops"]
@@ -999,8 +1043,10 @@ def write_multiget_artifact(rows: list[dict],
         "experiment": "multiget_fanout_sweep",
         "description": "get_many ops/s: pipelined message path vs the "
                        "hybrid doorbell-coalesced Read fan-out (warm "
-                       "cache) vs a mixed half-invalidated run (1 shard, "
-                       "1 client, hit-rate x batch-size)",
+                       "cache) vs legacy half-invalidated demotion vs "
+                       "one-sided index traversal at 0% (cold) and 50% "
+                       "(mixed-hit) hit rates (1 shard, 1 client, "
+                       "hit-rate x batch-size)",
         "unit": "kops",
         "rows": rows,
     }
@@ -1320,9 +1366,10 @@ def chaos_soak(scale: float = 1.0) -> list[dict]:
 
     Thin wrapper over :func:`repro.chaos.harness.chaos_soak` — one row
     per ``(profile, seed)`` storm cell (torn-write, gray-failure,
-    ZK-expiry, QP-flap, and mixed crash storms), each reporting the
-    acked-write / corrupt-value / typed-error / deadline invariants plus
-    availability numbers, with a same-seed rerun proving determinism.
+    ZK-expiry, QP-flap, mixed crash, and stale-pointer storms), each
+    reporting the acked-write / corrupt-value / typed-error / deadline
+    invariants plus availability numbers, with a same-seed rerun proving
+    determinism.
     """
     from ..chaos.harness import chaos_soak as _soak
     return _soak(scale=scale)
@@ -1333,13 +1380,14 @@ def write_chaos_artifact(rows: list[dict],
     """Dump the chaos soak as a machine-readable artifact."""
     payload = {
         "experiment": "chaos_soak",
-        "description": "mixed GET/PUT/DELETE workload under five seeded "
+        "description": "mixed GET/PUT/DELETE workload under six seeded "
                        "fault storms (torn writes, gray failure, ZK "
                        "session expiry, QP flaps, crash+replication "
-                       "faults): zero lost acked writes, zero corrupt "
-                       "values, typed bounded errors, post-storm "
-                       "recovery, and same-seed replayability "
-                       "(2 shards, replicas=1, HA on)",
+                       "faults, stale-pointer read delays vs lease "
+                       "expiry and reclaim): zero lost acked writes, "
+                       "zero corrupt values, typed bounded errors, "
+                       "post-storm recovery, and same-seed "
+                       "replayability (2 shards, replicas=1, HA on)",
         "unit": "kops / ms",
         "rows": rows,
     }

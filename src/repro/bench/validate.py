@@ -13,7 +13,9 @@ experiments promise:
 * throughputs and speedups are strictly positive finite numbers;
 * multiget rows must have ``reconciled`` == True — the remote-pointer
   accounting (``successful_hits + invalid_hits == batch_hits``) balanced
-  for every mode/batch cell;
+  for every mode/batch cell; the ``cold`` (0% hit rate) cells must show
+  one-sided index traversal beating the message path with near-zero
+  server CPU ns/GET;
 * failover rows must show the availability contract held: zero
   client-visible exceptions, zero lost acked writes, at least one SWAT
   promotion, and post-kill throughput >= 80% of pre-kill;
@@ -25,8 +27,8 @@ experiments promise:
 * chaos_soak rows must show the resilience contract held under every
   storm: zero lost acked writes, zero corrupt values, zero untyped
   errors, zero deadline violations, convergence and recovered_ratio
-  >= 0.8 post-storm, with torn/gray/zk profiles all present and the
-  same-seed rerun flagged deterministic.
+  >= 0.8 post-storm, with torn/gray/zk/stale profiles all present and
+  the same-seed rerun flagged deterministic.
 
 Exit status is 0 only if every named file validates; problems are listed
 one per line as ``<file>: <complaint>``.
@@ -48,7 +50,9 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
         "window", "get_kops", "put_kops", "get_speedup", "put_speedup"),
     "multiget_fanout_sweep": (
         "mode", "batch", "get_kops", "speedup_vs_message", "pointer_hits",
-        "successful_hits", "invalid_hits", "demoted", "reconciled"),
+        "successful_hits", "invalid_hits", "demoted", "reconciled",
+        "bucket_reads", "traversal_races", "demotions",
+        "index_mutations_versioned", "server_cpu_ns_per_get"),
     "failover_availability": (
         "clients", "pre_kops", "post_kops", "recovered_ratio",
         "blackout_ms", "failovers", "client_retries", "exceptions",
@@ -70,7 +74,7 @@ _CHAOS_ZERO = ("untyped_errors", "corrupt_values", "lost_acked_writes",
                "deadline_violations")
 
 #: storm profiles the acceptance criteria require in every artifact.
-_CHAOS_REQUIRED_PROFILES = ("torn", "gray", "zk")
+_CHAOS_REQUIRED_PROFILES = ("torn", "gray", "zk", "stale")
 
 
 def _positive(row: dict, key: str) -> bool:
@@ -113,11 +117,41 @@ def validate_artifact(payload: dict) -> list[str]:
     if experiment == "multiget_fanout_sweep":
         if not any(row.get("mode") == "message" for row in rows):
             problems.append("no message-path baseline rows")
+        if not any(row.get("mode") == "cold" for row in rows):
+            problems.append("no cold-cache (one-sided traversal) rows")
         for i, row in enumerate(rows):
             if row.get("reconciled") is not True:
                 problems.append(f"row {i} (mode={row.get('mode')!r}, "
                                 f"batch={row.get('batch')!r}): pointer "
                                 f"accounting did not reconcile")
+        message_cpu = {row.get("batch"): row.get("server_cpu_ns_per_get")
+                       for row in rows if row.get("mode") == "message"}
+        for i, row in enumerate(rows):
+            if row.get("mode") != "cold":
+                continue
+            label = f"row {i} (cold, batch={row.get('batch')!r})"
+            speedup = row.get("speedup_vs_message")
+            if isinstance(row.get("batch"), int) and row["batch"] >= 16 \
+                    and not (isinstance(speedup, (int, float))
+                             and speedup > 1.0):
+                # Two dependent RTTs only amortize once the bucket and
+                # item Reads pipeline across a real fan-out.
+                problems.append(
+                    f"{label}: one-sided traversal must beat the message "
+                    f"path at 0% hit rate, got speedup "
+                    f"{speedup!r}")
+            if not _positive(row, "bucket_reads"):
+                problems.append(f"{label}: traversal ran but bucket_reads "
+                                f"is {row.get('bucket_reads')!r}")
+            cpu = row.get("server_cpu_ns_per_get")
+            baseline = message_cpu.get(row.get("batch"))
+            if not (isinstance(cpu, (int, float)) and math.isfinite(cpu)
+                    and isinstance(baseline, (int, float)) and baseline > 0
+                    and cpu <= 0.05 * baseline):
+                problems.append(
+                    f"{label}: cold GETs must burn near-zero server CPU "
+                    f"(<= 5% of the message path's), got {cpu!r} vs "
+                    f"baseline {baseline!r}")
     if experiment == "server_sweep":
         if not any(row.get("mode") == "baseline" and row.get("speedup") == 1.0
                    and row.get("cpu_ratio") == 1.0 for row in rows):

@@ -44,12 +44,34 @@ __all__ = ["run_soak", "chaos_soak", "SOAK_SEEDS"]
 
 _MS = 1_000_000
 
-#: Default (profile, seed) grid for the bench artifact: five distinct
-#: seeded schedules covering torn-write, gray-failure, and ZK-expiry
-#: storms as the acceptance criteria require.
+#: Default (profile, seed) grid for the bench artifact: six distinct
+#: seeded schedules covering torn-write, gray-failure, ZK-expiry, and
+#: stale-pointer storms as the acceptance criteria require.
 SOAK_SEEDS: Sequence[tuple[str, int]] = (
     ("torn", 11), ("gray", 23), ("zk", 37), ("flap", 53), ("mixed", 71),
+    ("stale", 89),
 )
+
+
+def _profile_overrides(profile: str) -> tuple[dict, dict]:
+    """Per-profile ``(hydra, memory)`` config deltas — pure in ``profile``.
+
+    The ``stale`` storm only bites if leases lapse and reclaim runs
+    *during* the 700 ms soak, so it shrinks both far below their
+    defaults, drops the traversal fan-out gate so the soak's single-key
+    GETs exercise the one-sided index walk, and shortens the read
+    horizon to 4x the op timeout — the window injected Read delays
+    (<= 2 ms) race against.
+    """
+    if profile == "stale":
+        return (
+            {"lease_min_ns": 5 * _MS, "lease_max_ns": 20 * _MS,
+             "lease_renew_period_ns": 10 * _MS,
+             "traversal_min_fanout": 1,
+             "traversal_read_horizon_ns": 20 * _MS},
+            {"reclaim_period_ns": 2 * _MS},
+        )
+    return {}, {}
 
 
 class _KeyState:
@@ -127,11 +149,13 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
 
     if schedule is None:
         schedule = build_schedule(profile, seed, storm_start, storm_end)
+    hydra_extra, memory_extra = _profile_overrides(schedule.name)
     cfg = SimConfig(seed=seed).with_overrides(
         replication={"replicas": 1},
         coord={"heartbeat_ns": 50 * _MS, "session_timeout_ns": 200 * _MS},
         hydra={"op_timeout_ns": 5 * _MS, "msg_slots_per_conn": 8,
-               "max_inflight_per_conn": 4},
+               "max_inflight_per_conn": 4, **hydra_extra},
+        memory=memory_extra,
     )
     cluster = HydraCluster(config=cfg, n_server_machines=2,
                            shards_per_server=1, n_client_machines=2)
@@ -257,6 +281,9 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
         "failovers": counters("swat.failovers").value,
         "gray_failures": counters("shard.gray_failures").value,
         "stale_responses": counters("client.stale_responses").value,
+        "bucket_reads": counters("client.bucket_reads").value,
+        "traversal_races": counters("client.traversal_races").value,
+        "demotions": counters("client.demotions").value,
         "injected_faults": injector.injected,
         "schedule_hash": injector.schedule_hash(),
         "converged": stats["seal_failures"] == 0 and len(sealed) == n_keys,

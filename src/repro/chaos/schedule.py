@@ -60,7 +60,7 @@ ACTION_KINDS = ("shard_crash", "gray", "zk_expire_agent", "swat_churn",
                 "qp_flap")
 
 #: Named storm profiles understood by :func:`build_schedule`.
-PROFILES = ("torn", "gray", "zk", "flap", "mixed")
+PROFILES = ("torn", "gray", "zk", "flap", "mixed", "stale")
 
 
 @dataclass(frozen=True)
@@ -180,6 +180,17 @@ def build_schedule(profile: str, seed: int,
             actions.append(FaultAction(jit(0.05, 0.95), "qp_flap"))
         window("write_drop", 0.01, 0.04)
         window("read_drop", 0.01, 0.04)
+    elif profile == "stale":
+        # Stale-pointer storm for the index-traversal path: Reads are
+        # delayed long enough that bucket snapshots and primed pointers
+        # go stale against lease expiry and reclaim (the soak harness
+        # shrinks leases/reclaim/horizon for this profile), with light
+        # packet loss and one QP flap on top.  The oracle then proves no
+        # torn or reclaimed value ever surfaces from a traversal.
+        window("read_delay", 0.25, 0.45, min_d=100_000, max_d=2_000_000)
+        window("read_drop", 0.01, 0.03)
+        window("write_delay", 0.02, 0.05, min_d=20_000, max_d=200_000)
+        actions.append(FaultAction(jit(0.3, 0.7), "qp_flap"))
     else:  # mixed
         actions.append(FaultAction(jit(0.15, 0.4), "shard_crash",
                                    index=int(rng.integers(0, 4))))

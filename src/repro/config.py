@@ -201,6 +201,49 @@ class HydraConfig:
     #: most this many WQEs; single-key GETs post batches of one, so the
     #: default changes nothing for them.
     max_inflight_reads: int = 16
+    #: Client-side index traversal: the shard exports its compact hash
+    #: table's buckets as a client-readable RDMA region, and a cold GET
+    #: (no cached remote pointer) resolves with a one-sided bucket Read
+    #: followed by an item Read — 2 RTTs, zero server CPU — instead of
+    #: demoting to the message path.  False restores the PR-2 behavior
+    #: (cold keys always go through messages).
+    index_traversal: bool = True
+    #: Bounded optimistic retry for the traversal: a read that races a
+    #: concurrent mutation (bucket version moved, guardian flipped,
+    #: reclaimed bytes) re-reads the bucket at most this many times
+    #: before demoting the key to the message path.
+    traversal_max_retries: int = 3
+    #: Minimum number of *cold* keys in one read fan-out before the
+    #: traversal engine engages.  A lone cold key is two dependent RTTs
+    #: one-sided versus one message round-trip to an often-idle core, so
+    #: the message path wins below this; at or above it the bucket Reads
+    #: of different keys pipeline through one doorbell and the traversal
+    #: amortizes.  1 = traverse every cold key (bench cold cells).
+    traversal_min_fanout: int = 2
+    #: Exported overflow-bucket frames per shard.  Chains that extend
+    #: past this capacity set the demote flag in their last exported
+    #: frame and clients fall back to the message path for them.
+    index_export_overflow: int = 1024
+    #: Read-horizon deferral (ns): a retired extent is never freed
+    #: earlier than retire-time + this horizon, even if its frozen lease
+    #: has already lapsed.  Bounds the window in which a traversal's
+    #: bucket snapshot can hold an offset, so the follow-up item Read
+    #: lands on intact (if DEAD-guarded) bytes rather than a recycled
+    #: extent.  A walk is a handful of RTTs (~10 us with retries), so
+    #: 1 ms is ~100x margin while staying well inside typical lease
+    #: lengths — the lease, not the horizon, governs reclaim latency.
+    traversal_read_horizon_ns: int = 1_000_000
+    #: Per-connection drain budget for server sweeps: a single sweep
+    #: consumes at most this many ready slots from one connection, then
+    #: re-marks it ready so the next sweep continues — one hot
+    #: connection cannot dominate a sweep's handling time under skew.
+    #: 0 = unbounded (drain everything found).
+    sweep_drain_budget: int = 0
+    #: TCP-mode ready-queue drain cap: one epoll-style wake drains up to
+    #: this many queued payloads, and their responses are flushed per
+    #: connection through one batched syscall (``send_many``) instead of
+    #: one syscall each.  1 restores one-payload-per-wake.
+    tcp_drain_batch: int = 16
     #: Client gives up on a response after this long (failover trigger).
     #: This bounds ONE message-path attempt; the public operations retry
     #: attempts under the ``op_deadline_us`` budget below.

@@ -54,10 +54,12 @@ from typing import Optional
 
 from ..config import SimConfig
 from ..hardware import Machine
-from ..kvmem import parse_item
+from ..index.export import BUCKET_EXPORT_BYTES, IndexHandshake, parse_bucket
+from ..index.hashing import bucket_index, hash64, signature16
+from ..kvmem import item_size, parse_item, parse_item_prefix
 from ..protocol import (Op, Request, Response, Status, clear, consume,
-                         frame, frame_len, occ_encode, occ_word)
-from ..rdma import Nic, NicDown, QpError
+                         frame, frame_len, occ_announce)
+from ..rdma import Nic, NicDown, QpError, RemotePointer
 from ..rdma.tcp import TcpError
 from ..sim import MetricSet, Simulator
 from .errors import (BadStatus, RequestTimeout, ShardUnavailable,
@@ -95,11 +97,59 @@ class _ReadItem:
 
 
 @dataclass
+class _Traversal:
+    """State of one key's client-side index traversal (§4.2.2 extended).
+
+    A cold key — no cached pointer — resolves with one-sided Reads alone:
+    bucket frame Read, signature match, item Read, guardian validation.
+    ``frames`` records every (frame index, seqlock version) visited this
+    attempt; a multi-bucket NOT_FOUND is only concluded after re-reading
+    the *head* frame and seeing its version unchanged (every chain
+    mutation bumps the head, so an unmoved head proves the walk saw one
+    consistent chain).  Any sign the chain moved under us — dead item,
+    garbage bytes, moved head — is a *race*: the walk restarts from the
+    head, at most ``hydra.traversal_max_retries`` times before the key
+    demotes to the message path.
+    """
+
+    item: _ReadItem
+    index: IndexHandshake
+    sig: int
+    head_frame: int
+    #: (frame_idx, version) per bucket frame visited this attempt.
+    frames: list = field(default_factory=list)
+    #: Unread signature-matching (class_idx, offset) slots of the current
+    #: bucket, probed in slot order.
+    candidates: list = field(default_factory=list)
+    #: Link of the current bucket (export frame index, None = chain end).
+    next_link: Optional[int] = None
+    retries: int = 0
+
+
+@dataclass
+class _ReadOp:
+    """One posted (or queued) one-sided Read and how to interpret it.
+
+    ``kind``: ``"item"`` = cached-pointer item Read (hot path),
+    ``"bucket"`` = traversal bucket-frame Read, ``"titem"`` = traversal
+    item Read, ``"confirm"`` = head-frame re-read validating a
+    multi-bucket NOT_FOUND.
+    """
+
+    kind: str
+    item: _ReadItem
+    rptr: RemotePointer
+    trav: Optional[_Traversal] = None
+    #: Arena offset a ``titem`` Read targets (for cache re-priming).
+    offset: int = -1
+
+
+@dataclass
 class _ReadState:
     """In-flight one-sided-Read bookkeeping for one connection."""
 
     conn: Connection
-    #: (item, cached pointer) pairs not yet posted.
+    #: :class:`_ReadOp` entries not yet posted.
     queue: list = field(default_factory=list)
     inflight: int = 0
 
@@ -428,16 +478,14 @@ class HydraClient:
         self.metrics.counter("client.rdma_reads").add(n)
         try:
             events = cs.conn.client_qp.post_read_batch(
-                [entry.rptr for _item, entry in batch])
+                [op.rptr for op in batch])
         except QpError:
             # Dead QP: nothing on this connection can be read one-sidedly.
-            failed = [item for item, _entry in batch]
-            failed.extend(item for item, _entry in cs.queue)
+            failed = batch + cs.queue
             cs.queue = []
             return [], failed
         cs.inflight += n
-        return [(item, ev, cs)
-                for (item, _entry), ev in zip(batch, events)], []
+        return [(op, ev, cs) for op, ev in zip(batch, events)], []
 
     def _read_fanout(self, items: list[_ReadItem], on_demote=None):
         """Pipelined one-sided GET fan-out (§4.2.2, batched).
@@ -456,73 +504,246 @@ class HydraClient:
         (empty when ``on_demote`` consumed them).
         """
         cache = self.cache
-        hits: dict[int, bytes] = {}
+        hits: dict[int, Optional[bytes]] = {}
         demoted: list[_ReadItem] = []
 
         def demote(item: _ReadItem):
+            self.metrics.counter("client.demotions").add()
             if on_demote is None:
                 demoted.append(item)
             else:
                 yield from on_demote(item)
 
+        def fail_op(op: _ReadOp):
+            """A Read that could not be served (dead QP / bad completion
+            outside the traversal protocol): demote its key."""
+            if op.kind == "item":
+                cache.record_invalid(op.item.key)
+            yield from demote(op.item)
+
+        # -- traversal plumbing (cold keys, one-sided index walk) ---------
+        def enqueue_bucket(trav: _Traversal, cs: _ReadState,
+                          frame_idx: int, confirm: bool = False) -> None:
+            self.metrics.counter("client.bucket_reads").add()
+            rptr = RemotePointer(trav.index.export_rkey,
+                                 frame_idx * BUCKET_EXPORT_BYTES,
+                                 BUCKET_EXPORT_BYTES)
+            cs.queue.append(_ReadOp("confirm" if confirm else "bucket",
+                                    trav.item, rptr, trav))
+
+        def enqueue_item_read(trav: _Traversal, cs: _ReadState) -> None:
+            cls_idx, offset = trav.candidates.pop(0)
+            rptr = RemotePointer(trav.index.arena_rkey, offset,
+                                 trav.index.size_classes[cls_idx])
+            cs.queue.append(_ReadOp("titem", trav.item, rptr, trav,
+                                    offset=offset))
+
+        def start_traversal(item: _ReadItem, cs: _ReadState) -> None:
+            index = cs.conn.index
+            h = hash64(item.key)
+            trav = _Traversal(item=item, index=index, sig=signature16(h),
+                              head_frame=bucket_index(h, index.n_buckets))
+            enqueue_bucket(trav, cs, trav.head_frame)
+
+        def race(trav: _Traversal, cs: _ReadState):
+            """The chain moved under the walk: restart, bounded."""
+            trav.retries += 1
+            self.metrics.counter("client.traversal_races").add()
+            if trav.retries > self.hydra.traversal_max_retries:
+                yield from demote(trav.item)
+                return
+            trav.frames.clear()
+            trav.candidates.clear()
+            trav.next_link = None
+            enqueue_bucket(trav, cs, trav.head_frame)
+
+        def advance(trav: _Traversal, cs: _ReadState) -> None:
+            """Current bucket's candidates exhausted: follow the link or
+            conclude NOT_FOUND."""
+            if trav.next_link is not None:
+                enqueue_bucket(trav, cs, trav.next_link)
+                return
+            if len(trav.frames) == 1:
+                # One atomic 64 B snapshot held the whole chain: the key
+                # was provably absent at the Read's DMA instant.
+                hits[trav.item.idx] = None
+                return
+            # Multi-bucket walk: only believable if the head frame never
+            # moved (every chain mutation bumps the head's version).
+            enqueue_bucket(trav, cs, trav.frames[0][0], confirm=True)
+
+        def handle_bucket(op: _ReadOp, wc, cs: _ReadState):
+            trav = op.trav
+            if not wc.ok:
+                yield from race(trav, cs)
+                return
+            try:
+                bucket = parse_bucket(wc.data)
+            except ValueError:
+                yield from race(trav, cs)
+                return
+            if op.kind == "confirm":
+                if bucket.version == trav.frames[0][1]:
+                    hits[trav.item.idx] = None  # confirmed NOT_FOUND
+                else:
+                    yield from race(trav, cs)
+                return
+            if bucket.demote:
+                # Chain not fully exportable: the server said don't trust
+                # one-sided conclusions here.
+                yield from demote(trav.item)
+                return
+            frame_idx = op.rptr.offset // BUCKET_EXPORT_BYTES
+            if (any(f == frame_idx for f, _v in trav.frames)
+                    or len(trav.frames) >= 64):
+                # Link cycle / absurd depth: stale frames mixed across
+                # instants — a race by definition.
+                yield from race(trav, cs)
+                return
+            trav.frames.append((frame_idx, bucket.version))
+            trav.candidates = [(cls, off) for _i, sig, cls, off
+                               in bucket.slots if sig == trav.sig]
+            if any(cls >= len(trav.index.size_classes)
+                   for cls, _off in trav.candidates):
+                # A size-class index the handshake never advertised:
+                # stale/foreign frame bytes — treat as a race.
+                yield from race(trav, cs)
+                return
+            trav.next_link = bucket.link
+            if trav.candidates:
+                enqueue_item_read(trav, cs)
+            else:
+                advance(trav, cs)
+
+        def handle_titem(op: _ReadOp, wc, cs: _ReadState):
+            trav = op.trav
+            parsed = parse_item_prefix(wc.data) if wc.ok else None
+            if parsed is not None:
+                if parsed.key == op.item.key:
+                    # A DEAD guardian is fine *here* (unlike the cached-
+                    # pointer path): the bucket snapshot proved this was
+                    # the key's current extent at the bucket Read's DMA
+                    # instant, so its retirement happened after that — and
+                    # reclaim defers a full read horizon past retirement,
+                    # so the bytes are intact and the value linearizes to
+                    # the bucket-read instant.  Without this, every GET
+                    # racing an update would retry and hot keys would
+                    # demote, re-serializing on the server we just
+                    # offloaded.  Only a live hit may prime the cache.
+                    hits[op.item.idx] = parsed.value
+                    if parsed.live:
+                        self._prime_from_traversal(op.item.key, op.offset,
+                                                   parsed, trav.index)
+                    return
+                # 16-bit signature collision: a *different* key answered.
+                # Not a race — keep probing candidates.
+                if trav.candidates:
+                    enqueue_item_read(trav, cs)
+                else:
+                    advance(trav, cs)
+                return
+            # Garbage bytes: the frame we walked was stale (failed Read,
+            # or an offset whose meaning changed under us).
+            yield from race(trav, cs)
+
         yield self.sim.timeout(cache.batch_op_cost_ns(len(items)))
         entries = cache.lookup_batch([it.key for it in items], self.sim.now)
         states: dict[int, _ReadState] = {}
-        misses: list[_ReadItem] = []
-        for item, entry in zip(items, entries):
-            if entry is None:
-                misses.append(item)
-                continue
-            conn = self.connection_to(item.shard)
+
+        def state_for(conn: Connection) -> _ReadState:
             cs = states.get(conn.conn_id)
             if cs is None:
                 cs = states[conn.conn_id] = _ReadState(conn)
-            cs.queue.append((item, entry))
-        #: (item, event, conn state) completion gather list; reads are in
+            return cs
+
+        misses: list[_ReadItem] = []
+        cold: list[tuple[_ReadItem, Connection]] = []
+        for item, entry in zip(items, entries):
+            if entry is not None:
+                cs = state_for(self.connection_to(item.shard))
+                cs.queue.append(_ReadOp("item", item, entry.rptr))
+                continue
+            conn = self.connection_to(item.shard)
+            if self.hydra.index_traversal and conn.index is not None:
+                cold.append((item, conn))
+            else:
+                misses.append(item)
+        if len(cold) >= max(1, self.hydra.traversal_min_fanout):
+            # Enough cold keys that their bucket Reads pipeline through
+            # one doorbell: resolve them one-sidedly, zero server CPU.
+            for item, conn in cold:
+                start_traversal(item, state_for(conn))
+        else:
+            misses.extend(item for item, _conn in cold)
+        #: (op, event, conn state) completion gather list; reads are in
         #: flight from here on, so everything below overlaps with them.
         pending: list = []
-        unusable: list[_ReadItem] = []
+        unusable: list[_ReadOp] = []
         for cs in states.values():
             posted, failed = self._post_read_batch(cs)
             pending.extend(posted)
             unusable.extend(failed)
         for item in misses:
             yield from demote(item)
-        for item in unusable:
-            cache.record_invalid(item.key)
-            yield from demote(item)
+        for op in unusable:
+            yield from fail_op(op)
         i = 0
         while i < len(pending):
-            item, ev, cs = pending[i]
+            op, ev, cs = pending[i]
             i += 1
             wc = yield ev
             cs.inflight -= 1
             yield self.sim.timeout(self.cpu.parse_ns)
-            parsed = parse_item(wc.data) if wc.ok else None
-            if parsed is not None and parsed.live and parsed.key == item.key:
-                cache.record_successful()
-                hits[item.idx] = parsed.value
-            else:
-                # Outdated pointer (dead item after an out-of-place
-                # update, reclaimed/garbage bytes, failed completion).
-                cache.record_invalid(item.key)
-                yield from demote(item)
+            if op.kind == "item":
+                parsed = parse_item(wc.data) if wc.ok else None
+                if (parsed is not None and parsed.live
+                        and parsed.key == op.item.key):
+                    cache.record_successful()
+                    hits[op.item.idx] = parsed.value
+                else:
+                    # Outdated pointer (dead item after an out-of-place
+                    # update, reclaimed/garbage bytes, failed completion).
+                    cache.record_invalid(op.item.key)
+                    yield from demote(op.item)
+            elif op.kind == "titem":
+                yield from handle_titem(op, wc, cs)
+            else:  # "bucket" / "confirm"
+                yield from handle_bucket(op, wc, cs)
             if cs.inflight == 0 and cs.queue:
                 posted, failed = self._post_read_batch(cs)
                 pending.extend(posted)
-                for failed_item in failed:
-                    cache.record_invalid(failed_item.key)
-                    yield from demote(failed_item)
+                for fop in failed:
+                    yield from fail_op(fop)
         return hits, demoted
 
     def _maybe_cache(self, key: bytes, resp: Response) -> None:
         if self.cache is None or not resp.remote_pointer_valid:
             return
-        from ..rdma import RemotePointer
         self.cache.store(key, CachedPointer(
             rptr=RemotePointer(resp.rkey, resp.roffset, resp.rlen),
             lease_expiry_ns=resp.lease_expiry_ns,
             version=resp.version,
+        ))
+
+    def _prime_from_traversal(self, key: bytes, offset: int, parsed,
+                              index: IndexHandshake) -> None:
+        """Re-prime the pointer cache from a traversal hit.
+
+        The entry carries a *synthetic* expiry of half the read horizon:
+        the server holds no lease for this pointer, but it defers every
+        reclaim ``traversal_read_horizon_ns`` past retirement, so within
+        this window the extent can be dead or poisoned — both caught by
+        guardian/parse validation — yet never *reused*, which is the only
+        hazard validation cannot catch by itself.
+        """
+        if self.cache is None:
+            return
+        extent = item_size(len(parsed.key), len(parsed.value))
+        self.cache.store(key, CachedPointer(
+            rptr=RemotePointer(index.arena_rkey, offset, extent),
+            lease_expiry_ns=(self.sim.now
+                             + self.hydra.traversal_read_horizon_ns // 2),
+            version=parsed.version,
         ))
 
     # -- pipelined message path (issue / wait split) ------------------------
@@ -592,7 +813,8 @@ class HydraClient:
                     announce = pipe.slot_req
                 conn.client_qp.post_write_batch([
                     (conn.req_slot_rptrs[slot], frame(data)),
-                    (conn.req_occ_rptr, occ_encode(occ_word(announce))),
+                    (conn.req_occ_rptr,
+                     occ_announce(announce, conn.layout.n_slots)),
                 ])
             else:
                 conn.client_qp.post_write(conn.req_slot_rptrs[slot],

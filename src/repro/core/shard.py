@@ -40,8 +40,8 @@ from typing import Optional
 
 from ..config import SimConfig
 from ..hardware import Core, Machine
+from ..index.export import IndexHandshake
 from ..protocol import (
-    OCC_WORD_BYTES,
     Op,
     Request,
     Response,
@@ -51,8 +51,8 @@ from ..protocol import (
     consume,
     frame,
     frame_len,
-    occ_consume,
-    occ_slots,
+    occ_probe,
+    occ_restore,
 )
 from ..rdma import MemoryRegion, Nic, QpError, QueuePair, RemotePointer
 from ..rdma.tcp import TcpError
@@ -123,6 +123,13 @@ class Connection:
     #: whole connection instead of reusing the slot), so an occupancy
     #: bit re-announcing one of these is provably stale.
     consumed_pending: set = field(repr=False, default_factory=set)
+    #: Handshake advertisement of the shard's client-readable hash index
+    #: (None = traversal unavailable; client demotes cold keys to the
+    #: message path as before).
+    index: Optional[IndexHandshake] = field(repr=False, default=None)
+    #: Rotating probe cursor for drain-budgeted sweeps of layouts without
+    #: an occupancy header, so deferred slots are reached eventually.
+    sweep_cursor: int = field(repr=False, default=0)
 
     @property
     def n_slots(self) -> int:
@@ -141,7 +148,8 @@ class Shard:
                  metrics: Optional[MetricSet] = None,
                  table_kind: str = "compact", numa_mode: str = "local",
                  scribble_on_reclaim: bool = False,
-                 store: Optional[ShardStore] = None):
+                 store: Optional[ShardStore] = None,
+                 export_index: bool = True):
         self.sim = sim
         self.config = config
         self.hydra = config.hydra
@@ -155,6 +163,7 @@ class Shard:
             sim, config, self.nic, core.numa_domain, shard_id,
             table_kind=table_kind, numa_mode=numa_mode,
             scribble_on_reclaim=scribble_on_reclaim,
+            export_index=export_index,
         )
         self.conns: list[Connection] = []
         self.doorbell = Gate(sim)
@@ -238,6 +247,12 @@ class Shard:
         (sub-sharded instances override to route by key hash)."""
         return self.store
 
+    def _index_export(self) -> Optional[IndexHandshake]:
+        """Index advertisement for new connections.  Sub-sharded shards
+        return None — one connection fronts many tables there, so a
+        single bucket region cannot be advertised."""
+        return self.store.index_handshake()
+
     # -- connection setup ------------------------------------------------
     def connect(self, client_nic: Nic,
                 client_numa_domain: int = 0) -> Connection:
@@ -280,8 +295,9 @@ class Shard:
                               layout.slot_bytes)
                 for i in range(layout.n_slots)],
             req_occ_rptr=(RemotePointer(req_region.rkey, layout.occ_offset,
-                                        OCC_WORD_BYTES)
+                                        layout.header_bytes)
                           if occupancy else None),
+            index=self._index_export(),
         )
         if self.hydra.rdma_write_messaging:
             # The doorbell carries which connection fired so the sweep
@@ -364,19 +380,27 @@ class Shard:
         never under-report a landed request.
         """
         ready: list[tuple[int, bytes]] = []
+        budget = self.hydra.sweep_drain_budget
         if self.hydra.rdma_write_messaging:
             layout = conn.layout
             if layout.occupancy:
-                word = occ_consume(conn.req_region, layout.occ_offset)
-                slots = list(occ_slots(word, layout.n_slots))
+                slots, word_probes = occ_probe(
+                    conn.req_region, layout.n_slots, layout.occ_offset)
                 mask = self.hydra.occ_announce_mask
                 probed = 0
-                for slot in slots:
+                deferred: list[int] = []
+                for pos, slot in enumerate(slots):
                     if mask and slot in conn.consumed_pending:
                         # Consumed on an earlier sweep, response still
                         # unposted: no new frame can occupy this slot
                         # yet, so the re-announced bit is stale.
                         continue
+                    if budget > 0 and len(ready) >= budget:
+                        # Drain budget exhausted: re-announce the rest of
+                        # the snapshot and re-mark the connection ready,
+                        # so one hot connection cannot dominate a sweep.
+                        deferred = slots[pos:]
+                        break
                     probed += 1
                     off = layout.offset(slot)
                     payload = consume(conn.req_region, off)
@@ -385,19 +409,42 @@ class Shard:
                         ready.append((slot, payload))
                         if mask:
                             conn.consumed_pending.add(slot)
+                if deferred:
+                    occ_restore(conn.req_region, deferred, layout.n_slots,
+                                layout.occ_offset)
+                    self.metrics.counter("shard.drain_deferred").add(
+                        len(deferred))
+                    # occ_restore bypasses write() (no doorbell): re-mark
+                    # explicitly so the next sweep picks the rest up.
+                    self._mark_ready(conn)
                 self.metrics.counter("shard.probes").add(probed)
                 self.metrics.counter("shard.probes_skipped").add(
                     layout.n_slots - probed)
-                return ready, self.cpu.poll_probe_ns * probed
-            for slot in range(layout.n_slots):
+                return ready, self.cpu.poll_probe_ns * (
+                    probed + max(0, word_probes - 1))
+            start = conn.sweep_cursor if budget > 0 else 0
+            deferred_plain = False
+            for i in range(layout.n_slots):
+                slot = (start + i) % layout.n_slots
+                if budget > 0 and len(ready) >= budget:
+                    conn.sweep_cursor = slot
+                    deferred_plain = True
+                    break
                 off = layout.offset(slot)
                 payload = consume(conn.req_region, off)
                 if payload is not None:
                     clear(conn.req_region, off, len(payload))
                     ready.append((slot, payload))
+            if deferred_plain:
+                self.metrics.counter("shard.drain_deferred").add()
+                self._mark_ready(conn)
             self.metrics.counter("shard.probes").add(layout.n_slots)
             return ready, 0
         while True:
+            if budget > 0 and len(ready) >= budget:
+                self.metrics.counter("shard.drain_deferred").add()
+                self._mark_ready(conn)
+                return ready, 0
             cqe = conn.shard_qp.recv_cq.poll_one()
             if cqe is None or not cqe.ok:
                 return ready, 0
@@ -456,11 +503,36 @@ class Shard:
                     continue
                 conn, payload = yield self._tcp_ready.get()
                 yield self.core.execute(self.cpu.poll_probe_ns)  # epoll wake
-                yield from self._handle_tcp(conn, payload)
+                # Epoll-style ready-queue draining: one wake handles
+                # everything already queued (up to tcp_drain_batch), and
+                # each connection's responses flush as one batched
+                # syscall — the TCP analogue of the RDMA sweep's
+                # doorbell-coalesced response flush.
+                drained = [(conn, payload)]
+                cap = max(1, self.hydra.tcp_drain_batch)
+                while len(drained) < cap:
+                    got, item = self._tcp_ready.try_get()
+                    if not got:
+                        break
+                    drained.append(item)
+                if len(drained) > 1:
+                    self.metrics.counter("shard.tcp_drained").add(
+                        len(drained) - 1)
+                outbox: dict[int, tuple] = {}
+                for c, p in drained:
+                    yield from self._handle_tcp(c, p, outbox)
+                for c, resps in outbox.values():
+                    self.metrics.counter("shard.tcp_resp_batched").add(
+                        len(resps) - 1)
+                    try:
+                        yield c.send_many(resps)
+                    except TcpError:
+                        self.metrics.counter(
+                            "shard.undeliverable_responses").add(len(resps))
         except Interrupt:
             self.alive = False
 
-    def _handle_tcp(self, conn, payload: bytes):
+    def _handle_tcp(self, conn, payload: bytes, outbox=None):
         self.metrics.counter("shard.requests").add()
         try:
             req = Request.decode(payload)
@@ -469,6 +541,7 @@ class Shard:
             return
         self.metrics.counter(f"shard.op.{req.op.name}").add()
         result = self._execute(req)
+        self._count_index_mutation(req, result)
         yield self.core.execute(
             self.cpu.parse_ns + result.cost_ns + self.cpu.build_response_ns)
         if (self.replicator is not None and req.op in WRITE_OPS
@@ -482,6 +555,10 @@ class Shard:
         resp = Response(op=req.op, status=result.status, req_id=req.req_id,
                         value=result.value, version=result.version)
         data = resp.encode()
+        if outbox is not None and conn.open:
+            outbox.setdefault(id(conn), (conn, []))[1].append(
+                (data, resp.wire_len + 40))
+            return
         # send() charges the kernel TX path to this (single) shard thread —
         # the CPU toll that separates TCP mode from RDMA-Write messaging.
         try:
@@ -554,6 +631,13 @@ class Shard:
             return self.store.lease_renew(req.key)
         return StoreResult(status=Status.ERROR, cost_ns=self.cpu.parse_ns)
 
+    def _count_index_mutation(self, req: Request,
+                              result: StoreResult) -> None:
+        """Count mutations that version-bumped exported index buckets."""
+        if (req.op in WRITE_OPS and result.status is Status.OK
+                and self.store_for_key(req.key).export is not None):
+            self.metrics.counter("shard.index_mutations_versioned").add()
+
     def _handle(self, conn: Connection, slot: int, payload: bytes,
                 batch: Optional[_SweepBatch] = None):
         self.metrics.counter("shard.requests").add()
@@ -564,6 +648,7 @@ class Shard:
             return
         self.metrics.counter(f"shard.op.{req.op.name}").add()
         result = self._execute(req)
+        self._count_index_mutation(req, result)
         cost = (self.cpu.parse_ns + result.cost_ns
                 + self.cpu.build_response_ns)
         if not self.hydra.rdma_write_messaging:

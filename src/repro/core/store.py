@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..config import SimConfig
 from ..index import ChainedHashTable, CompactHashTable, hash64
+from ..index.export import BucketExport, IndexHandshake
 from ..kvmem import (
     HEADER_BYTES,
     LeaseReclaimer,
@@ -52,7 +53,8 @@ class ShardStore:
                  numa_domain: int, name: str,
                  table_kind: str = "compact",
                  numa_mode: str = "local",
-                 scribble_on_reclaim: bool = False):
+                 scribble_on_reclaim: bool = False,
+                 export_index: bool = True):
         self.sim = sim
         self.config = config
         self.cpu = config.cpu
@@ -72,9 +74,26 @@ class ShardStore:
             raise ValueError(f"unknown table_kind {table_kind!r}")
         self.table = table_cls(config.hydra.buckets_per_shard, self.key_at)
         self.leases = LeaseManager(sim, config.hydra)
-        self.reclaimer = LeaseReclaimer(sim, self.alloc,
-                                        config.memory.reclaim_period_ns,
-                                        scribble=scribble_on_reclaim)
+        # Client-readable index mirror (traversal path): only the compact
+        # table has the fixed 64 B bucket geometry the export encodes.
+        self.export: BucketExport | None = None
+        if (export_index and config.hydra.index_traversal
+                and table_cls is CompactHashTable):
+            class_index = {c: i for i, c in enumerate(self.alloc.classes)}
+            self.export = BucketExport(
+                config.hydra.buckets_per_shard,
+                config.hydra.index_export_overflow,
+                lambda off: class_index[self.alloc.extent_class(off)],
+                numa_domain=numa_domain, name=name,
+            )
+            nic.register(self.export.region)
+            self.table.attach_export(self.export)
+        self.reclaimer = LeaseReclaimer(
+            sim, self.alloc, config.memory.reclaim_period_ns,
+            scribble=scribble_on_reclaim,
+            horizon_ns=(config.hydra.traversal_read_horizon_ns
+                        if self.export is not None else 0),
+        )
 
     # -- arena access helpers ------------------------------------------------
     def key_at(self, offset: int) -> bytes:
@@ -153,8 +172,12 @@ class ShardStore:
         write_item(self.region, new_offset, key, value, version)
         cost += (self.cpu.alloc_ns + self.cpu.memcpy_ns(extent)
                  + self.cpu.update_extra_ns)
+        fw0 = self.export.frames_written if self.export is not None else 0
         self.table.put(key, h, new_offset)
         cost += self._line_ns(self.table.last_lines)
+        if self.export is not None:
+            # Each re-exported frame is one cacheline store.
+            cost += self._line_ns(self.export.frames_written - fw0)
         retired = -1
         if old_offset is not None:
             old_klen, old_vlen, _ = self._header(old_offset)
@@ -171,8 +194,11 @@ class ShardStore:
     def remove(self, key: bytes) -> StoreResult:
         h = hash64(key)
         cost = self.cpu.hash_key_ns
+        fw0 = self.export.frames_written if self.export is not None else 0
         offset = self.table.remove(key, h)
         cost += self._index_cost(key)
+        if self.export is not None:
+            cost += self._line_ns(self.export.frames_written - fw0)
         if offset is None:
             return StoreResult(status=Status.NOT_FOUND, cost_ns=cost)
         klen, vlen, version = self._header(offset)
@@ -204,6 +230,13 @@ class ShardStore:
         if op is Op.DELETE:
             return self.remove(key)
         raise ValueError(f"non-replicable op {op!r}")
+
+    def index_handshake(self) -> IndexHandshake | None:
+        """Traversal advertisement for new connections (None = no export)."""
+        if self.export is None:
+            return None
+        hs = self.export.handshake(self.region, self.alloc.classes)
+        return hs
 
     # -- introspection -----------------------------------------------------
     def __len__(self) -> int:

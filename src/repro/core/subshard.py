@@ -51,10 +51,13 @@ class SubShardedShard(Shard):
                  scribble_on_reclaim: bool = False):
         if n_subshards < 1:
             raise ValueError("need at least one sub-shard")
+        # No index export: one connection fronts many sub-tables here, so
+        # a single traversable bucket region cannot be advertised.
         super().__init__(sim, config, shard_id, machine, core,
                          metrics=metrics, table_kind=table_kind,
                          numa_mode=numa_mode,
-                         scribble_on_reclaim=scribble_on_reclaim)
+                         scribble_on_reclaim=scribble_on_reclaim,
+                         export_index=False)
         # The base-class store becomes sub-shard 0; the rest get their own
         # stores and cores within the same NUMA domain where possible.
         self.substores: list[ShardStore] = [self.store]
@@ -65,7 +68,8 @@ class SubShardedShard(Shard):
                 sim, config, self.nic, core.numa_domain,
                 f"{shard_id}.sub{k}", table_kind=table_kind,
                 numa_mode=numa_mode,
-                scribble_on_reclaim=scribble_on_reclaim))
+                scribble_on_reclaim=scribble_on_reclaim,
+                export_index=False))
         for k in range(n_subshards):
             self.subcores.append(machine.allocate_core(
                 f"{shard_id}.sub{k}"))

@@ -2,6 +2,13 @@
 
 from .chained import ChainedHashTable
 from .compact import SLOTS_PER_BUCKET, CompactHashTable
+from .export import (
+    BUCKET_EXPORT_BYTES,
+    BucketExport,
+    ExportedBucket,
+    IndexHandshake,
+    parse_bucket,
+)
 from .hashing import bucket_index, hash64, signature16
 from .lockfree import LockFreeMap
 
@@ -9,6 +16,11 @@ __all__ = [
     "CompactHashTable",
     "SLOTS_PER_BUCKET",
     "ChainedHashTable",
+    "BucketExport",
+    "ExportedBucket",
+    "IndexHandshake",
+    "parse_bucket",
+    "BUCKET_EXPORT_BYTES",
     "LockFreeMap",
     "hash64",
     "signature16",

@@ -55,6 +55,22 @@ class CompactHashTable:
         #: Lifetime counters for the ablation bench.
         self.total_lines = 0
         self.total_keycmps = 0
+        #: Optional client-readable mirror (:class:`.export.BucketExport`):
+        #: when attached, every mutation re-exports the touched chain.
+        self.export = None
+
+    def attach_export(self, export) -> None:
+        """Mirror the table into ``export`` and keep it coherent."""
+        self.export = export
+        # An untouched bucket's frame is already the all-zero encoding of
+        # an empty bucket; only occupied chains need an initial sync.
+        for b in range(self.n_buckets):
+            if self._header(b):
+                export.sync_chain(self, b)
+
+    def _sync(self, main_bucket: int) -> None:
+        if self.export is not None:
+            self.export.sync_chain(self, main_bucket)
 
     # -- word access -------------------------------------------------------
     def _words(self, bucket_ref: int) -> tuple[np.ndarray, int]:
@@ -122,6 +138,10 @@ class CompactHashTable:
         assert ref < 0
         self._overflow_free.append(-ref - 1)
         self.overflow_buckets -= 1
+        if self.export is not None:
+            # Empty + version-bump the frame *before* the index can be
+            # reused by another chain, so stale links read as empty.
+            self.export.invalidate_frame(ref)
 
     # -- operations --------------------------------------------------------
     def _begin_op(self) -> None:
@@ -171,13 +191,15 @@ class CompactHashTable:
         self._begin_op()
         sig = signature16(hashcode)
         word = (sig << _SIG_SHIFT) | offset
+        main = bucket_index(hashcode, self.n_buckets)
         found = self._find(key, hashcode)
         if found is not None:
             ref, i, old = found
             self._set_slot(ref, i, word)
+            self._sync(main)
             return old
         # Not present: first free slot along the chain, extending if needed.
-        last_ref = bucket_index(hashcode, self.n_buckets)
+        last_ref = main
         for ref in self._chain(last_ref):
             self._touch()
             header = self._header(ref)
@@ -187,6 +209,7 @@ class CompactHashTable:
                     self._set_slot(ref, i, word)
                     self._set_header(ref, header | (1 << i))
                     self.entries += 1
+                    self._sync(main)
                     return None
             last_ref = ref
         new_ref = self._alloc_overflow()
@@ -197,6 +220,7 @@ class CompactHashTable:
                          (tail_header & _FILTER_MASK)
                          | ((-new_ref) << _LINK_SHIFT))
         self.entries += 1
+        self._sync(main)
         return None
 
     def remove(self, key: bytes, hashcode: int) -> Optional[int]:
@@ -210,7 +234,9 @@ class CompactHashTable:
         self._set_header(ref, header & ~(1 << i))
         self._set_slot(ref, i, 0)
         self.entries -= 1
-        self._merge(bucket_index(hashcode, self.n_buckets))
+        main = bucket_index(hashcode, self.n_buckets)
+        self._merge(main)
+        self._sync(main)
         return offset
 
     def _merge(self, main_bucket: int) -> None:

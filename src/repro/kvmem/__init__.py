@@ -13,6 +13,7 @@ from .layout import (
     item_size,
     kill_item,
     parse_item,
+    parse_item_prefix,
     read_guardian,
     write_item,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "item_size",
     "kill_item",
     "parse_item",
+    "parse_item_prefix",
     "read_guardian",
     "write_item",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "read_guardian",
     "kill_item",
     "parse_item",
+    "parse_item_prefix",
     "ParsedItem",
     "cachelines",
 ]
@@ -129,6 +130,34 @@ def parse_item(data: bytes) -> Optional[ParsedItem]:
     if magic != ITEM_MAGIC:
         return None
     if item_size(klen, vlen) != len(data):
+        return None
+    key = data[HEADER_BYTES:HEADER_BYTES + klen]
+    value = data[HEADER_BYTES + klen:HEADER_BYTES + klen + vlen]
+    (guard,) = _U64.unpack_from(data, HEADER_BYTES + klen + vlen)
+    if guard == GUARD_LIVE:
+        live = True
+    elif guard == GUARD_DEAD:
+        live = False
+    else:
+        return None
+    return ParsedItem(key=key, value=value, version=version, live=live)
+
+
+def parse_item_prefix(data: bytes) -> Optional[ParsedItem]:
+    """Decode an item occupying a *prefix* of ``data``.
+
+    Index-traversal Reads fetch a whole size-class extent (the client only
+    knows the class, not the exact item length), so the item ends where its
+    header says — anything after the guardian is slack.  Same defensive
+    contract as :func:`parse_item`: garbage decodes to ``None``, never to a
+    plausible-looking value.
+    """
+    if len(data) < HEADER_BYTES + GUARDIAN_BYTES:
+        return None
+    magic, klen, vlen, version = _HEADER.unpack_from(data, 0)
+    if magic != ITEM_MAGIC:
+        return None
+    if item_size(klen, vlen) > len(data):
         return None
     key = data[HEADER_BYTES:HEADER_BYTES + klen]
     value = data[HEADER_BYTES + klen:HEADER_BYTES + klen + vlen]

@@ -29,11 +29,18 @@ class LeaseReclaimer:
     """Priority queue of retired extents + the background free thread."""
 
     def __init__(self, sim: Simulator, allocator: SlabAllocator,
-                 period_ns: int, scribble: bool = False):
+                 period_ns: int, scribble: bool = False,
+                 horizon_ns: int = 0):
         self.sim = sim
         self.allocator = allocator
         self.period_ns = period_ns
         self.scribble = scribble
+        #: Read horizon: extents additionally stay parked for this long
+        #: after retirement, covering index-traversal Reads that hold no
+        #: lease (the client validates via guardian + parse instead; the
+        #: horizon bounds how stale a traversed bucket snapshot can be
+        #: while its offsets still point at unreused memory).
+        self.horizon_ns = horizon_ns
         #: (lease_expiry_ns, seq, offset) — seq breaks ties deterministically.
         self._pending: list[tuple[int, int, int]] = []
         self._seq = 0
@@ -42,8 +49,10 @@ class LeaseReclaimer:
         self._stopped = False
 
     def retire(self, offset: int, lease_expiry_ns: int) -> None:
-        """Park a dead extent until its (frozen) lease expires."""
-        heapq.heappush(self._pending, (lease_expiry_ns, self._seq, offset))
+        """Park a dead extent until its (frozen) lease expires — and, when
+        a read horizon is configured, at least ``horizon_ns`` from now."""
+        release = max(lease_expiry_ns, self.sim.now + self.horizon_ns)
+        heapq.heappush(self._pending, (release, self._seq, offset))
         self._seq += 1
 
     @property

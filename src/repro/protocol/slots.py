@@ -61,6 +61,10 @@ __all__ = [
     "occ_consume",
     "occ_set",
     "occ_slots",
+    "occ_header_bytes",
+    "occ_announce",
+    "occ_probe",
+    "occ_restore",
 ]
 
 #: Size of the occupancy bitmap header (one 64-bit word).
@@ -68,6 +72,21 @@ OCC_WORD_BYTES = 8
 
 _U64 = struct.Struct("<Q")
 _WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def occ_header_bytes(n_slots: int) -> int:
+    """Occupancy header size for a window of ``n_slots``.
+
+    Up to 64 slots fit the original single word.  Wider windows get the
+    **two-level** scheme: a summary word (bit ``g`` = "group ``g`` has
+    announcements") followed by one exact sub-word per 64-slot group, so
+    probing stays exact instead of group-aliased — the poller reads the
+    summary, then only the indicated sub-words.
+    """
+    if n_slots <= 64:
+        return OCC_WORD_BYTES
+    groups = -(-n_slots // 64)
+    return OCC_WORD_BYTES * (1 + groups)
 
 
 def occ_bit(slot: int) -> int:
@@ -123,6 +142,75 @@ def occ_slots(word: int, n_slots: int):
             yield slot
 
 
+def occ_announce(slots, n_slots: int) -> bytes:
+    """Full occupancy *header* bytes for a writer's in-flight set.
+
+    Single-word form for windows up to 64 slots (byte-identical to
+    :func:`occ_encode` of :func:`occ_word`); summary + exact sub-words
+    beyond that.  The writer RDMA-Writes the whole header in the chained
+    WQE after its frame, same race discipline as the single word.
+    """
+    if n_slots <= 64:
+        return occ_encode(occ_word(slots))
+    groups = -(-n_slots // 64)
+    subs = [0] * groups
+    summary = 0
+    for slot in slots:
+        if not 0 <= slot < n_slots:
+            raise ValueError(f"slot {slot} outside 0..{n_slots - 1}")
+        g = slot // 64
+        subs[g] |= 1 << (slot % 64)
+        summary |= 1 << g
+    return b"".join([occ_encode(summary)] + [occ_encode(s) for s in subs])
+
+
+def occ_probe(region: MemoryRegion, n_slots: int, offset: int = 0
+              ) -> tuple[list[int], int]:
+    """Poller-side probe of a (possibly two-level) occupancy header.
+
+    Returns ``(slots, probes)``: the exact announced slots and how many
+    word probes it took (1 for the single-word form; 1 + one per dirty
+    group for the two-level form).  Each word is snapshot-and-zeroed like
+    :func:`occ_consume`.
+    """
+    if n_slots <= 64:
+        return list(occ_slots(occ_consume(region, offset), n_slots)), 1
+    summary = occ_consume(region, offset)
+    probes = 1
+    slots: list[int] = []
+    groups = -(-n_slots // 64)
+    for g in range(groups):
+        if not (summary >> g) & 1:
+            continue
+        probes += 1
+        word = occ_consume(region, offset + OCC_WORD_BYTES * (1 + g))
+        base = g * 64
+        for b in range(64):
+            if (word >> b) & 1:
+                slot = base + b
+                if slot < n_slots:
+                    slots.append(slot)
+    return slots, probes
+
+
+def occ_restore(region: MemoryRegion, slots, n_slots: int,
+                offset: int = 0) -> None:
+    """Poller-side re-announce: OR ``slots`` back into the header.
+
+    Used by drain-budgeted sweeps to hand the un-drained remainder of a
+    snapshot to the next sweep without losing announcements.
+    """
+    if n_slots <= 64:
+        occ_set(region, slots, offset)
+        return
+    for slot in slots:
+        g = slot // 64
+        sub_off = offset + OCC_WORD_BYTES * (1 + g)
+        region.write_u64(sub_off,
+                         region.read_u64(sub_off) | (1 << (slot % 64)))
+        region.write_u64(offset, region.read_u64(offset) | (1 << g))
+
+
 class SlotLayout:
     """Partition of a connection buffer into equal indicator-framed slots."""
 
@@ -133,7 +221,7 @@ class SlotLayout:
                  occupancy: bool = False):
         if n_slots < 1:
             raise ValueError("need at least one slot")
-        header = OCC_WORD_BYTES if occupancy else 0
+        header = occ_header_bytes(n_slots) if occupancy else 0
         slot = ((buf_bytes - header) // n_slots) & ~7  # 8-byte aligned slots
         if slot < FRAME_OVERHEAD + 8:
             raise ValueError(

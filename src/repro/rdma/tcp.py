@@ -101,6 +101,81 @@ class TcpConnection:
         syscall.callbacks.append(_handed_to_wire)
         return syscall
 
+    def send_many(self, payloads: list[tuple[Any, int]]) -> Event:
+        """Batched transmit: one syscall's CPU charge for N messages.
+
+        The writev()/TCP_CORK analogue of :meth:`send` — the kernel TX
+        path is crossed once for the whole batch, while each payload
+        still pays its own serialization, propagation, and softirq RX
+        (the wire does not get faster, only the sender's CPU).  Faults
+        are consulted per payload; an injected reset kills the
+        connection and the rest of the batch with it, surfaced as the
+        returned event failing.
+        """
+        if not self.open:
+            raise TcpError("send on closed connection")
+        if not payloads:
+            raise ValueError("empty send_many batch")
+        inj = self.network.fault_injector
+        staged: list[tuple[Any, int]] = []
+        reset = False
+        for payload, nbytes in payloads:
+            if inj is not None:
+                verdict = inj.tcp_fault(self, payload, nbytes)
+                if verdict == "reset":
+                    self.close()
+                    reset = True
+                    break
+                if verdict == "short" \
+                        and isinstance(payload, (bytes, bytearray)) \
+                        and len(payload) > 1:
+                    cut = max(1, len(payload) // 2)
+                    payload = bytes(payload[:cut])
+                    nbytes = max(1, nbytes // 2)
+            staged.append((payload, nbytes))
+        cfg = self.network.config.tcp
+        syscall = self.sim.timeout(cfg.kernel_tx_ns)
+        prop = self.network.prop_ns(self.local, self.remote)
+        peer_conn = self.peer
+
+        def _deliver(payload: Any, nbytes: int) -> None:
+            def _in_flight() -> None:
+                fly = self.sim.timeout(prop)
+                fly.callbacks.append(lambda _e: _arrive())
+
+            def _arrive() -> None:
+                if not self.remote.alive:
+                    return
+                # Payloads staged before an injected RST predate it on
+                # the wire: the peer reads them before observing the
+                # reset, so the mid-batch close does not eat the prefix.
+                self.remote.softirq.submit(
+                    lambda: cfg.softirq_rx_ns,
+                    lambda: peer_conn._inbox.put((payload, nbytes))
+                    if (peer_conn.open or reset) else None,
+                )
+
+            self.local.wire.submit(
+                lambda: cfg.serialization_ns(nbytes),
+                _in_flight,
+            )
+
+        def _handed_to_wire(_e: Event) -> None:
+            for payload, nbytes in staged:
+                _deliver(payload, nbytes)
+
+        out = Event(self.sim)
+
+        def _done(_e: Event) -> None:
+            _handed_to_wire(_e)
+            if reset:
+                out.fail(TcpError("connection reset (injected)"))
+            else:
+                out.succeed(len(staged))
+
+        syscall.callbacks.append(_done)
+        return out
+
     def recv(self) -> Event:
         """Event yielding ``(payload, nbytes)`` after kernel RX processing."""
         got = self._inbox.get()

@@ -5,19 +5,30 @@ import json
 from repro.bench.validate import main, validate_artifact
 
 
+def _mg_row(**kw):
+    row = {"mode": "hybrid", "batch": 16, "get_kops": 250.0,
+           "speedup_vs_message": 2.5, "pointer_hits": 10,
+           "successful_hits": 10, "invalid_hits": 0, "demoted": 0,
+           "reconciled": True, "bucket_reads": 0, "traversal_races": 0,
+           "demotions": 0, "index_mutations_versioned": 0,
+           "server_cpu_ns_per_get": 0.0}
+    row.update(kw)
+    return row
+
+
 def good_multiget_payload():
     return {
         "experiment": "multiget_fanout_sweep",
         "description": "d", "unit": "kops",
         "rows": [
-            {"mode": "message", "batch": 16, "get_kops": 100.0,
-             "speedup_vs_message": 1.0, "pointer_hits": 0,
-             "successful_hits": 0, "invalid_hits": 0, "demoted": 10,
-             "reconciled": True},
-            {"mode": "hybrid", "batch": 16, "get_kops": 250.0,
-             "speedup_vs_message": 2.5, "pointer_hits": 10,
-             "successful_hits": 10, "invalid_hits": 0, "demoted": 0,
-             "reconciled": True},
+            _mg_row(mode="message", get_kops=100.0,
+                    speedup_vs_message=1.0, pointer_hits=0,
+                    successful_hits=0, demoted=10,
+                    server_cpu_ns_per_get=700.0),
+            _mg_row(),
+            _mg_row(mode="cold", get_kops=120.0, speedup_vs_message=1.2,
+                    pointer_hits=0, successful_hits=0, demoted=10,
+                    bucket_reads=10),
         ],
     }
 
@@ -39,6 +50,19 @@ def test_missing_row_key_and_bad_speedup_rejected():
     problems = validate_artifact(payload)
     assert any("demoted" in p for p in problems)
     assert any("speedup_vs_message" in p for p in problems)
+
+
+def test_cold_rows_must_beat_message_with_near_zero_cpu():
+    payload = good_multiget_payload()
+    payload["rows"][2]["speedup_vs_message"] = 0.9
+    assert any("0% hit rate" in p for p in validate_artifact(payload))
+    payload = good_multiget_payload()
+    payload["rows"][2]["server_cpu_ns_per_get"] = 500.0
+    assert any("near-zero server CPU" in p
+               for p in validate_artifact(payload))
+    payload = good_multiget_payload()
+    del payload["rows"][2]
+    assert any("cold" in p for p in validate_artifact(payload))
 
 
 def test_unknown_experiment_rejected():

@@ -54,3 +54,17 @@ def test_coordination_and_flap_storms(profile, seed):
     row = run_soak(profile, seed, **_SMALL)
     _check_contract(row)
     assert row["injected_faults"] > 0
+
+
+def test_stale_pointer_storm_traversal_contract_and_replay():
+    """Delayed Reads race bucket snapshots and primed pointers against
+    shrunken leases and reclaim; the oracle proves no torn or reclaimed
+    value ever surfaces from a traversal, and the storm replays bit-
+    identically."""
+    a = run_soak("stale", 89, **_SMALL)
+    _check_contract(a)
+    assert a["injected_faults"] > 0
+    # The storm actually exercised the one-sided traversal path.
+    assert a["bucket_reads"] > 0
+    b = run_soak("stale", 89, **_SMALL)
+    assert a == b  # same seed -> same storm, same traversal outcome

@@ -100,6 +100,41 @@ def test_tcp_transport_with_replication():
     assert sec.store.dump() == shard.store.dump()
 
 
+def test_pipelined_connection_drains_queue_and_batches_responses():
+    """One connection with several requests in flight: a single epoll
+    wake drains the ready queue and the responses flush as one batched
+    syscall (the TCP analogue of doorbell coalescing)."""
+    from repro.protocol import Op, Request, Response
+
+    cluster = tcp_cluster(shards_per_server=1)
+    shard = cluster.shards()[0]
+    machine = cluster.client().machine
+    done = []
+
+    def pipelined():
+        conn = yield machine.tcp.connect(shard.machine.tcp, shard.tcp_port)
+        # A 1 MiB PUT pins the single shard thread long enough for the
+        # small requests behind it to pile onto the epoll ready queue.
+        big = Request(op=Op.PUT, key=b"big", value=b"B" * (1 << 20),
+                      req_id=99)
+        reqs = [Request(op=Op.PUT, key=f"p{i}".encode(), value=b"v",
+                        req_id=i) for i in range(8)]
+        yield conn.send_many([(big.encode(), big.wire_len + 40)] +
+                             [(r.encode(), r.wire_len + 40) for r in reqs])
+        got = {}
+        while len(got) < len(reqs) + 1:
+            payload, _n = yield conn.recv()
+            resp = Response.decode(payload)
+            got[resp.req_id] = resp.status
+        assert all(s is Status.OK for s in got.values())
+        done.append(True)
+
+    cluster.run(pipelined())
+    assert done == [True]
+    assert cluster.metrics.counter("shard.tcp_drained").value > 0
+    assert cluster.metrics.counter("shard.tcp_resp_batched").value > 0
+
+
 def test_request_before_start_rejected():
     cfg = SimConfig().with_overrides(hydra={"transport": "tcp"})
     cluster = HydraCluster(config=cfg, n_server_machines=1,

@@ -1,0 +1,191 @@
+"""Client-readable index export: frame layout, seqlock versioning,
+chain links, invalidate-before-reuse, and demotion flags."""
+
+import pytest
+
+from repro.index import (
+    BUCKET_EXPORT_BYTES,
+    BucketExport,
+    CompactHashTable,
+    SLOTS_PER_BUCKET,
+    hash64,
+    parse_bucket,
+)
+from repro.index.hashing import signature16
+
+
+class Arena:
+    """Minimal arena stub: offset -> key bytes, one 64 B class."""
+
+    def __init__(self):
+        self.keys: dict[int, bytes] = {}
+        self._next = 0
+
+    def store(self, key: bytes) -> int:
+        off = self._next
+        self._next += 64
+        self.keys[off] = key
+        return off
+
+    def key_at(self, offset: int) -> bytes:
+        return self.keys[offset]
+
+    def class_index_of(self, offset: int) -> int:
+        if offset not in self.keys:
+            raise KeyError(offset)
+        return 0
+
+
+def make_exported(n_buckets=1, overflow_frames=8):
+    arena = Arena()
+    table = CompactHashTable(n_buckets, arena.key_at)
+    export = BucketExport(n_buckets, overflow_frames, arena.class_index_of)
+    table.attach_export(export)
+    return table, export, arena
+
+
+def frame(export, idx):
+    return parse_bucket(export.region.read(
+        idx * BUCKET_EXPORT_BYTES, BUCKET_EXPORT_BYTES))
+
+
+def test_parse_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        parse_bucket(b"\x00" * 63)
+    with pytest.raises(ValueError):
+        parse_bucket(b"\x00" * 65)
+
+
+def test_empty_frame_is_all_zero_encoding():
+    _t, export, _a = make_exported()
+    b = frame(export, 0)
+    assert b.version == 0
+    assert b.slots == ()
+    assert b.link is None
+    assert not b.demote
+
+
+def test_put_exports_entry_and_bumps_version():
+    table, export, arena = make_exported()
+    h = hash64(b"alpha")
+    off = arena.store(b"alpha")
+    table.put(b"alpha", h, off)
+    b = frame(export, 0)
+    assert b.version == 2  # seqlock stays even across stable states
+    assert b.link is None
+    [(slot_i, sig, cls, slot_off)] = b.slots
+    assert sig == signature16(h)
+    assert cls == 0
+    assert slot_off == off
+    # In-place replace (same key, new extent) re-exports with a new
+    # version: a concurrent walker must notice the chain moved.
+    off2 = arena.store(b"alpha")
+    table.put(b"alpha", h, off2)
+    b2 = frame(export, 0)
+    assert b2.version == 4
+    assert b2.slots[0][3] == off2
+
+
+def test_remove_reexports_and_bumps():
+    table, export, arena = make_exported()
+    table.put(b"k", hash64(b"k"), arena.store(b"k"))
+    v_after_put = frame(export, 0).version
+    table.remove(b"k", hash64(b"k"))
+    b = frame(export, 0)
+    assert b.version == v_after_put + 2
+    assert b.slots == ()
+
+
+def test_overflow_chain_links_and_full_coverage():
+    table, export, arena = make_exported(n_buckets=1)
+    keys = [f"key-{i:02d}".encode() for i in range(2 * SLOTS_PER_BUCKET + 3)]
+    offsets = {}
+    for k in keys:
+        offsets[k] = arena.store(k)
+        table.put(k, hash64(k), offsets[k])
+    # Walk the exported chain exactly as a client would.
+    seen = {}
+    idx, depth = 0, 0
+    while idx is not None:
+        b = frame(export, idx)
+        assert not b.demote
+        for _i, sig, cls, off in b.slots:
+            seen[off] = (sig, cls)
+        if b.link is not None:
+            assert b.link >= export.n_buckets  # overflow frames follow main
+        idx = b.link
+        depth += 1
+        assert depth <= 8
+    assert depth >= 3  # the chain really did overflow twice
+    for k in keys:
+        assert seen[offsets[k]] == (signature16(hash64(k)), 0)
+
+
+def test_mutation_bumps_every_frame_of_the_chain():
+    table, export, arena = make_exported(n_buckets=1)
+    keys = [f"key-{i:02d}".encode() for i in range(SLOTS_PER_BUCKET + 2)]
+    for k in keys:
+        table.put(k, hash64(k), arena.store(k))
+    head_v = frame(export, 0).version
+    tail_idx = frame(export, 0).link
+    tail_v = frame(export, tail_idx).version
+    # A put landing in the *tail* still bumps the head: multi-bucket
+    # NOT_FOUND is confirmed by re-reading the head alone.
+    extra = b"key-extra"
+    table.put(extra, hash64(extra), arena.store(extra))
+    assert frame(export, 0).version == head_v + 2
+    assert frame(export, tail_idx).version == tail_v + 2
+
+
+def test_merge_invalidates_freed_overflow_frame():
+    table, export, arena = make_exported(n_buckets=1)
+    keys = [f"key-{i:02d}".encode() for i in range(SLOTS_PER_BUCKET + 1)]
+    for k in keys:
+        table.put(k, hash64(k), arena.store(k))
+    tail_idx = frame(export, 0).link
+    assert tail_idx is not None
+    stale_tail_v = frame(export, tail_idx).version
+    # Removing one main-bucket entry lets the merge fold the tail back.
+    table.remove(keys[0], hash64(keys[0]))
+    assert frame(export, 0).link is None
+    freed = frame(export, tail_idx)
+    # The freed frame was emptied AND bumped before any reuse: a client
+    # holding the stale link sees an empty bucket with a moved version,
+    # never another chain's entries.
+    assert freed.slots == ()
+    assert freed.version > stale_tail_v
+
+
+def test_chain_past_overflow_cap_demotes():
+    table, export, arena = make_exported(n_buckets=1, overflow_frames=0)
+    keys = [f"key-{i:02d}".encode() for i in range(SLOTS_PER_BUCKET + 1)]
+    for k in keys:
+        table.put(k, hash64(k), arena.store(k))
+    b = frame(export, 0)
+    assert b.demote
+    assert b.link is None  # the unexportable tail is cut, not linked
+    assert export.demoted_frames > 0
+
+
+def test_unencodable_offset_demotes_but_keeps_others():
+    table, export, arena = make_exported()
+    ok_off = arena.store(b"good")
+    table.put(b"good", hash64(b"good"), ok_off)
+    # 48-bit table offset that exceeds the export's 44-bit field.
+    wide = 1 << 45
+    arena.keys[wide] = b"wide"
+    table.put(b"wide", hash64(b"wide"), wide)
+    b = frame(export, 0)
+    assert b.demote
+    assert [s[3] for s in b.slots] == [ok_off]
+
+
+def test_attach_export_syncs_preexisting_entries():
+    arena = Arena()
+    table = CompactHashTable(1, arena.key_at)
+    off = arena.store(b"early")
+    table.put(b"early", hash64(b"early"), off)
+    export = BucketExport(1, 8, arena.class_index_of)
+    table.attach_export(export)
+    b = frame(export, 0)
+    assert [s[3] for s in b.slots] == [off]

@@ -5,9 +5,13 @@ import pytest
 from repro.protocol import (
     OCC_WORD_BYTES,
     SlotLayout,
+    occ_announce,
     occ_bit,
     occ_consume,
     occ_encode,
+    occ_header_bytes,
+    occ_probe,
+    occ_restore,
     occ_set,
     occ_slots,
     occ_word,
@@ -92,3 +96,72 @@ def test_layout_with_occupancy_shifts_slots_past_header():
 def test_occupancy_header_cannot_eat_the_only_slot():
     with pytest.raises(ValueError):
         SlotLayout(FRAME_OVERHEAD + 8, 1, occupancy=True)
+
+
+def test_occ_header_grows_past_64_slots():
+    # <=64 slots keep the original single word; wider windows pay one
+    # summary word plus one exact sub-word per 64-slot group.
+    assert occ_header_bytes(16) == OCC_WORD_BYTES
+    assert occ_header_bytes(64) == OCC_WORD_BYTES
+    assert occ_header_bytes(65) == 3 * OCC_WORD_BYTES
+    assert occ_header_bytes(128) == 3 * OCC_WORD_BYTES
+    assert occ_header_bytes(129) == 4 * OCC_WORD_BYTES
+
+
+def test_announce_is_byte_identical_to_single_word_up_to_64():
+    slots = [0, 7, 63]
+    assert occ_announce(slots, 64) == occ_encode(occ_word(slots))
+    assert occ_announce([], 16) == occ_encode(0)
+
+
+def test_announce_rejects_out_of_range_slot():
+    with pytest.raises(ValueError):
+        occ_announce([128], 128)
+    with pytest.raises(ValueError):
+        occ_announce([-1], 128)
+
+
+def test_two_level_announce_probe_round_trips_exactly():
+    n = 128
+    region = MemoryRegion(occ_header_bytes(n))
+    region.write(0, occ_announce([0, 63, 64, 70, 127], n))
+    slots, probes = occ_probe(region, n)
+    # Exact, not group-aliased: slot 64 no longer drags slot 0 along.
+    assert slots == [0, 63, 64, 70, 127]
+    assert probes == 3  # summary + both dirty groups
+    # The probe consumed the header: nothing left for the next sweep.
+    again, probes2 = occ_probe(region, n)
+    assert again == [] and probes2 == 1
+
+
+def test_two_level_probe_skips_clean_groups():
+    n = 192
+    region = MemoryRegion(occ_header_bytes(n))
+    region.write(0, occ_announce([130], n))
+    slots, probes = occ_probe(region, n)
+    assert slots == [130]
+    assert probes == 2  # summary + group 2; groups 0 and 1 untouched
+
+
+def test_two_level_restore_reannounces_for_next_sweep():
+    n = 128
+    region = MemoryRegion(occ_header_bytes(n))
+    region.write(0, occ_announce([3, 100], n))
+    assert occ_probe(region, n)[0] == [3, 100]
+    # A budgeted sweep hands slot 100 back; the next probe sees only it.
+    occ_restore(region, [100], n)
+    assert occ_probe(region, n)[0] == [100]
+
+
+def test_single_word_probe_counts_one():
+    region = MemoryRegion(OCC_WORD_BYTES)
+    region.write(0, occ_announce([2, 9], 16))
+    slots, probes = occ_probe(region, 16)
+    assert slots == [2, 9] and probes == 1
+
+
+def test_layout_wide_window_reserves_two_level_header():
+    layout = SlotLayout(32 << 10, 96, occupancy=True)
+    assert layout.header_bytes == occ_header_bytes(96) == 3 * OCC_WORD_BYTES
+    assert layout.offset(0) == layout.header_bytes
+    assert all(layout.offset(i) % 8 == 0 for i in range(96))

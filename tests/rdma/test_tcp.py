@@ -153,6 +153,75 @@ def test_try_recv_nonblocking(rig):
     assert ok and payload == "data" and n == 10
 
 
+def test_send_many_charges_one_syscall_for_the_batch(rig):
+    client, server = establish(rig)
+    got = []
+
+    def server_proc():
+        for _ in range(4):
+            payload, _n = yield server.recv()
+            got.append(payload)
+
+    def client_proc():
+        t0 = rig.sim.now
+        n = yield client.send_many([(f"m{i}", 64) for i in range(4)])
+        assert n == 4
+        return rig.sim.now - t0
+
+    rig.sim.process(server_proc())
+    p = rig.sim.process(client_proc())
+    syscall_ns = rig.sim.run(until=p)
+    rig.sim.run()
+    # One kernel TX crossing for the whole batch (the writev analogue)...
+    assert syscall_ns == rig.config.tcp.kernel_tx_ns
+    # ...and the payloads still arrive intact, in order.
+    assert got == ["m0", "m1", "m2", "m3"]
+
+
+def test_send_many_rejects_empty_batch_and_closed_conn(rig):
+    client, _server = establish(rig)
+    with pytest.raises(ValueError):
+        client.send_many([])
+    client.close()
+    with pytest.raises(TcpError):
+        client.send_many([(b"x", 1)])
+
+
+def test_send_many_reset_mid_batch_delivers_prefix_then_fails(rig):
+    client, server = establish(rig)
+
+    class ResetOnThird:
+        calls = 0
+
+        def tcp_fault(self, conn, payload, nbytes):
+            self.calls += 1
+            return "reset" if self.calls == 3 else None
+
+    rig.tcpnet.fault_injector = ResetOnThird()
+    got, failed = [], []
+
+    def server_proc():
+        while True:
+            payload, _n = yield server.recv()
+            got.append(payload)
+
+    def client_proc():
+        try:
+            yield client.send_many([(f"m{i}", 64) for i in range(4)])
+        except TcpError:
+            failed.append(True)
+
+    rig.sim.process(server_proc())
+    p = rig.sim.process(client_proc())
+    rig.sim.run(until=p)
+    rig.sim.run(until=rig.sim.now + 10_000_000)
+    # The two payloads staged before the RST still flow; the connection
+    # is dead and the caller saw the batch fail.
+    assert failed == [True]
+    assert got == ["m0", "m1"]
+    assert not client.open
+
+
 def test_double_attach_rejected(rig):
     with pytest.raises(ValueError):
         rig.tcpnet.attach(rig.machines[0])
