@@ -4,7 +4,8 @@ PYTEST ?= python -m pytest
 RUFF ?= ruff
 
 .PHONY: test lint bench bench-quick bench-inflight bench-multiget \
-	bench-failover bench-sweep bench-smoke chaos-soak figures examples clean
+	bench-failover bench-sweep bench-simcore bench-smoke chaos-soak \
+	figures examples clean
 
 test:
 	$(PYTEST) tests/
@@ -37,6 +38,13 @@ bench-sweep:
 	python -m repro.bench server_sweep --scale 1.0
 	python -m repro.bench.validate BENCH_sweep.json
 
+# Event-kernel microbench: two-tier calendar + now-queue + pooled timers
+# vs the seed heapq loop (Simulator(legacy=True)), with BLAKE2 schedule
+# digests proving bit-identical dispatch order before any timing counts.
+bench-simcore:
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench simcore --scale 1.0
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_simcore.json
+
 # Seeded chaos soak: five fault-storm profiles (torn writes, gray
 # failure, ZK expiry, QP flaps, mixed) against the resilience contract —
 # no acked write lost, no corrupt value surfaced, typed bounded errors,
@@ -51,10 +59,10 @@ bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	cd .bench-smoke && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench inflight multiget \
-			failover server_sweep chaos --scale 0.05 && \
+			failover server_sweep chaos simcore --scale 0.05 && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate \
 			BENCH_inflight.json BENCH_multiget.json BENCH_failover.json \
-			BENCH_sweep.json BENCH_chaos.json
+			BENCH_sweep.json BENCH_chaos.json BENCH_simcore.json
 
 figures:
 	python -m repro.bench all --scale 0.5

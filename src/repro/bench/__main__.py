@@ -49,6 +49,7 @@ from .experiments import (
     write_sweep_artifact,
 )
 from .report import format_table
+from .simcore import simcore_kernel, write_simcore_artifact
 
 EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
     # name -> (title, function, takes_scale)
@@ -100,6 +101,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
     "chaos": ("Chaos soak — seeded fault storms vs the resilience "
               "contract (acked writes, guardian words, typed errors)",
               chaos_soak, True),
+    "simcore": ("Kernel microbench — two-tier calendar + now-queue + "
+                "pooled timers vs the seed heapq event loop",
+                simcore_kernel, True),
 }
 
 #: Experiments that also emit a machine-readable perf artifact (one per
@@ -110,6 +114,7 @@ ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
     "failover": write_failover_artifact,
     "server_sweep": write_sweep_artifact,
     "chaos": write_chaos_artifact,
+    "simcore": write_simcore_artifact,
 }
 
 

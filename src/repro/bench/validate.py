@@ -2,8 +2,8 @@
 
 The bench harness writes machine-readable perf artifacts
 (``BENCH_inflight.json``, ``BENCH_multiget.json``,
-``BENCH_failover.json``, ``BENCH_sweep.json``, ``BENCH_chaos.json``)
-that are tracked
+``BENCH_failover.json``, ``BENCH_sweep.json``, ``BENCH_chaos.json``,
+``BENCH_simcore.json``) that are tracked
 across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
 that each file matches its experiment's schema — required top-level
 fields, per-row keys and types — plus the semantic invariants the
@@ -28,7 +28,11 @@ experiments promise:
   storm: zero lost acked writes, zero corrupt values, zero untyped
   errors, zero deadline violations, convergence and recovered_ratio
   >= 0.8 post-storm, with torn/gray/zk/stale profiles all present and
-  the same-seed rerun flagged deterministic.
+  the same-seed rerun flagged deterministic;
+* simcore_kernel rows must carry digest_match == True (the batched and
+  legacy kernels dispatched bit-identically on the traced run), a
+  legacy baseline at speedup 1.0 per bench, and the batched sweep_loop
+  row must stay at or above the 3x regression floor.
 
 Exit status is 0 only if every named file validates; problems are listed
 one per line as ``<file>: <complaint>``.
@@ -67,7 +71,17 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
         "deadline_violations", "pre_kops", "post_kops",
         "recovered_ratio", "p99_ms", "blackout_ms", "failovers",
         "injected_faults", "schedule_hash", "converged"),
+    "simcore_kernel": (
+        "bench", "kernel", "events", "wall_s", "events_per_sec",
+        "speedup", "digest_match", "now_rate", "wheel_rate",
+        "heap_rate", "timer_reuse_rate", "peak_calendar"),
 }
+
+#: Regression floor for the kernel microbench: the batched kernel must
+#: beat the seed heapq kernel by at least this much on the sweep-loop
+#: shape (the committed artifact shows ~5x; the floor leaves headroom
+#: for CI machine noise without letting a real regression slip by).
+_SIMCORE_SWEEP_FLOOR = 3.0
 
 #: chaos_soak row fields that must be exactly zero for the contract.
 _CHAOS_ZERO = ("untyped_errors", "corrupt_values", "lost_acked_writes",
@@ -205,6 +219,44 @@ def validate_artifact(payload: dict) -> list[str]:
                     and math.isfinite(ratio) and ratio >= 0.8):
                 problems.append(f"{label}: recovered_ratio must be >= 0.8, "
                                 f"got {ratio!r}")
+    if experiment == "simcore_kernel":
+        benches = {row.get("bench") for row in rows}
+        for bench in ("sweep_loop", "wake_storm", "mixed_calendar"):
+            if bench not in benches:
+                problems.append(f"missing bench {bench!r}")
+        for i, row in enumerate(rows):
+            label = f"row {i} (bench={row.get('bench')!r}, " \
+                    f"kernel={row.get('kernel')!r})"
+            if row.get("digest_match") is not True:
+                problems.append(
+                    f"{label}: schedule digests diverged between kernels "
+                    f"— the speedup is meaningless without bit-identical "
+                    f"dispatch order")
+            if row.get("kernel") == "legacy" and row.get("speedup") != 1.0:
+                problems.append(f"{label}: legacy baseline must have "
+                                f"speedup == 1.0, got {row.get('speedup')!r}")
+            if not _positive(row, "events"):
+                problems.append(f"{label}: events must be positive, "
+                                f"got {row.get('events')!r}")
+            if not _positive(row, "events_per_sec"):
+                problems.append(f"{label}: events_per_sec must be positive, "
+                                f"got {row.get('events_per_sec')!r}")
+        for i, row in enumerate(rows):
+            if row.get("bench") != "sweep_loop" \
+                    or row.get("kernel") != "batched":
+                continue
+            if not isinstance(row.get("events"), int) \
+                    or row["events"] < 100_000:
+                # Smoke-scale cells are too short to time reliably; the
+                # floor binds on the full-scale bench-simcore artifact.
+                continue
+            speedup = row.get("speedup")
+            if not (isinstance(speedup, (int, float))
+                    and speedup >= _SIMCORE_SWEEP_FLOOR):
+                problems.append(
+                    f"row {i} (sweep_loop, batched): kernel speedup "
+                    f"regressed below the {_SIMCORE_SWEEP_FLOOR}x floor, "
+                    f"got {speedup!r}")
     if experiment == "failover_availability":
         for i, row in enumerate(rows):
             if row.get("exceptions") != 0:

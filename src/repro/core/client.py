@@ -465,10 +465,12 @@ class HydraClient:
     def _post_read_batch(self, cs: _ReadState):
         """Post the next doorbell-coalesced Read batch on one connection.
 
-        Returns ``(posted, failed)``: ``posted`` pairs each item with its
-        completion event; ``failed`` holds every queued item when the QP
-        turns out to be unusable (torn down by a failover) — the caller
-        demotes those to the message path.
+        Returns ``(posted, failed)``: ``posted`` holds at most one
+        ``(ops, batch_event, cs)`` triple — the whole chain completes
+        through **one** event whose value lists the completions in post
+        order; ``failed`` holds every queued item when the QP turns out
+        to be unusable (torn down by a failover) — the caller demotes
+        those to the message path.
         """
         n = min(max(1, self.hydra.max_inflight_reads) - cs.inflight,
                 len(cs.queue))
@@ -477,7 +479,7 @@ class HydraClient:
         batch, cs.queue = cs.queue[:n], cs.queue[n:]
         self.metrics.counter("client.rdma_reads").add(n)
         try:
-            events = cs.conn.client_qp.post_read_batch(
+            batch_ev = cs.conn.client_qp.post_read_batch(
                 [op.rptr for op in batch])
         except QpError:
             # Dead QP: nothing on this connection can be read one-sidedly.
@@ -485,7 +487,7 @@ class HydraClient:
             cs.queue = []
             return [], failed
         cs.inflight += n
-        return [(op, ev, cs) for op, ev in zip(batch, events)], []
+        return [(batch, batch_ev, cs)], []
 
     def _read_fanout(self, items: list[_ReadItem], on_demote=None):
         """Pipelined one-sided GET fan-out (§4.2.2, batched).
@@ -675,8 +677,9 @@ class HydraClient:
                 start_traversal(item, state_for(conn))
         else:
             misses.extend(item for item, _conn in cold)
-        #: (op, event, conn state) completion gather list; reads are in
-        #: flight from here on, so everything below overlaps with them.
+        #: (ops, batch event, conn state) gather list — one entry per
+        #: posted chain; reads are in flight from here on, so everything
+        #: below overlaps with them.
         pending: list = []
         unusable: list[_ReadOp] = []
         for cs in states.values():
@@ -689,26 +692,38 @@ class HydraClient:
             yield from fail_op(op)
         i = 0
         while i < len(pending):
-            op, ev, cs = pending[i]
+            ops, ev, cs = pending[i]
             i += 1
-            wc = yield ev
-            cs.inflight -= 1
-            yield self.sim.timeout(self.cpu.parse_ns)
-            if op.kind == "item":
-                parsed = parse_item(wc.data) if wc.ok else None
-                if (parsed is not None and parsed.live
-                        and parsed.key == op.item.key):
-                    cache.record_successful()
-                    hits[op.item.idx] = parsed.value
-                else:
-                    # Outdated pointer (dead item after an out-of-place
-                    # update, reclaimed/garbage bytes, failed completion).
-                    cache.record_invalid(op.item.key)
-                    yield from demote(op.item)
-            elif op.kind == "titem":
-                yield from handle_titem(op, wc, cs)
-            else:  # "bucket" / "confirm"
-                yield from handle_bucket(op, wc, cs)
+            wcs = yield ev
+            cs.inflight -= len(ops)
+            # The CQ drained incrementally while the chain was in flight:
+            # WQE i's CQE landed at wc.ns, so its parse overlapped the
+            # tail of the chain.  Model that poll pipeline — each parse
+            # starts at max(CQE arrival, previous parse end) — and pay
+            # only the residual lag past the batch completion instead of
+            # serialising every parse after the last CQE.
+            parse_ns = self.cpu.parse_ns
+            pipe = 0
+            for op, wc in zip(ops, wcs):
+                pipe = max(pipe, wc.ns) + parse_ns
+                if op.kind == "item":
+                    parsed = parse_item(wc.data) if wc.ok else None
+                    if (parsed is not None and parsed.live
+                            and parsed.key == op.item.key):
+                        cache.record_successful()
+                        hits[op.item.idx] = parsed.value
+                    else:
+                        # Outdated pointer (dead item after an out-of-place
+                        # update, reclaimed/garbage bytes, failed completion).
+                        cache.record_invalid(op.item.key)
+                        yield from demote(op.item)
+                elif op.kind == "titem":
+                    yield from handle_titem(op, wc, cs)
+                else:  # "bucket" / "confirm"
+                    yield from handle_bucket(op, wc, cs)
+            lag = pipe - self.sim.now
+            if lag > 0:
+                yield self.sim.timeout(lag)
             if cs.inflight == 0 and cs.queue:
                 posted, failed = self._post_read_batch(cs)
                 pending.extend(posted)
@@ -1028,7 +1043,9 @@ class HydraClient:
             self.metrics.counter("client.retries").add(len(failed))
             if first_failure_ns is None:
                 first_failure_ns = self.sim.now
-            for shard in {item.shard for item in failed}:
+            # dict.fromkeys, not a set: teardown order must follow failure
+            # order, not id()-hash order, or replay determinism breaks.
+            for shard in dict.fromkeys(item.shard for item in failed):
                 failed_shards.add(shard)
                 self.drop_connection(shard)
             if self.cache is not None:

@@ -56,6 +56,7 @@ from ..protocol import (
 )
 from ..rdma import MemoryRegion, Nic, QpError, QueuePair, RemotePointer
 from ..rdma.tcp import TcpError
+from ..rdma.verbs import WcStatus
 from ..sim import Gate, MetricSet, Interrupt, Simulator, Store
 from .errors import LifecycleError
 from .store import ShardStore, StoreResult
@@ -749,6 +750,16 @@ class Shard:
         # Fire-and-forget: the shard moves to the next request buffer
         # without waiting for the completion (§4.1.1).
 
+    def _count_undeliverable(self, batch_ev) -> None:
+        """Batch-completion callback: count responses whose WQE failed to
+        post at all (stale rkey, dead NIC — surfaced as ``LOCAL_QP_ERR``).
+        Later transport-level failures are retried by the NIC and are not
+        undeliverable from the shard's point of view."""
+        bad = sum(1 for wc in batch_ev.value
+                  if not wc.ok and wc.status is WcStatus.LOCAL_QP_ERR)
+        if bad:
+            self.metrics.counter("shard.undeliverable_responses").add(bad)
+
     def _flush_conn(self, conn: Connection, entries: list) -> None:
         """Flush one connection's buffered responses.
 
@@ -765,19 +776,14 @@ class Shard:
             chain = [(conn.resp_slot_rptrs[slot], frame(data))
                      for slot, data in chunk]
             try:
-                events = conn.shard_qp.post_write_batch(chain)
+                batch_ev = conn.shard_qp.post_write_batch(chain)
             except QpError:
                 self.metrics.counter("shard.undeliverable_responses").add(
                     len(chunk))
                 continue
             self.metrics.counter("shard.resp_doorbells").add()
             self.metrics.counter("shard.resp_coalesced").add(len(chunk) - 1)
-            for ev in events:
-                # Immediately-failed WQEs (stale rkey, dead NIC): the
-                # write never left, the response is undeliverable.
-                if ev.triggered and not ev.value.ok:
-                    self.metrics.counter(
-                        "shard.undeliverable_responses").add()
+            batch_ev.callbacks.append(self._count_undeliverable)
 
     def _finish_sweep(self, batch: Optional[_SweepBatch]):
         """Settle one sweep: wait once on the batch of replication acks,

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Generator, Optional, TYPE_CHECKING
 
 from ..sim import Simulator, TimeWeighted
-from ..sim.events import Event
+from ..sim.events import Event, PooledTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
@@ -33,6 +33,9 @@ class Core:
         self.numa_domain = numa_domain
         self.owner: Optional[str] = None
         self.busy = TimeWeighted(f"core{core_id}.busy", sim)
+        #: Rearmable timer recycled across execute() calls — poll loops
+        #: burn one of these per probe instead of a fresh Timeout each.
+        self._timer = PooledTimer(sim)
 
     @property
     def pinned(self) -> bool:
@@ -49,15 +52,25 @@ class Core:
         self.owner = None
         self.busy.set(0.0)
 
+    def _busy_down(self, _ev: Event) -> None:
+        self.busy.add(-1.0)
+
     def execute(self, cost_ns: int) -> Event:
         """Burn ``cost_ns`` of CPU; accounts busy time.
 
         Returns a timeout event; the calling process must yield it.  Zero
-        cost is allowed and completes at the current instant.
+        cost is allowed and completes at the current instant.  The pooled
+        timer is rearmed when idle; overlapping executions (a second call
+        while the last firing is still in flight) fall back to a fresh
+        Timeout so the returned event is always exclusively the caller's.
         """
         self.busy.add(1.0)
-        ev = self.sim.timeout(cost_ns)
-        ev.callbacks.append(lambda _e: self.busy.add(-1.0))
+        timer = self._timer
+        if timer.callbacks is None:
+            ev: Event = timer.rearm(cost_ns)
+        else:
+            ev = self.sim.timeout(cost_ns)
+        ev.callbacks.append(self._busy_down)
         return ev
 
     def run(self, cost_ns: int) -> Generator[Event, None, None]:

@@ -17,6 +17,7 @@ import heapq
 from typing import Optional
 
 from ..sim import Counter, Simulator
+from ..sim.events import PooledTimer
 from ..sim.process import Process
 from .allocator import SlabAllocator
 
@@ -47,6 +48,10 @@ class LeaseReclaimer:
         self.reclaimed = Counter("reclaimed")
         self._proc: Optional[Process] = None
         self._stopped = False
+        #: One recycled period timer for the sweep loop — the reclaimer
+        #: fires every ``period_ns`` for the simulation's whole lifetime,
+        #: so a fresh Timeout per tick is pure allocator churn.
+        self._timer = PooledTimer(sim)
 
     def retire(self, offset: int, lease_expiry_ns: int) -> None:
         """Park a dead extent until its (frozen) lease expires — and, when
@@ -84,6 +89,10 @@ class LeaseReclaimer:
         self._stopped = True
 
     def _run(self):
+        timer = self._timer
         while not self._stopped:
-            yield self.sim.timeout(self.period_ns)
+            if timer.callbacks is None:
+                yield timer.rearm(self.period_ns)
+            else:  # pragma: no cover - interrupted mid-flight
+                yield self.sim.timeout(self.period_ns)
             self.sweep()

@@ -53,9 +53,8 @@ class CompletionQueue:
         The waiter must still :meth:`poll`; multiple waiters may race for
         the same entry, exactly like event-channel wakeups on real verbs.
         """
-        ev = Event(self.sim)
         if self._entries:
+            ev = Event(self.sim)
             ev.succeed(None)
-        else:
-            self._gate._waiters.append(ev)
-        return ev
+            return ev
+        return self._gate.wait()

@@ -23,7 +23,7 @@ from typing import Callable, Deque, Optional, TYPE_CHECKING
 
 from ..config import SimConfig
 from ..sim import MetricSet, Simulator, TimeWeighted
-from ..sim.events import Event
+from ..sim.events import Event, PooledTimer
 from .memory import AccessViolation, MemoryRegion
 from .verbs import Completion, Opcode, WcStatus
 
@@ -46,13 +46,19 @@ class _Engine:
     (QP cache penalty) reflect conditions at execution time.
     """
 
-    __slots__ = ("sim", "busy", "_q", "_active")
+    __slots__ = ("sim", "busy", "_q", "_active", "_timer", "_done",
+                 "_finish_cb")
 
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.busy = TimeWeighted(name, sim)
         self._q: Deque[tuple[Callable[[], int], Callable[[], None]]] = deque()
         self._active = False
+        #: The engine is strictly serial, so one rearmable timer (plus one
+        #: pre-bound finish callback) services every job it will ever run.
+        self._timer = PooledTimer(sim)
+        self._done: Optional[Callable[[], None]] = None
+        self._finish_cb = self._finish
 
     def submit(self, cost_fn: Callable[[], int],
                done: Callable[[], None]) -> None:
@@ -66,15 +72,20 @@ class _Engine:
         cost_fn, done = self._q.popleft()
         self._active = True
         self.busy.set(1.0)
-        ev = self.sim.timeout(cost_fn())
+        self._done = done
+        timer = self._timer
+        if timer.callbacks is None:
+            ev: Event = timer.rearm(cost_fn())
+        else:  # pragma: no cover - serial engines keep the timer idle
+            ev = self.sim.timeout(cost_fn())
+        ev.callbacks.append(self._finish_cb)
 
-        def _finish(_ev: Event) -> None:
-            self._active = False
-            self.busy.set(0.0)
-            done()
-            self._start_next()
-
-        ev.callbacks.append(_finish)
+    def _finish(self, _ev: Event) -> None:
+        self._active = False
+        self.busy.set(0.0)
+        done, self._done = self._done, None
+        done()
+        self._start_next()
 
     @property
     def depth(self) -> int:
@@ -303,8 +314,33 @@ class Nic:
         self.tx.submit(lambda: max(0, self._tx_cost(0) - discount), after_tx)
         return ev
 
-    def issue_read_batch(self, qp: "QueuePair",
-                         requests: list) -> list[Event]:
+    def _batch_collector(self, batch: Event, n: int) -> Callable[[int], Callable[[Event], None]]:
+        """Per-WQE accumulator feeding one batch completion event.
+
+        Returns a factory: ``collector(i)`` is the callback that records
+        WQE ``i``'s Completion into a flat result array; the last one to
+        land succeeds ``batch`` with the whole array (request order).
+        """
+        results: list = [None] * n
+        state = {"remaining": n}
+
+        sim = self.sim
+
+        def collector(i: int) -> Callable[[Event], None]:
+            def _cb(ev: Event) -> None:
+                wc = ev._value
+                # Stamp the CQE arrival so consumers of the batch event
+                # can still model an incremental poll of the chain.
+                wc.ns = sim.now
+                results[i] = wc
+                state["remaining"] -= 1
+                if not state["remaining"]:
+                    batch.succeed(results)
+            return _cb
+
+        return collector
+
+    def issue_read_batch(self, qp: "QueuePair", requests: list) -> Event:
         """Post several RDMA Reads behind one coalesced doorbell.
 
         ``requests`` entries are ``(region, offset, length, wr_id)``; a
@@ -313,24 +349,33 @@ class Nic:
         immediately with ``LOCAL_QP_ERR`` instead of poisoning the rest of
         the chain.  The first resolvable WQE pays the full initiator cost;
         the rest skip the doorbell write.
+
+        Returns **one** event that fires with a flat ``list[Completion]``
+        in request order once the whole chain has finished; every WQE is
+        individually bounded by the retry timer, so the batch event always
+        fires.
         """
-        events: list[Event] = []
+        batch = self.sim.event()
+        n = len(requests)
+        if n == 0:
+            batch.succeed([])
+            return batch
+        collector = self._batch_collector(batch, n)
         first = True
-        for region, offset, length, wr_id in requests:
+        for i, (region, offset, length, wr_id) in enumerate(requests):
             if region is None:
                 ev = self.sim.event()
                 self._fail_completion(ev, Opcode.RDMA_READ,
                                       WcStatus.LOCAL_QP_ERR, wr_id,
                                       qp.qp_num)
-                events.append(ev)
-                continue
-            events.append(self.issue_read(qp, region, offset, length, wr_id,
-                                          coalesced=not first))
-            first = False
-        return events
+            else:
+                ev = self.issue_read(qp, region, offset, length, wr_id,
+                                     coalesced=not first)
+                first = False
+            ev.callbacks.append(collector(i))
+        return batch
 
-    def issue_write_batch(self, qp: "QueuePair",
-                          requests: list) -> list[Event]:
+    def issue_write_batch(self, qp: "QueuePair", requests: list) -> Event:
         """Post several RDMA Writes behind one coalesced doorbell.
 
         The write-side twin of :meth:`issue_read_batch`: ``requests``
@@ -340,21 +385,29 @@ class Nic:
         the full initiator cost; the rest skip the doorbell write.  RC
         keeps the chain in post order at the target, which is what lets a
         shard land a batch of slot responses before the final doorbell.
+
+        Returns **one** event firing with ``list[Completion]`` in request
+        order once the whole chain has completed.
         """
-        events: list[Event] = []
+        batch = self.sim.event()
+        n = len(requests)
+        if n == 0:
+            batch.succeed([])
+            return batch
+        collector = self._batch_collector(batch, n)
         first = True
-        for region, offset, data, wr_id in requests:
+        for i, (region, offset, data, wr_id) in enumerate(requests):
             if region is None:
                 ev = self.sim.event()
                 self._fail_completion(ev, Opcode.RDMA_WRITE,
                                       WcStatus.LOCAL_QP_ERR, wr_id,
                                       qp.qp_num)
-                events.append(ev)
-                continue
-            events.append(self.issue_write(qp, region, offset, data, wr_id,
-                                           coalesced=not first))
-            first = False
-        return events
+            else:
+                ev = self.issue_write(qp, region, offset, data, wr_id,
+                                      coalesced=not first)
+                first = False
+            ev.callbacks.append(collector(i))
+        return batch
 
     def issue_ud_send(self, src_qp, dst_qp, data: bytes,
                       wr_id: int) -> Event:

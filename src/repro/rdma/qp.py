@@ -119,14 +119,15 @@ class QueuePair:
         return self.nic.issue_read(self, region, rptr.offset, rptr.length,
                                    self._next_wr(wr_id))
 
-    def post_read_batch(self, requests) -> list[Event]:
+    def post_read_batch(self, requests) -> Event:
         """Post a chain of one-sided Reads with one coalesced doorbell.
 
         ``requests`` may mix :class:`RemotePointer` and
-        :class:`ReadWorkRequest` entries; one completion event is returned
-        per entry, in order.  An entry whose rkey does not resolve against
-        this QP's peer completes immediately with ``LOCAL_QP_ERR`` — the
-        remaining WQEs in the chain still post (the caller demotes the
+        :class:`ReadWorkRequest` entries.  Returns **one** batch event
+        that fires with a flat ``list[Completion]`` in request order once
+        the whole chain has completed.  An entry whose rkey does not
+        resolve against this QP's peer completes with ``LOCAL_QP_ERR`` —
+        the remaining WQEs in the chain still post (the caller demotes the
         failed key individually, exactly as it would a dead item).
         """
         self._check_connected()
@@ -142,18 +143,19 @@ class QueuePair:
                              self._next_wr(req.wr_id)))
         return self.nic.issue_read_batch(self, prepared)
 
-    def post_write_batch(self, requests) -> list[Event]:
+    def post_write_batch(self, requests) -> Event:
         """Post a chain of one-sided Writes with one coalesced doorbell.
 
         The write-side twin of :meth:`post_read_batch`: ``requests`` may
         mix :class:`WriteWorkRequest` entries and bare
-        ``(RemotePointer, bytes)`` pairs; one completion event is
-        returned per entry, in order.  An oversized payload or an entry
-        whose rkey does not resolve against this QP's peer completes
-        immediately with ``LOCAL_QP_ERR`` — the remaining WQEs in the
-        chain still post.  RC delivery keeps the chain in post order at
-        the target, so a shard can land all of a sweep's responses for
-        one connection in slot order before the single doorbell.
+        ``(RemotePointer, bytes)`` pairs.  Returns **one** batch event
+        firing with ``list[Completion]`` in request order once the whole
+        chain has completed.  An oversized payload or an entry whose rkey
+        does not resolve against this QP's peer completes with
+        ``LOCAL_QP_ERR`` — the remaining WQEs in the chain still post.
+        RC delivery keeps the chain in post order at the target, so a
+        shard can land all of a sweep's responses for one connection in
+        slot order before the single doorbell.
         """
         self._check_connected()
         prepared = []

@@ -50,6 +50,10 @@ class Completion:
     data: Optional[bytes] = None
     #: QP number the completion belongs to.
     qp_num: int = -1
+    #: Sim time the CQE landed (stamped by batch collection; -1 when the
+    #: completion was delivered through its own event and the consumer
+    #: already knows the arrival time).
+    ns: int = -1
 
     @property
     def ok(self) -> bool:

@@ -7,8 +7,9 @@ process yielding events.
 """
 
 from .core import Simulator, UnhandledProcessError
-from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
-from .monitor import Counter, MetricSet, Tally, TimeWeighted
+from .events import (AllOf, AnyOf, Event, Interrupt, PooledTimer,
+                     SimulationError, Timeout)
+from .monitor import Counter, MetricSet, Tally, TimeWeighted, kernel_snapshot
 from .process import Process
 from .resources import Gate, Mutex, Resource, RwLock, Store
 from .rng import StreamRegistry
@@ -18,6 +19,7 @@ __all__ = [
     "UnhandledProcessError",
     "Event",
     "Timeout",
+    "PooledTimer",
     "AnyOf",
     "AllOf",
     "Interrupt",
@@ -32,5 +34,6 @@ __all__ = [
     "Tally",
     "TimeWeighted",
     "MetricSet",
+    "kernel_snapshot",
     "StreamRegistry",
 ]

@@ -14,7 +14,40 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Simulator
 
-__all__ = ["Counter", "Tally", "TimeWeighted", "MetricSet"]
+__all__ = ["Counter", "Tally", "TimeWeighted", "MetricSet", "kernel_snapshot"]
+
+
+def kernel_snapshot(sim: "Simulator") -> dict[str, float]:
+    """Kernel telemetry for one simulator: scheduling volume, calendar-tier
+    hit mix, timer-pool reuse and peak calendar occupancy.
+
+    The counters live as plain ints on the :class:`Simulator` hot paths,
+    which deliberately under-count: pooled rearms skip ``k_scheduled``
+    and now-queue hits have no counter at all, keeping the two hottest
+    paths increment-free.  This derives the full picture (scheduled =
+    ``k_scheduled + k_timer_rearms``; now hits = scheduled - wheel -
+    heap) and flattens it for bench reports so BENCH_simcore speedups
+    are attributable to specific tiers.
+    """
+    scheduled = sim.k_scheduled + sim.k_timer_rearms
+    now_hits = scheduled - sim.k_wheel_hits - sim.k_heap_hits
+    rearms = sim.k_timer_rearms
+    allocs = sim.k_timer_allocs
+    timers = rearms + allocs
+    return {
+        "events_scheduled": scheduled,
+        "events_dispatched": sim.k_dispatched,
+        "now_hits": now_hits,
+        "wheel_hits": sim.k_wheel_hits,
+        "heap_hits": sim.k_heap_hits,
+        "now_rate": now_hits / scheduled if scheduled else 0.0,
+        "wheel_rate": sim.k_wheel_hits / scheduled if scheduled else 0.0,
+        "heap_rate": sim.k_heap_hits / scheduled if scheduled else 0.0,
+        "timer_rearms": rearms,
+        "timer_allocs": allocs,
+        "timer_reuse_rate": rearms / timers if timers else 0.0,
+        "peak_calendar": sim.k_peak_pending,
+    }
 
 
 class Counter:

@@ -24,7 +24,7 @@ ProcessGenerator = Generator[Event, Any, Any]
 class Process(Event):
     """An active simulation entity driven by a generator."""
 
-    __slots__ = ("gen", "name", "_target", "_alive")
+    __slots__ = ("gen", "name", "_target", "_alive", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: ProcessGenerator, name: str = ""):
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
@@ -35,9 +35,12 @@ class Process(Event):
         #: The event this process is currently waiting on.
         self._target: Optional[Event] = None
         self._alive = True
+        #: One bound resume callback for the process's lifetime (appending
+        #: ``self._resume`` would allocate a fresh bound method per yield).
+        self._resume_cb = self._resume
         # Kick off at the current time via an immediately-successful event.
         init = Event(sim)
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         init.succeed(None)
 
     @property
@@ -68,7 +71,7 @@ class Process(Event):
         # must not resume us again.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - defensive
                 pass
         self._step(trigger.value, throw=True)
@@ -125,7 +128,7 @@ class Process(Event):
                     value, throw = target.value, True
                 continue
             self._target = target
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
             return
 
     def __repr__(self) -> str:  # pragma: no cover

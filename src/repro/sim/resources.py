@@ -244,20 +244,29 @@ class Gate:
     ``wait()`` returns an event that succeeds at the next ``fire(value)``.
     Used for doorbells (e.g. waking a sleeping poller) where every waiter
     must observe the signal.
+
+    All waiters of one firing observe the same occurrence, so they share a
+    single pending event: a gate that is waited on every poll round but
+    rarely fires holds one event total, not one per ``wait()``.  Waiters
+    still resume in ``wait()`` order (callback order on the shared event).
     """
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._waiters: list[Event] = []
+        self._pending: Optional[Event] = None
+        self._n_waiting = 0
 
     def wait(self) -> Event:
-        ev = Event(self.sim)
-        self._waiters.append(ev)
+        ev = self._pending
+        if ev is None:
+            ev = self._pending = Event(self.sim)
+        self._n_waiting += 1
         return ev
 
     def fire(self, value: Any = None) -> int:
         """Wake all current waiters; returns how many were woken."""
-        waiters, self._waiters = self._waiters, []
-        for ev in waiters:
+        ev, self._pending = self._pending, None
+        n, self._n_waiting = self._n_waiting, 0
+        if ev is not None:
             ev.succeed(value)
-        return len(waiters)
+        return n

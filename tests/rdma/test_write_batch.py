@@ -17,21 +17,22 @@ def rig():
     return Rig()
 
 
-def run_all(rig, events):
-    for ev in events:
-        rig.sim.run(until=ev)
-    return [ev.value for ev in events]
+def run_all(rig, batch_ev):
+    """Run until the (single) batch event fires; returns the flat
+    list of completions it carries, in request order."""
+    rig.sim.run(until=batch_ev)
+    return batch_ev.value
 
 
 def test_batch_lands_every_write_in_chain_order(rig):
     qa, _qb = rig.connect()
     region = rig.region(1, name="server")
-    events = qa.post_write_batch([
+    batch = qa.post_write_batch([
         (RemotePointer(region.rkey, 0, 8), b"first..."),
         (RemotePointer(region.rkey, 8, 8), b"second.."),
         WriteWorkRequest(RemotePointer(region.rkey, 16, 8), b"third..."),
     ])
-    wcs = run_all(rig, events)
+    wcs = run_all(rig, batch)
     assert all(wc.ok for wc in wcs)
     assert region.read(0, 24) == b"first...second..third..."
 
@@ -42,10 +43,10 @@ def test_batch_rings_one_doorbell(rig):
     metrics = rig.machines[0].nic.metrics
     before_db = metrics.counter("rdma.write.doorbells").value
     before_co = metrics.counter("rdma.write.coalesced").value
-    events = qa.post_write_batch([
+    batch = qa.post_write_batch([
         (RemotePointer(region.rkey, i * 8, 8), b"x" * 8) for i in range(5)
     ])
-    run_all(rig, events)
+    run_all(rig, batch)
     assert metrics.counter("rdma.write.doorbells").value == before_db + 1
     assert metrics.counter("rdma.write.coalesced").value == before_co + 4
 
@@ -71,17 +72,33 @@ def test_batch_is_cheaper_than_singles(rig):
 def test_bad_entry_fails_alone_rest_of_chain_posts(rig):
     qa, _qb = rig.connect()
     region = rig.region(1)
-    events = qa.post_write_batch([
+    batch = qa.post_write_batch([
         (RemotePointer(region.rkey, 0, 8), b"ok-here."),
         (RemotePointer(999_999, 0, 8), b"badrkey."),     # unresolvable
         (RemotePointer(region.rkey, 8, 4), b"too-long"),  # exceeds extent
         (RemotePointer(region.rkey, 8, 8), b"also-ok."),
     ])
-    wcs = run_all(rig, events)
+    wcs = run_all(rig, batch)
     assert wcs[0].ok and wcs[3].ok
     assert wcs[1].status is WcStatus.LOCAL_QP_ERR
     assert wcs[2].status is WcStatus.LOCAL_QP_ERR
     assert region.read(0, 16) == b"ok-here.also-ok."
+
+
+def test_batch_completions_carry_cqe_timestamps(rig):
+    # Each Completion is stamped with its CQE arrival time so a consumer
+    # of the batch event can still model an incremental poll of the
+    # chain (the client overlaps parses with the in-flight tail).
+    qa, _qb = rig.connect()
+    region = rig.region(1)
+    batch = qa.post_write_batch([
+        (RemotePointer(region.rkey, i * 8, 8), b"t" * 8) for i in range(4)
+    ])
+    wcs = run_all(rig, batch)
+    assert all(wc.ns >= 0 for wc in wcs)
+    assert [wc.ns for wc in wcs] == sorted(wc.ns for wc in wcs)
+    # The batch event fires with the last CQE of the chain.
+    assert max(wc.ns for wc in wcs) == rig.sim.now
 
 
 def test_batch_on_disconnected_qp_raises(rig):
