@@ -4,8 +4,8 @@ PYTEST ?= python -m pytest
 RUFF ?= ruff
 
 .PHONY: test lint bench bench-quick bench-inflight bench-multiget \
-	bench-failover bench-sweep bench-simcore bench-smoke chaos-soak \
-	figures examples clean
+	bench-failover bench-sweep bench-simcore bench-tenants bench-smoke \
+	chaos-soak figures examples clean
 
 test:
 	$(PYTEST) tests/
@@ -53,16 +53,24 @@ chaos-soak:
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench chaos --scale 0.5
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_chaos.json
 
+# Multi-tenant QoS: DRR slot fairness, admission throttling, server-side
+# shed and AIMD window autotune — victim vs aggressor cells scored with
+# Jain's index over weighted water-filling fair shares.
+bench-tenants:
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench tenants --scale 1.0
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_tenants.json
+
 # Tiny end-to-end run of the artifact-emitting benches plus schema
 # validation of what they wrote; fast enough for CI.
 bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	cd .bench-smoke && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench inflight multiget \
-			failover server_sweep chaos simcore --scale 0.05 && \
+			failover server_sweep chaos simcore tenants --scale 0.05 && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate \
 			BENCH_inflight.json BENCH_multiget.json BENCH_failover.json \
-			BENCH_sweep.json BENCH_chaos.json BENCH_simcore.json
+			BENCH_sweep.json BENCH_chaos.json BENCH_simcore.json \
+			BENCH_tenants.json
 
 figures:
 	python -m repro.bench all --scale 0.5

@@ -11,7 +11,7 @@ Run with::
     python examples/elastic.py
 """
 
-from repro import HydraCluster, SimConfig
+from repro import HydraCluster, QosConfig, SimConfig
 
 MS = 1_000_000
 
@@ -27,7 +27,10 @@ def main() -> None:
                            shards_per_server=2, n_client_machines=1)
     ha = cluster.enable_ha()
     cluster.start()
-    client = cluster.client()
+    # The bulk loader runs as its own tenant: on a busy cluster its QoS
+    # policy (token-bucket admission, DRR slot share) would keep it from
+    # starving latency-sensitive tenants on the same connections.
+    client = cluster.client(tenant="loader", qos=QosConfig(weight=1.0))
     sim = cluster.sim
     n = 400
 

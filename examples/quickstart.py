@@ -24,7 +24,13 @@ def main() -> None:
 
 
 def run_app(cluster) -> None:
-    client = cluster.client()
+    # A tenant-scoped handle: ops are accounted under the tenant's
+    # metric namespace (client.tenant.app.*) and governed by its QoS
+    # policy — the default policy imposes no throttling, so this behaves
+    # exactly like the anonymous `cluster.client()` legacy form (which
+    # still works, as `tenant="default"`).  See examples/tenants.py for
+    # admission control and fair queueing across tenants.
+    client = cluster.client(tenant="app")
     sim = cluster.sim
 
     def app():
@@ -64,6 +70,9 @@ def run_app(cluster) -> None:
     print("fabric counters:",
           {k: c.value for k, c in cluster.metrics.counters.items()
            if k.startswith("rdma.") and k.endswith(".ops")})
+    print("tenant counters:",
+          {k: c.value for k, c in cluster.metrics.counters.items()
+           if k.startswith("client.tenant.")})
 
 
 if __name__ == "__main__":

@@ -15,9 +15,26 @@ Entry points:
 * :mod:`repro.baselines` — Memcached/Redis/RAMCloud behavioural models.
 """
 
-from .config import SimConfig
-from .core import HydraClient, HydraCluster
+from .config import (ClientConfig, QosConfig, SimConfig, TraversalConfig)
+from .core import (Backpressure, ClientTransport, HydraClient, HydraCluster,
+                   TenantThrottled)
+from .qos import (AimdController, DeficitRoundRobin, SlotArbiter, TokenBucket)
 
 __version__ = "1.0.0"
 
-__all__ = ["HydraCluster", "HydraClient", "SimConfig", "__version__"]
+__all__ = [
+    "HydraCluster",
+    "HydraClient",
+    "ClientTransport",
+    "SimConfig",
+    "ClientConfig",
+    "QosConfig",
+    "TraversalConfig",
+    "Backpressure",
+    "TenantThrottled",
+    "TokenBucket",
+    "DeficitRoundRobin",
+    "SlotArbiter",
+    "AimdController",
+    "__version__",
+]

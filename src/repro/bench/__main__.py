@@ -50,6 +50,7 @@ from .experiments import (
 )
 from .report import format_table
 from .simcore import simcore_kernel, write_simcore_artifact
+from .tenants import tenant_fairness, write_tenants_artifact
 
 EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
     # name -> (title, function, takes_scale)
@@ -104,6 +105,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
     "simcore": ("Kernel microbench — two-tier calendar + now-queue + "
                 "pooled timers vs the seed heapq event loop",
                 simcore_kernel, True),
+    "tenants": ("Multi-tenant QoS — fair queueing, admission throttling, "
+                "server shed, AIMD autotune (victim vs aggressor)",
+                tenant_fairness, True),
 }
 
 #: Experiments that also emit a machine-readable perf artifact (one per
@@ -115,6 +119,7 @@ ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
     "server_sweep": write_sweep_artifact,
     "chaos": write_chaos_artifact,
     "simcore": write_simcore_artifact,
+    "tenants": write_tenants_artifact,
 }
 
 

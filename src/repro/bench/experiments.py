@@ -282,11 +282,12 @@ def fig9_overall(scale: float = 1.0, n_clients: int = 50,
 # ---------------------------------------------------------------------------
 
 FIG10_VARIANTS: dict[str, dict] = {
-    "Send/Recv": {"rdma_write_messaging": False, "rptr_cache_enabled": False},
-    "RDMA Write Only": {"rptr_cache_enabled": False},
+    "Send/Recv": {"hydra": {"rdma_write_messaging": False},
+                  "client": {"rptr_cache_enabled": False}},
+    "RDMA Write Only": {"client": {"rptr_cache_enabled": False}},
     "RDMA Write + Read": {},
-    "Pipeline + RDMA Write": {"pipelined_shards": True,
-                              "rptr_cache_enabled": False},
+    "Pipeline + RDMA Write": {"hydra": {"pipelined_shards": True},
+                              "client": {"rptr_cache_enabled": False}},
 }
 
 
@@ -300,7 +301,7 @@ def fig10_rdma_choices(scale: float = 1.0, n_clients: int = 50,
               if variants is None or k in set(variants)}
     for workload in _workloads(scale, subset):
         for vname, overrides in chosen.items():
-            cfg = SimConfig().with_overrides(hydra=overrides)
+            cfg = SimConfig().with_overrides(**overrides)
             res = _run_hydra(workload, n_clients, config=cfg)
             rows.append({
                 "workload": workload.spec.name,
@@ -464,8 +465,8 @@ def ablation_hash_table(scale: float = 1.0, n_clients: int = 50
     rows = []
     for kind in ("compact", "chained"):
         cfg = SimConfig().with_overrides(
-            hydra={"rptr_cache_enabled": False,
-                   "buckets_per_shard": 1 << 9})  # force collisions
+            client={"rptr_cache_enabled": False},
+            hydra={"buckets_per_shard": 1 << 9})  # force collisions
         cluster = HydraCluster(config=cfg, n_server_machines=1,
                                shards_per_server=4, n_client_machines=5,
                                table_kind=kind)
@@ -491,7 +492,7 @@ def ablation_numa(scale: float = 1.0, n_clients: int = 50) -> list[dict]:
     rows = []
     for mode in ("local", "interleaved", "remote"):
         cfg = SimConfig().with_overrides(
-            hydra={"rptr_cache_enabled": False})
+            client={"rptr_cache_enabled": False})
         cluster = HydraCluster(config=cfg, n_server_machines=1,
                                shards_per_server=4, n_client_machines=5,
                                numa_mode=mode)
@@ -514,7 +515,7 @@ def ablation_rptr_sharing(scale: float = 1.0,
     workload = YcsbWorkload(_scaled_spec(spec, scale))
     rows = []
     for sharing in (True, False):
-        cfg = SimConfig().with_overrides(hydra={"rptr_sharing": sharing})
+        cfg = SimConfig().with_overrides(client={"rptr_sharing": sharing})
         cluster = HydraCluster(config=cfg, n_server_machines=1,
                                shards_per_server=4, n_client_machines=1)
         preload_hydra(cluster, workload)
@@ -844,11 +845,11 @@ def inflight_sweep(scale: float = 1.0,
     rows: list[dict] = []
     base_get = base_put = None
     for window in windows:
-        cfg = SimConfig().with_overrides(hydra={
-            "msg_slots_per_conn": window,
-            "max_inflight_per_conn": window,
-            "rptr_cache_enabled": False,
-        })
+        cfg = SimConfig().with_overrides(
+            hydra={"msg_slots_per_conn": window},
+            client={"max_inflight_per_conn": window,
+                    "rptr_cache_enabled": False},
+        )
         cluster = HydraCluster(config=cfg, n_server_machines=1,
                                shards_per_server=1, n_client_machines=1)
         for key in keys:
@@ -947,15 +948,14 @@ def multiget_sweep(scale: float = 1.0,
         message_kops: Optional[float] = None
         for mode in ("message", "hybrid", "mixed", "cold", "mixed-hit"):
             traversal = mode in ("cold", "mixed-hit")
-            cfg = SimConfig().with_overrides(hydra={
-                "msg_slots_per_conn": batch,
-                "max_inflight_per_conn": batch,
-                "max_inflight_reads": batch,
-                "rptr_cache_enabled": mode != "message",
-                "rptr_sharing": False,
-                "index_traversal": traversal,
-                "traversal_min_fanout": 1,
-            })
+            cfg = SimConfig().with_overrides(
+                hydra={"msg_slots_per_conn": batch},
+                client={"max_inflight_per_conn": batch,
+                        "max_inflight_reads": batch,
+                        "rptr_cache_enabled": mode != "message",
+                        "rptr_sharing": False},
+                traversal={"enabled": traversal, "min_fanout": 1},
+            )
             cluster = HydraCluster(config=cfg, n_server_machines=1,
                                    shards_per_server=1, n_client_machines=1)
             cluster.start()
@@ -1125,7 +1125,7 @@ def failover_availability(scale: float = 1.0,
             replication={"replicas": 1},
             coord={"heartbeat_ns": 50 * _MS,
                    "session_timeout_ns": 200 * _MS},
-            hydra={"op_timeout_ns": 5 * _MS},
+            client={"op_timeout_ns": 5 * _MS},
         )
         cluster = HydraCluster(config=cfg, n_server_machines=1,
                                shards_per_server=1, n_client_machines=2)
@@ -1263,11 +1263,11 @@ def server_sweep(scale: float = 1.0,
     think_ns = 800_000
 
     def cell(workload, conns, mode, knobs, base_kops, base_cpu):
-        hydra = {"msg_slots_per_conn": window,
-                 "max_inflight_per_conn": window,
-                 "rptr_cache_enabled": False}
+        hydra = {"msg_slots_per_conn": window}
         hydra.update(knobs)
-        overrides = {"hydra": hydra}
+        overrides = {"hydra": hydra,
+                     "client": {"max_inflight_per_conn": window,
+                                "rptr_cache_enabled": False}}
         if workload == "write":
             # Strict-mode replication so every mutation returns an ack
             # wait — the regime where batching the waits pays.

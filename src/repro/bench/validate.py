@@ -3,7 +3,7 @@
 The bench harness writes machine-readable perf artifacts
 (``BENCH_inflight.json``, ``BENCH_multiget.json``,
 ``BENCH_failover.json``, ``BENCH_sweep.json``, ``BENCH_chaos.json``,
-``BENCH_simcore.json``) that are tracked
+``BENCH_simcore.json``, ``BENCH_tenants.json``) that are tracked
 across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
 that each file matches its experiment's schema — required top-level
 fields, per-row keys and types — plus the semantic invariants the
@@ -32,7 +32,12 @@ experiments promise:
 * simcore_kernel rows must carry digest_match == True (the batched and
   legacy kernels dispatched bit-identically on the traced run), a
   legacy baseline at speedup 1.0 per bench, and the batched sweep_loop
-  row must stay at or above the 3x regression floor.
+  row must stay at or above the 3x regression floor;
+* tenant_fairness rows must show the QoS contract held: Jain's index
+  >= 0.9 and victim p99 <= 2x the no-aggressor baseline in every
+  fair-queueing cell, client throttles tripping in the admission-capped
+  cell, server sheds in the occupancy-capped cell, and the AIMD
+  autotune cell within 10% of the best static window.
 
 Exit status is 0 only if every named file validates; problems are listed
 one per line as ``<file>: <complaint>``.
@@ -75,6 +80,9 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
         "bench", "kernel", "events", "wall_s", "events_per_sec",
         "speedup", "digest_match", "now_rate", "wheel_rate",
         "heap_rate", "timer_reuse_rate", "peak_calendar"),
+    "tenant_fairness": (
+        "cell", "kops", "victim_kops", "victim_p99_us", "jain",
+        "throttled", "shed", "solo_p99_us", "best_static_kops"),
 }
 
 #: Regression floor for the kernel microbench: the batched kernel must
@@ -88,7 +96,7 @@ _CHAOS_ZERO = ("untyped_errors", "corrupt_values", "lost_acked_writes",
                "deadline_violations")
 
 #: storm profiles the acceptance criteria require in every artifact.
-_CHAOS_REQUIRED_PROFILES = ("torn", "gray", "zk", "stale")
+_CHAOS_REQUIRED_PROFILES = ("torn", "gray", "zk", "stale", "tenant")
 
 
 def _positive(row: dict, key: str) -> bool:
@@ -257,6 +265,56 @@ def validate_artifact(payload: dict) -> list[str]:
                     f"row {i} (sweep_loop, batched): kernel speedup "
                     f"regressed below the {_SIMCORE_SWEEP_FLOOR}x floor, "
                     f"got {speedup!r}")
+    if experiment == "tenant_fairness":
+        cells = {row.get("cell"): row for row in rows}
+        for name in ("w1", "w16", "auto", "solo", "share-nofq",
+                     "share-fq", "share-fq-w4", "throttle", "shed"):
+            if name not in cells:
+                problems.append(f"missing cell {name!r}")
+        solo = cells.get("solo")
+        solo_p99 = solo.get("victim_p99_us") if solo else None
+        for i, row in enumerate(rows):
+            cell = row.get("cell")
+            label = f"row {i} (cell={cell!r})"
+            if not isinstance(cell, str):
+                problems.append(f"{label}: cell must be a string")
+                continue
+            if cell.startswith("share-fq") or cell == "throttle":
+                jain = row.get("jain")
+                if not (isinstance(jain, (int, float)) and jain >= 0.9):
+                    problems.append(
+                        f"{label}: Jain's index must be >= 0.9 with fair "
+                        f"queueing on, got {jain!r}")
+            if cell == "throttle":
+                p99 = row.get("victim_p99_us")
+                if isinstance(solo_p99, (int, float)) and solo_p99 > 0 \
+                        and not (isinstance(p99, (int, float))
+                                 and p99 <= 2.0 * solo_p99):
+                    problems.append(
+                        f"{label}: with the aggressor admission-shaped "
+                        f"the victim p99 must stay <= 2x its no-aggressor "
+                        f"baseline ({solo_p99!r} us), got {p99!r}")
+                if not (isinstance(row.get("throttled"), int)
+                        and row["throttled"] > 0):
+                    problems.append(
+                        f"{label}: admission cap must trip the client "
+                        f"throttle counter, got {row.get('throttled')!r}")
+            if cell == "shed":
+                if not (isinstance(row.get("shed"), int)
+                        and row["shed"] > 0):
+                    problems.append(
+                        f"{label}: occupancy cap must shed server-side, "
+                        f"got {row.get('shed')!r}")
+            if cell == "auto":
+                best = row.get("best_static_kops")
+                kops = row.get("kops")
+                if not (isinstance(kops, (int, float))
+                        and isinstance(best, (int, float)) and best > 0
+                        and kops >= 0.9 * best):
+                    problems.append(
+                        f"{label}: AIMD autotune must land within 10% of "
+                        f"the best static window ({best!r} kops), "
+                        f"got {kops!r}")
     if experiment == "failover_availability":
         for i, row in enumerate(rows):
             if row.get("exceptions") != 0:

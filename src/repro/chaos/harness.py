@@ -33,7 +33,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..config import SimConfig
+from ..config import QosConfig, SimConfig
 from ..core.api import HydraCluster
 from ..core.errors import HydraError
 from ..sim import StreamRegistry
@@ -49,12 +49,13 @@ _MS = 1_000_000
 #: stale-pointer storms as the acceptance criteria require.
 SOAK_SEEDS: Sequence[tuple[str, int]] = (
     ("torn", 11), ("gray", 23), ("zk", 37), ("flap", 53), ("mixed", 71),
-    ("stale", 89),
+    ("stale", 89), ("tenant", 101),
 )
 
 
-def _profile_overrides(profile: str) -> tuple[dict, dict]:
-    """Per-profile ``(hydra, memory)`` config deltas — pure in ``profile``.
+def _profile_overrides(profile: str) -> tuple[dict, dict, dict]:
+    """Per-profile ``(hydra, traversal, memory)`` config deltas — pure in
+    ``profile``.
 
     The ``stale`` storm only bites if leases lapse and reclaim runs
     *during* the 700 ms soak, so it shrinks both far below their
@@ -66,12 +67,11 @@ def _profile_overrides(profile: str) -> tuple[dict, dict]:
     if profile == "stale":
         return (
             {"lease_min_ns": 5 * _MS, "lease_max_ns": 20 * _MS,
-             "lease_renew_period_ns": 10 * _MS,
-             "traversal_min_fanout": 1,
-             "traversal_read_horizon_ns": 20 * _MS},
+             "lease_renew_period_ns": 10 * _MS},
+            {"min_fanout": 1, "read_horizon_ns": 20 * _MS},
             {"reclaim_period_ns": 2 * _MS},
         )
-    return {}, {}
+    return {}, {}, {}
 
 
 class _KeyState:
@@ -149,12 +149,14 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
 
     if schedule is None:
         schedule = build_schedule(profile, seed, storm_start, storm_end)
-    hydra_extra, memory_extra = _profile_overrides(schedule.name)
+    hydra_extra, traversal_extra, memory_extra = \
+        _profile_overrides(schedule.name)
     cfg = SimConfig(seed=seed).with_overrides(
         replication={"replicas": 1},
         coord={"heartbeat_ns": 50 * _MS, "session_timeout_ns": 200 * _MS},
-        hydra={"op_timeout_ns": 5 * _MS, "msg_slots_per_conn": 8,
-               "max_inflight_per_conn": 4, **hydra_extra},
+        hydra={"msg_slots_per_conn": 8, **hydra_extra},
+        client={"op_timeout_ns": 5 * _MS, "max_inflight_per_conn": 4},
+        traversal=traversal_extra,
         memory=memory_extra,
     )
     cluster = HydraCluster(config=cfg, n_server_machines=2,
@@ -176,7 +178,7 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
     sealed: dict[bytes, bytes] = {}
     # One attempt's worth of slack past the deadline budget: the final
     # retry may be mid-flight when the budget lapses.
-    slack_ns = cfg.hydra.op_timeout_ns + 10 * _MS
+    slack_ns = cfg.client.op_timeout_ns + 10 * _MS
 
     def worker(cid: int, client):
         rng = wl.stream(f"chaos.workload.c{cid}")
@@ -241,9 +243,41 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
             else:
                 stats["seal_failures"] += 1
 
-    clients = [cluster.client(c % 2, deadline_us=deadline_ms * 1000)
-               for c in range(n_clients)]
-    cluster.run(*[worker(c, cl) for c, cl in enumerate(clients)])
+    def aggressor(client):
+        """Tenant-profile antagonist: closed-loop batched churn on its
+        own keyspace through the QoS layer, sharing the oracle workers'
+        connections.  Typed errors are its expected weather (that is the
+        point of admission + shed); anything untyped trips the same
+        typed-errors-only verdict as the oracle workload."""
+        agg_keys = [f"aggr{i:05d}".encode() for i in range(n_keys)]
+        value = b"A" * value_bytes
+        j = 0
+        while sim.now < end_at:
+            pairs = [(agg_keys[(j + k) % n_keys], value) for k in range(8)]
+            try:
+                yield from client.put_many(pairs)
+            except HydraError:
+                yield sim.timeout(think_ns)
+            except Exception:  # noqa: BLE001 - the invariant being tested
+                stats["untyped_errors"] += 1
+                yield sim.timeout(think_ns)
+            j += 8
+
+    if schedule.name == "tenant":
+        # The oracle workload becomes a well-behaved weighted tenant and
+        # two aggressor handles saturate the same connections, so the
+        # storm's flaps and losses land on DRR-arbitrated pipes.
+        clients = [cluster.client(c % 2, deadline_us=deadline_ms * 1000,
+                                  tenant="wb", qos=QosConfig(weight=4.0))
+                   for c in range(n_clients)]
+        agg_clients = [cluster.client(m, deadline_us=deadline_ms * 1000,
+                                      tenant="agg") for m in range(2)]
+    else:
+        clients = [cluster.client(c % 2, deadline_us=deadline_ms * 1000)
+                   for c in range(n_clients)]
+        agg_clients = []
+    cluster.run(*[worker(c, cl) for c, cl in enumerate(clients)],
+                *[aggressor(cl) for cl in agg_clients])
 
     # -- verdict ---------------------------------------------------------
     store: dict[bytes, bytes] = {}

@@ -60,7 +60,7 @@ ACTION_KINDS = ("shard_crash", "gray", "zk_expire_agent", "swat_churn",
                 "qp_flap")
 
 #: Named storm profiles understood by :func:`build_schedule`.
-PROFILES = ("torn", "gray", "zk", "flap", "mixed", "stale")
+PROFILES = ("torn", "gray", "zk", "flap", "mixed", "stale", "tenant")
 
 
 @dataclass(frozen=True)
@@ -191,6 +191,17 @@ def build_schedule(profile: str, seed: int,
         window("read_drop", 0.01, 0.03)
         window("write_delay", 0.02, 0.05, min_d=20_000, max_d=200_000)
         actions.append(FaultAction(jit(0.3, 0.7), "qp_flap"))
+    elif profile == "tenant":
+        # Multi-tenant storm: the harness pairs this schedule with an
+        # aggressor tenant saturating the shared connections through the
+        # QoS layer (admission + DRR slot arbitration), so the faults
+        # here land on contended pipes — QP flaps tear down connections
+        # with cross-tenant arbiter state, light loss forces retries
+        # through admission, and delayed writes age out slot grants.
+        for _ in range(2):
+            actions.append(FaultAction(jit(0.1, 0.9), "qp_flap"))
+        window("write_drop", 0.01, 0.03)
+        window("write_delay", 0.02, 0.05, min_d=20_000, max_d=200_000)
     else:  # mixed
         actions.append(FaultAction(jit(0.15, 0.4), "shard_crash",
                                    index=int(rng.integers(0, 4))))

@@ -8,6 +8,7 @@ All times are integer nanoseconds; all rates are bytes per nanosecond.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -18,6 +19,9 @@ __all__ = [
     "CpuConfig",
     "MemoryConfig",
     "HydraConfig",
+    "ClientConfig",
+    "TraversalConfig",
+    "QosConfig",
     "ReplicationConfig",
     "CoordConfig",
     "SimConfig",
@@ -192,47 +196,6 @@ class HydraConfig:
     #: K > 1 lets a client keep up to K requests in flight on one
     #: connection, with responses slot-matched to their requests.
     msg_slots_per_conn: int = 1
-    #: Client-side in-flight window per connection.  The effective window
-    #: on the RDMA-Write message path is min(this, msg_slots_per_conn).
-    #: 1 preserves the original stop-and-wait behavior.
-    max_inflight_per_conn: int = 1
-    #: Per-connection cap on outstanding one-sided Reads in the batched
-    #: GET fan-out.  Reads are posted in doorbell-coalesced batches of at
-    #: most this many WQEs; single-key GETs post batches of one, so the
-    #: default changes nothing for them.
-    max_inflight_reads: int = 16
-    #: Client-side index traversal: the shard exports its compact hash
-    #: table's buckets as a client-readable RDMA region, and a cold GET
-    #: (no cached remote pointer) resolves with a one-sided bucket Read
-    #: followed by an item Read — 2 RTTs, zero server CPU — instead of
-    #: demoting to the message path.  False restores the PR-2 behavior
-    #: (cold keys always go through messages).
-    index_traversal: bool = True
-    #: Bounded optimistic retry for the traversal: a read that races a
-    #: concurrent mutation (bucket version moved, guardian flipped,
-    #: reclaimed bytes) re-reads the bucket at most this many times
-    #: before demoting the key to the message path.
-    traversal_max_retries: int = 3
-    #: Minimum number of *cold* keys in one read fan-out before the
-    #: traversal engine engages.  A lone cold key is two dependent RTTs
-    #: one-sided versus one message round-trip to an often-idle core, so
-    #: the message path wins below this; at or above it the bucket Reads
-    #: of different keys pipeline through one doorbell and the traversal
-    #: amortizes.  1 = traverse every cold key (bench cold cells).
-    traversal_min_fanout: int = 2
-    #: Exported overflow-bucket frames per shard.  Chains that extend
-    #: past this capacity set the demote flag in their last exported
-    #: frame and clients fall back to the message path for them.
-    index_export_overflow: int = 1024
-    #: Read-horizon deferral (ns): a retired extent is never freed
-    #: earlier than retire-time + this horizon, even if its frozen lease
-    #: has already lapsed.  Bounds the window in which a traversal's
-    #: bucket snapshot can hold an offset, so the follow-up item Read
-    #: lands on intact (if DEAD-guarded) bytes rather than a recycled
-    #: extent.  A walk is a handful of RTTs (~10 us with retries), so
-    #: 1 ms is ~100x margin while staying well inside typical lease
-    #: lengths — the lease, not the horizon, governs reclaim latency.
-    traversal_read_horizon_ns: int = 1_000_000
     #: Per-connection drain budget for server sweeps: a single sweep
     #: consumes at most this many ready slots from one connection, then
     #: re-marks it ready so the next sweep continues — one hot
@@ -244,25 +207,6 @@ class HydraConfig:
     #: connection through one batched syscall (``send_many``) instead of
     #: one syscall each.  1 restores one-payload-per-wake.
     tcp_drain_batch: int = 16
-    #: Client gives up on a response after this long (failover trigger).
-    #: This bounds ONE message-path attempt; the public operations retry
-    #: attempts under the ``op_deadline_us`` budget below.
-    op_timeout_ns: int = 50_000_000
-    #: Per-request deadline budget (microseconds) for every public client
-    #: operation.  On a timeout / QP error the client tears down the stale
-    #: connection, re-resolves the key through the (versioned) routing
-    #: table, and replays the request with capped exponential backoff
-    #: until this budget lapses — then raises ShardUnavailable.  The
-    #: default comfortably covers a full SWAT failover (ZooKeeper session
-    #: expiry + reaction + promotion ≈ 2.5 s).  0 disables retries: every
-    #: attempt failure surfaces immediately (the pre-retry API).
-    op_deadline_us: int = 4_000_000
-    #: Capped exponential backoff between retry attempts (microseconds):
-    #: first wait, and the cap it doubles up to.  A routing-table change
-    #: notification short-circuits the wait, so promoted shards are
-    #: retried as soon as SWAT republishes the route.
-    retry_backoff_min_us: int = 1_000
-    retry_backoff_max_us: int = 100_000
     #: Hash-table buckets per shard (power of two).
     buckets_per_shard: int = 1 << 15
     #: Lease bounds (paper: 1 s .. 64 s scaled by observed popularity).
@@ -272,12 +216,6 @@ class HydraConfig:
     lease_popularity_saturation: int = 64
     #: Client-side lease renewal period for keys it deems popular.
     lease_renew_period_ns: int = 500_000_000
-    #: Enable the RDMA-Read fast path with remote-pointer caching.
-    rptr_cache_enabled: bool = True
-    #: Share the remote-pointer cache among co-located clients (§4.2.4).
-    rptr_sharing: bool = True
-    #: Client rptr cache capacity (entries) when exclusive.
-    rptr_cache_entries: int = 1 << 16
     #: Use RDMA-Write indicator messaging (False = two-sided Send/Recv).
     rdma_write_messaging: bool = True
     #: 64-bit occupancy bitmap in a header word of each request buffer
@@ -339,6 +277,200 @@ class HydraConfig:
     pipeline_read_penalty: float = 1.3
     pipeline_write_penalty: float = 2.2
 
+    # -- deprecation shim ----------------------------------------------------
+    # PR 8 moved the client/traversal knobs into the typed ClientConfig /
+    # TraversalConfig groups.  Reads and writes of the old flat names keep
+    # working (with a once-per-key DeprecationWarning) by forwarding through
+    # the owning SimConfig, which links itself in __post_init__.
+
+    def __getattr__(self, name: str) -> Any:
+        moved = _MOVED_HYDRA_KEYS.get(name)
+        if moved is None:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}")
+        root = self.__dict__.get("_root")
+        if root is None:
+            raise AttributeError(
+                f"hydra.{name} moved to {moved[0]}.{moved[1]}; this "
+                f"HydraConfig is not attached to a SimConfig, so the old "
+                f"name cannot be forwarded")
+        _warn_moved_key(name, moved)
+        return getattr(getattr(root, moved[0]), moved[1])
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        moved = _MOVED_HYDRA_KEYS.get(name)
+        if moved is not None:
+            root = self.__dict__.get("_root")
+            if root is not None:
+                _warn_moved_key(name, moved)
+                setattr(getattr(root, moved[0]), moved[1], value)
+                return
+        object.__setattr__(self, name, value)
+
+
+@dataclass
+class ClientConfig:
+    """Client-library parameters (windows, timeouts, retry, pointer cache).
+
+    Split out of :class:`HydraConfig` in PR 8; the old flat ``hydra.*``
+    names still resolve through a deprecation shim.
+    """
+
+    #: Client-side in-flight window per connection.  The effective window
+    #: on the RDMA-Write message path is min(this, msg_slots_per_conn).
+    #: 1 preserves the original stop-and-wait behavior.
+    max_inflight_per_conn: int = 1
+    #: Per-connection cap on outstanding one-sided Reads in the batched
+    #: GET fan-out.  Reads are posted in doorbell-coalesced batches of at
+    #: most this many WQEs; single-key GETs post batches of one, so the
+    #: default changes nothing for them.
+    max_inflight_reads: int = 16
+    #: Client gives up on a response after this long (failover trigger).
+    #: This bounds ONE message-path attempt; the public operations retry
+    #: attempts under the ``op_deadline_us`` budget below.
+    op_timeout_ns: int = 50_000_000
+    #: Per-request deadline budget (microseconds) for every public client
+    #: operation.  On a timeout / QP error the client tears down the stale
+    #: connection, re-resolves the key through the (versioned) routing
+    #: table, and replays the request with capped exponential backoff
+    #: until this budget lapses — then raises ShardUnavailable.  The
+    #: default comfortably covers a full SWAT failover (ZooKeeper session
+    #: expiry + reaction + promotion ≈ 2.5 s).  0 disables retries: every
+    #: attempt failure surfaces immediately (the pre-retry API).
+    op_deadline_us: int = 4_000_000
+    #: Capped exponential backoff between retry attempts (microseconds):
+    #: first wait, and the cap it doubles up to.  A routing-table change
+    #: notification short-circuits the wait, so promoted shards are
+    #: retried as soon as SWAT republishes the route.
+    retry_backoff_min_us: int = 1_000
+    retry_backoff_max_us: int = 100_000
+    #: Enable the RDMA-Read fast path with remote-pointer caching.
+    rptr_cache_enabled: bool = True
+    #: Share the remote-pointer cache among co-located clients (§4.2.4).
+    rptr_sharing: bool = True
+    #: Client rptr cache capacity (entries) when exclusive.
+    rptr_cache_entries: int = 1 << 16
+
+
+@dataclass
+class TraversalConfig:
+    """Client-side one-sided index traversal (§4.2.2 extended)."""
+
+    #: The shard exports its compact hash table's buckets as a
+    #: client-readable RDMA region, and a cold GET (no cached remote
+    #: pointer) resolves with a one-sided bucket Read followed by an item
+    #: Read — 2 RTTs, zero server CPU — instead of demoting to the
+    #: message path.  False restores the PR-2 behavior (cold keys always
+    #: go through messages).
+    enabled: bool = True
+    #: Bounded optimistic retry for the traversal: a read that races a
+    #: concurrent mutation (bucket version moved, guardian flipped,
+    #: reclaimed bytes) re-reads the bucket at most this many times
+    #: before demoting the key to the message path.
+    max_retries: int = 3
+    #: Minimum number of *cold* keys in one read fan-out before the
+    #: traversal engine engages.  A lone cold key is two dependent RTTs
+    #: one-sided versus one message round-trip to an often-idle core, so
+    #: the message path wins below this; at or above it the bucket Reads
+    #: of different keys pipeline through one doorbell and the traversal
+    #: amortizes.  1 = traverse every cold key (bench cold cells).
+    min_fanout: int = 2
+    #: Exported overflow-bucket frames per shard.  Chains that extend
+    #: past this capacity set the demote flag in their last exported
+    #: frame and clients fall back to the message path for them.
+    export_overflow: int = 1024
+    #: Read-horizon deferral (ns): a retired extent is never freed
+    #: earlier than retire-time + this horizon, even if its frozen lease
+    #: has already lapsed.  Bounds the window in which a traversal's
+    #: bucket snapshot can hold an offset, so the follow-up item Read
+    #: lands on intact (if DEAD-guarded) bytes rather than a recycled
+    #: extent.  A walk is a handful of RTTs (~10 us with retries), so
+    #: 1 ms is ~100x margin while staying well inside typical lease
+    #: lengths — the lease, not the horizon, governs reclaim latency.
+    read_horizon_ns: int = 1_000_000
+
+
+@dataclass
+class QosConfig:
+    """Multi-tenant traffic engineering (PR 8).
+
+    Doubles as the per-tenant policy handed to
+    ``HydraCluster.client(tenant=..., qos=QosConfig(...))`` and as the
+    cluster-wide defaults section ``SimConfig.qos``.
+    """
+
+    #: Token-bucket admission: sustained rate in ops/second (0 = no
+    #: admission control) and the bucket depth in ops.  An op issued with
+    #: the bucket empty waits out the refill under its deadline budget,
+    #: or raises :class:`~repro.core.errors.TenantThrottled` carrying the
+    #: ``retry_after_ns`` hint when the budget cannot cover the wait.
+    rate_ops: float = 0.0
+    burst: int = 32
+    #: Deficit-round-robin weight of this tenant when competing for
+    #: message slots / read window on a shared connection.
+    weight: float = 1.0
+    #: Fair queueing: arbitrate pending slot acquisitions across tenants
+    #: sharing a connection pipeline with DRR.  False = legacy free-for-
+    #: all (first process to wake takes the slot).
+    fair_queueing: bool = True
+    #: Slots granted per DRR round per unit weight.  1 = strict
+    #: round-robin interleaving; larger quanta trade fairness granularity
+    #: for doorbell/batching efficiency.
+    drr_quantum: float = 1.0
+    #: AIMD self-tuning of the per-connection in-flight and read windows
+    #: from observed RTT: replaces the static ``client.max_inflight_*``
+    #: caps when on.
+    autotune: bool = False
+    aimd_min_window: int = 1
+    aimd_max_window: int = 64
+    #: EWMA smoothing factor for the RTT estimate.
+    aimd_rtt_smooth: float = 0.125
+    #: Multiplicative decrease triggers when smoothed RTT exceeds this
+    #: multiple of the best RTT seen (queueing-delay congestion signal).
+    aimd_rtt_inflation: float = 3.0
+    #: Window multiplier on congestion (loss or RTT inflation).
+    aimd_decrease: float = 0.5
+    #: Clean completions per +1 additive-increase step.
+    aimd_probe_interval: int = 8
+    #: Server-side load shedding: with N > 0, a sweep that finds more
+    #: than N requests from one tenant while other tenants are also
+    #: queued sheds the excess with ``Status.THROTTLED`` instead of
+    #: executing them.  0 = never shed (default).
+    server_shed_slots: int = 0
+    #: ``retry_after_ns`` hint carried by server-side THROTTLED responses.
+    shed_retry_after_ns: int = 200_000
+
+
+#: Old flat ``hydra.<key>`` name -> (SimConfig section, new field name).
+_MOVED_HYDRA_KEYS: dict[str, tuple[str, str]] = {
+    "max_inflight_per_conn": ("client", "max_inflight_per_conn"),
+    "max_inflight_reads": ("client", "max_inflight_reads"),
+    "op_timeout_ns": ("client", "op_timeout_ns"),
+    "op_deadline_us": ("client", "op_deadline_us"),
+    "retry_backoff_min_us": ("client", "retry_backoff_min_us"),
+    "retry_backoff_max_us": ("client", "retry_backoff_max_us"),
+    "rptr_cache_enabled": ("client", "rptr_cache_enabled"),
+    "rptr_sharing": ("client", "rptr_sharing"),
+    "rptr_cache_entries": ("client", "rptr_cache_entries"),
+    "index_traversal": ("traversal", "enabled"),
+    "traversal_max_retries": ("traversal", "max_retries"),
+    "traversal_min_fanout": ("traversal", "min_fanout"),
+    "index_export_overflow": ("traversal", "export_overflow"),
+    "traversal_read_horizon_ns": ("traversal", "read_horizon_ns"),
+}
+
+_warned_moved_keys: set[str] = set()
+
+
+def _warn_moved_key(name: str, moved: tuple[str, str]) -> None:
+    if name in _warned_moved_keys:
+        return
+    _warned_moved_keys.add(name)
+    warnings.warn(
+        f"hydra.{name} is deprecated; use {moved[0]}.{moved[1]} "
+        f"(SimConfig.{moved[0]} section)",
+        DeprecationWarning, stacklevel=3)
+
 
 @dataclass
 class ReplicationConfig:
@@ -384,17 +516,48 @@ class SimConfig:
     cpu: CpuConfig = field(default_factory=CpuConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     hydra: HydraConfig = field(default_factory=HydraConfig)
+    client: ClientConfig = field(default_factory=ClientConfig)
+    traversal: TraversalConfig = field(default_factory=TraversalConfig)
+    qos: QosConfig = field(default_factory=QosConfig)
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     coord: CoordConfig = field(default_factory=CoordConfig)
+
+    def __post_init__(self) -> None:
+        # Back-link the hydra section so the deprecation shim can forward
+        # old flat keys to their new homes.  ``replace()`` reuses section
+        # instances for untouched sections, so an instance already linked
+        # to another SimConfig is copied first — each root resolves old
+        # names against its *own* client/traversal groups.
+        hydra = self.hydra
+        if hydra.__dict__.get("_root") is not None:
+            hydra = replace(hydra)
+            object.__setattr__(self, "hydra", hydra)
+        hydra.__dict__["_root"] = self
 
     def with_overrides(self, **sections: dict[str, Any]) -> "SimConfig":
         """Return a copy with per-section field overrides.
 
         Example::
 
-            cfg.with_overrides(hydra={"rptr_cache_enabled": False},
+            cfg.with_overrides(client={"rptr_cache_enabled": False},
                                replication={"replicas": 2})
+
+        Old flat ``hydra.*`` keys that moved to the ``client`` /
+        ``traversal`` groups are still accepted under ``hydra={...}`` and
+        routed to their new section, with a once-per-key
+        DeprecationWarning.
         """
+        sections = {name: dict(fields) for name, fields in sections.items()}
+        hydra_fields = sections.get("hydra")
+        if hydra_fields:
+            for key in list(hydra_fields):
+                moved = _MOVED_HYDRA_KEYS.get(key)
+                if moved is not None:
+                    _warn_moved_key(key, moved)
+                    sections.setdefault(moved[0], {})[moved[1]] = (
+                        hydra_fields.pop(key))
+            if not hydra_fields:
+                del sections["hydra"]
         updates: dict[str, Any] = {}
         for section, fields in sections.items():
             current = getattr(self, section)

@@ -1,9 +1,10 @@
 """HydraDB core: shards, clients, consistent hashing, leases, the cluster."""
 
 from .api import HydraCluster, RoutingTable
-from .client import HydraClient, StaticRouter
-from .errors import (BadStatus, HydraError, LifecycleError, RequestTimeout,
-                     ShardUnavailable, SlotOverflow)
+from .client import ClientTransport, HydraClient, StaticRouter
+from .errors import (Backpressure, BadStatus, HydraError, LifecycleError,
+                     RequestTimeout, ShardUnavailable, SlotOverflow,
+                     TenantThrottled)
 from .lease import LeaseManager, LeaseState
 from .ring import HashRing
 from .rptr import CachedPointer, RptrCache
@@ -16,6 +17,7 @@ __all__ = [
     "HydraCluster",
     "RoutingTable",
     "HydraClient",
+    "ClientTransport",
     "StaticRouter",
     "HydraError",
     "RequestTimeout",
@@ -23,6 +25,8 @@ __all__ = [
     "BadStatus",
     "SlotOverflow",
     "LifecycleError",
+    "Backpressure",
+    "TenantThrottled",
     "HydraServer",
     "Shard",
     "SubShardedShard",

@@ -23,13 +23,15 @@ objects currently serving them (updated by SWAT on failover).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Generator, Optional
 
-from ..config import SimConfig
+from ..config import QosConfig, SimConfig
 from ..hardware import Machine
+from ..qos import TokenBucket
 from ..rdma import Fabric, TcpNetwork
 from ..sim import Gate, MetricSet, Simulator
-from .client import HydraClient
+from .client import ClientTransport, HydraClient
 from .errors import LifecycleError
 from .ring import HashRing
 from .rptr import RptrCache
@@ -109,6 +111,13 @@ class HydraCluster:
         self._machine_counter = 0
         #: Per-client-machine shared remote-pointer caches (§4.2.4).
         self._shared_caches: dict[int, RptrCache] = {}
+        #: Per-machine shared connection transports for tenant-scoped
+        #: handles (tenants on one machine share connections so fair
+        #: queueing arbitrates real contention).
+        self._transports: dict[int, ClientTransport] = {}
+        #: Per-tenant admission buckets (``qos.rate_ops``), first handle
+        #: wins — every handle of one tenant drains one budget.
+        self._tenant_buckets: dict[str, Optional[TokenBucket]] = {}
         self._started = False
         for _ in range(n_server_machines):
             machine = self._new_machine(cores_per_numa)
@@ -240,34 +249,73 @@ class HydraCluster:
 
     # -- clients ---------------------------------------------------------
     def client(self, machine_index: int = 0, connect: bool = True,
-               deadline_us: Optional[int] = None) -> HydraClient:
-        """Create a client on the i-th client machine.
+               deadline_us: Optional[int] = None, tenant: str = "default",
+               qos: Optional[QosConfig] = None) -> HydraClient:
+        """Create a client handle on the i-th client machine.
 
-        ``deadline_us`` overrides ``hydra.op_deadline_us`` for this client
-        only (0 = single-attempt mode, no retries).
+        ``deadline_us`` overrides ``client.op_deadline_us`` for this
+        handle only (0 = single-attempt mode, no retries).
+
+        ``tenant``/``qos`` scope the handle to a named tenant with a
+        traffic-engineering policy: tenant handles on one machine share
+        the machine's connections, with token-bucket admission
+        (``qos.rate_ops``), DRR-fair slot queueing
+        (``qos.fair_queueing``), and AIMD window autotuning
+        (``qos.autotune``) per the policy.  A named tenant without an
+        explicit ``qos`` inherits a copy of the cluster-wide
+        ``config.qos``.  The default ``tenant="default"`` with no ``qos``
+        is bit-for-bit the pre-tenant client.
         """
         machine = self.client_machines[machine_index]
         return self.client_on(machine, connect=connect,
-                              deadline_us=deadline_us)
+                              deadline_us=deadline_us, tenant=tenant,
+                              qos=qos)
 
     def client_on(self, machine: Machine, connect: bool = True,
-                  deadline_us: Optional[int] = None) -> HydraClient:
+                  deadline_us: Optional[int] = None,
+                  tenant: str = "default",
+                  qos: Optional[QosConfig] = None) -> HydraClient:
         """Create a client on an arbitrary machine (co-location allowed)."""
         cache = None
-        if (self.config.hydra.rptr_cache_enabled
-                and self.config.hydra.rptr_sharing):
+        if (self.config.client.rptr_cache_enabled
+                and self.config.client.rptr_sharing):
             cache = self._shared_caches.get(machine.machine_id)
             if cache is None:
-                cache = RptrCache(self.config.hydra.rptr_cache_entries)
+                cache = RptrCache(self.config.client.rptr_cache_entries)
                 self._shared_caches[machine.machine_id] = cache
             else:
                 cache.add_sharer()
+        if qos is None and tenant != "default":
+            qos = replace(self.config.qos)
+        shared = None
+        bucket = None
+        if qos is not None:
+            # Tenant handles on one machine share one transport: the same
+            # physical connections, slots, and windows — the contention
+            # the QoS layer arbitrates.
+            shared = self._transports.get(machine.machine_id)
+            if shared is None:
+                shared = self._transports[machine.machine_id] = (
+                    ClientTransport())
+            bucket = self._bucket_for(tenant, qos)
         client = HydraClient(self.sim, self.config, machine, router=self,
                              metrics=self.metrics, rptr_cache=cache,
-                             deadline_us=deadline_us)
+                             deadline_us=deadline_us, tenant=tenant,
+                             qos=qos, shared=shared, bucket=bucket)
         if connect:
             client.connect_all()
         return client
+
+    def _bucket_for(self, tenant: str,
+                    qos: QosConfig) -> Optional[TokenBucket]:
+        """The tenant's shared admission bucket (first policy wins; None
+        when the tenant is unthrottled, ``qos.rate_ops <= 0``)."""
+        if tenant in self._tenant_buckets:
+            return self._tenant_buckets[tenant]
+        bucket = (TokenBucket(qos.rate_ops, qos.burst, now_ns=self.sim.now)
+                  if qos.rate_ops > 0 else None)
+        self._tenant_buckets[tenant] = bucket
+        return bucket
 
     def rptr_stats(self) -> dict[str, int]:
         """Aggregate remote-pointer cache counters across shared caches."""

@@ -15,7 +15,7 @@ slot of the shard's per-connection request buffer; the client then polls
 its response buffer (Send/Recv mode posts a receive and polls the CQ
 instead).  The message path is *pipelined*: ``issue()`` returns a
 :class:`PendingRequest` handle without blocking on the response, and
-``wait()`` collects it later, so up to ``hydra.max_inflight_per_conn``
+``wait()`` collects it later, so up to ``client.max_inflight_per_conn``
 requests overlap per connection (and any number across connections).
 ``get_many``/``put_many`` fan a batch across slots and shards and gather
 responses as they complete.  With the default window of 1 every operation
@@ -23,16 +23,29 @@ degenerates to the original stop-and-wait behavior.
 
 The one-sided fast path is pipelined too: ``_read_fanout`` looks up every
 remote pointer up front, posts the hit set as doorbell-coalesced RDMA-Read
-batches (at most ``hydra.max_inflight_reads`` outstanding per connection)
+batches (at most ``client.max_inflight_reads`` outstanding per connection)
 and gathers completions as they arrive.  A key that cannot be served
 one-sidedly — no usable pointer, QP error, dead item, key mismatch — is
 *demoted* into a single pipelined message-path batch that overlaps with
 the still-in-flight Reads; its message response re-primes the pointer
 cache.  Single-key ``get`` rides the same engine with a batch of one.
 
+Multi-tenancy (traffic engineering): handles from
+``HydraCluster.client(tenant=..., qos=QosConfig(...))`` share one
+:class:`ClientTransport` per machine — the same physical connections —
+and compete for its message slots and read windows.  Admission is
+token-bucket-gated per tenant (``qos.rate_ops``), slot grants are
+deficit-round-robin-arbitrated across tenants (``qos.fair_queueing``),
+and with ``qos.autotune`` an AIMD controller replaces the static
+``client.max_inflight_*`` windows, tuning each connection's in-flight
+depth from observed RTT.  Overload surfaces as typed
+:class:`~repro.core.errors.TenantThrottled` errors whose
+``retry_after_ns`` hints the retry engine honors — never a silent stall.
+
 Failure handling (§5): every public operation runs under a per-request
-deadline budget (``hydra.op_deadline_us``).  When one message-path attempt
-times out (``hydra.op_timeout_ns``) or dies at the QP/NIC layer, the
+deadline budget (``client.op_deadline_us``).  When one message-path
+attempt times out (``client.op_timeout_ns``) or dies at the QP/NIC layer,
+the
 client tears down the stale connection, drops the key's remote-pointer
 cache entry, re-resolves the key through the (versioned) routing table —
 blocking on the router's ``route_change`` gate so a SWAT promotion is
@@ -52,22 +65,24 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Optional
 
-from ..config import SimConfig
+from ..config import QosConfig, SimConfig
 from ..hardware import Machine
 from ..index.export import BUCKET_EXPORT_BYTES, IndexHandshake, parse_bucket
 from ..index.hashing import bucket_index, hash64, signature16
 from ..kvmem import item_size, parse_item, parse_item_prefix
 from ..protocol import (Op, Request, Response, Status, clear, consume,
                          frame, frame_len, occ_announce)
+from ..qos import AimdController, SlotArbiter
 from ..rdma import Nic, NicDown, QpError, RemotePointer
 from ..rdma.tcp import TcpError
 from ..sim import MetricSet, Simulator
 from .errors import (BadStatus, RequestTimeout, ShardUnavailable,
-                     SlotOverflow)
+                     SlotOverflow, TenantThrottled)
 from .rptr import CachedPointer, RptrCache
 from .shard import Connection, Shard
 
-__all__ = ["HydraClient", "PendingRequest", "RequestTimeout", "StaticRouter"]
+__all__ = ["ClientTransport", "HydraClient", "PendingRequest",
+           "RequestTimeout", "StaticRouter"]
 
 _client_ids = count(1)
 
@@ -108,7 +123,7 @@ class _Traversal:
     mutation bumps the head, so an unmoved head proves the walk saw one
     consistent chain).  Any sign the chain moved under us — dead item,
     garbage bytes, moved head — is a *race*: the walk restarts from the
-    head, at most ``hydra.traversal_max_retries`` times before the key
+    head, at most ``traversal.max_retries`` times before the key
     demotes to the message path.
     """
 
@@ -152,6 +167,8 @@ class _ReadState:
     #: :class:`_ReadOp` entries not yet posted.
     queue: list = field(default_factory=list)
     inflight: int = 0
+    #: Post instant of the outstanding batch (read-window AIMD sampling).
+    post_ns: int = 0
 
 
 @dataclass
@@ -172,6 +189,22 @@ class _ConnPipeline:
     #: (``hydra.occ_announce_mask``): excluded from subsequent occupancy
     #: words so long windows stop re-announcing drained slots.
     confirmed: set = field(default_factory=set)
+    #: req_id -> issue instant for AIMD RTT sampling (``qos.autotune``
+    #: only; stays empty otherwise).
+    issued_ns: dict[int, int] = field(default_factory=dict)
+    #: Lazily created DRR slot arbiter (``qos.fair_queueing`` only).
+    arbiter: Optional[SlotArbiter] = None
+    #: req_id -> tenant for arbiter occupancy accounting
+    #: (``qos.fair_queueing`` only; stays empty otherwise).
+    req_tenant: dict[int, str] = field(default_factory=dict)
+    #: Monotone per-pipe post counter and slot -> post sequence.  Under
+    #: fair queueing a request can be assigned its req_id, then wait
+    #: arbitrarily long for a slot grant while later req_ids post first,
+    #: so req_id order no longer matches QP post order — the announce-
+    #: confirmation inference in :meth:`HydraClient._drain` must compare
+    #: post sequence instead.
+    post_seq: int = 0
+    slot_seq: dict[int, int] = field(default_factory=dict)
 
 
 class StaticRouter:
@@ -199,6 +232,37 @@ class StaticRouter:
         return list(self._shards)
 
 
+class ClientTransport:
+    """Connection state shared by every tenant handle on one machine.
+
+    Tenant-scoped handles from ``HydraCluster.client(tenant=...)`` share
+    the machine's physical connections — that is what makes fair
+    queueing meaningful: competing tenants contend for the *same*
+    per-connection message slots and one-sided read windows, arbitrated
+    by each pipeline's :class:`~repro.qos.SlotArbiter`.  A standalone
+    :class:`HydraClient` creates a private transport, preserving the
+    single-tenant behavior bit-for-bit.
+    """
+
+    __slots__ = ("conns", "tcp_conns", "pipes", "req_ids", "ctls",
+                 "read_ctls", "read_use", "weights")
+
+    def __init__(self):
+        self.conns: dict[Shard, Connection] = {}
+        self.tcp_conns: dict[Shard, object] = {}
+        self.pipes: dict[int, _ConnPipeline] = {}
+        self.req_ids = count(1)
+        #: conn_id -> AIMD controller for the message-path window.
+        self.ctls: dict[int, AimdController] = {}
+        #: conn_id -> AIMD controller for the one-sided read window.
+        self.read_ctls: dict[int, AimdController] = {}
+        #: conn_id -> {tenant: outstanding one-sided reads} for
+        #: weight-proportional read-window sharing.
+        self.read_use: dict[int, dict[str, int]] = {}
+        #: tenant -> DRR weight, registered at handle creation.
+        self.weights: dict[str, float] = {}
+
+
 class HydraClient:
     """One client endpoint (the paper's 'client library' instance).
 
@@ -221,10 +285,15 @@ class HydraClient:
                  router, metrics: Optional[MetricSet] = None,
                  rptr_cache: Optional[RptrCache] = None,
                  client_id: Optional[str] = None, numa_domain: int = 0,
-                 deadline_us: Optional[int] = None):
+                 deadline_us: Optional[int] = None, tenant: str = "default",
+                 qos: Optional[QosConfig] = None,
+                 shared: Optional[ClientTransport] = None,
+                 bucket=None):
         self.sim = sim
         self.config = config
         self.hydra = config.hydra
+        self.client_cfg = config.client
+        self.trav_cfg = config.traversal
         self.cpu = config.cpu
         self.machine = machine
         #: NUMA domain this client's buffers live in on its machine.
@@ -234,23 +303,47 @@ class HydraClient:
         self.metrics = metrics or MetricSet(sim)
         self.client_id = client_id or f"client{next(_client_ids)}"
         #: Per-request retry budget in µs; 0 = single-attempt (legacy) mode.
-        self.deadline_us = (self.hydra.op_deadline_us
+        self.deadline_us = (self.client_cfg.op_deadline_us
                             if deadline_us is None else deadline_us)
-        if not self.hydra.rptr_cache_enabled or self.hydra.transport != "rdma":
+        #: Tenant identity and traffic-engineering policy.  ``qos=None``
+        #: (the default handle) takes the exact pre-QoS code paths.
+        self.tenant = tenant
+        self.qos = qos
+        self._wire_tenant = tenant.encode() if tenant != "default" else b""
+        self._fair = qos is not None and qos.fair_queueing
+        self._autotune = qos is not None and qos.autotune
+        #: Shared per-tenant admission bucket (``qos.rate_ops``), owned by
+        #: the cluster so every handle of one tenant drains one budget.
+        self._bucket = bucket
+        self.tmetrics = (self.metrics.scoped(f"client.tenant.{tenant}")
+                         if qos is not None else None)
+        #: Per-round shed bookkeeping for the multi-key replay engine.
+        self._round_sheds = 0
+        self._round_shed_hint = 0
+        if (not self.client_cfg.rptr_cache_enabled
+                or self.hydra.transport != "rdma"):
             # No one-sided reads over TCP: the pointer cache is moot.
             self.cache: Optional[RptrCache] = None
         elif rptr_cache is not None:
             self.cache = rptr_cache
         else:
-            self.cache = RptrCache(self.hydra.rptr_cache_entries)
-        #: Keyed by Shard object identity: after a failover promotion the
-        #: router returns a *new* Shard for the same shard id, and a fresh
-        #: connection is created transparently on the next operation.
-        self.conns: dict[Shard, Connection] = {}
-        self._tcp_conns: dict[Shard, object] = {}
-        #: Per-connection pipeline state, keyed by conn_id.
-        self._pipes: dict[int, _ConnPipeline] = {}
-        self._req_ids = count(1)
+            self.cache = RptrCache(self.client_cfg.rptr_cache_entries)
+        #: Connection state, possibly shared with sibling tenant handles
+        #: on this machine.  ``conns`` is keyed by Shard object identity:
+        #: after a failover promotion the router returns a *new* Shard for
+        #: the same shard id, and a fresh connection is created
+        #: transparently on the next operation.
+        if shared is None:
+            shared = ClientTransport()
+        self._shared = shared
+        self.conns = shared.conns
+        self._tcp_conns = shared.tcp_conns
+        self._pipes = shared.pipes
+        self._req_ids = shared.req_ids
+        self._ctls = shared.ctls
+        self._read_ctls = shared.read_ctls
+        self._read_use = shared.read_use
+        shared.weights[tenant] = qos.weight if qos is not None else 1.0
 
     # -- connections ---------------------------------------------------------
     def connection_to(self, shard: Shard) -> Connection:
@@ -402,17 +495,30 @@ class HydraClient:
         """
         budget = self._budget_ns()
         deadline = self.sim.now + budget if budget > 0 else None
-        backoff_ns = max(1, self.hydra.retry_backoff_min_us) * 1_000
-        backoff_cap_ns = max(1, self.hydra.retry_backoff_max_us) * 1_000
+        backoff_ns = max(1, self.client_cfg.retry_backoff_min_us) * 1_000
+        backoff_cap_ns = max(1, self.client_cfg.retry_backoff_max_us) * 1_000
         first_failure_ns: Optional[int] = None
         failed_shard: Optional[Shard] = None
         while True:
+            if self._bucket is not None:
+                yield from self._admit(deadline, opname)
             shard = self.router.route(key)
-            timeout_ns = self.hydra.op_timeout_ns
+            timeout_ns = self.client_cfg.op_timeout_ns
             if deadline is not None:
                 timeout_ns = min(timeout_ns, deadline - self.sim.now)
             try:
                 result = yield from attempt(shard, timeout_ns)
+            except TenantThrottled as exc:
+                # Server-side shed: honor the retry hint under the budget
+                # (no connection teardown — the shard is alive, just
+                # refusing this tenant more slots this sweep).
+                if deadline is None:
+                    raise
+                wait_ns = max(1, exc.retry_after_ns)
+                if wait_ns >= deadline - self.sim.now:
+                    raise
+                yield self.sim.timeout(wait_ns)
+                continue
             except _RETRYABLE as exc:
                 if deadline is None:
                     raise  # single-attempt mode: legacy contract
@@ -441,7 +547,37 @@ class HydraClient:
                 self.metrics.counter("client.failovers").add()
                 self.metrics.tally("client.failover_latency_ns").observe(
                     self.sim.now - first_failure_ns)
+            if self.tmetrics is not None:
+                self.tmetrics.counter("ops").add()
             return result
+
+    def _admit(self, deadline: Optional[int], opname: str = "", n: int = 1):
+        """Token-bucket admission (``qos.rate_ops``).
+
+        Waits out the bucket refill under the deadline budget; when the
+        budget cannot cover the wait (or there is no budget to sleep
+        under) the op fails *promptly* with :class:`TenantThrottled`
+        carrying the ``retry_after_ns`` hint — never a silent stall.
+
+        Batches larger than the bucket depth are admitted in
+        burst-sized chunks, so a multi-op call always makes progress
+        instead of asking for more tokens than can ever accrue at once.
+        """
+        chunk = max(1, int(self._bucket.burst))
+        while n > 0:
+            take_n = min(n, chunk)
+            wait_ns = self._bucket.take(self.sim.now, take_n)
+            if wait_ns == 0:
+                n -= take_n
+                continue
+            if self.tmetrics is not None:
+                self.tmetrics.counter("throttled").add()
+            if deadline is None or wait_ns >= deadline - self.sim.now:
+                raise TenantThrottled(
+                    f"{self.client_id}: {opname} admission refused for "
+                    f"tenant {self.tenant!r}",
+                    retry_after_ns=wait_ns, tenant=self.tenant)
+            yield self.sim.timeout(wait_ns)
 
     # -- internals ---------------------------------------------------------
     def _mutate(self, op: Op, key: bytes, value: bytes):
@@ -462,6 +598,19 @@ class HydraClient:
             key, attempt, op.name, replayable=op is not Op.INSERT))
 
     # -- pipelined one-sided read engine ------------------------------------
+    def _read_window(self, conn: Connection) -> int:
+        """Total one-sided read window for one connection (AIMD-governed
+        when ``qos.autotune``, else the static ``client`` knob)."""
+        if self._autotune:
+            ctl = self._read_ctls.get(conn.conn_id)
+            if ctl is None:
+                ctl = self._read_ctls[conn.conn_id] = (
+                    AimdController.from_config(
+                        self.qos,
+                        initial=max(1, self.client_cfg.max_inflight_reads)))
+            return ctl.window
+        return max(1, self.client_cfg.max_inflight_reads)
+
     def _post_read_batch(self, cs: _ReadState):
         """Post the next doorbell-coalesced Read batch on one connection.
 
@@ -471,9 +620,29 @@ class HydraClient:
         order; ``failed`` holds every queued item when the QP turns out
         to be unusable (torn down by a failover) — the caller demotes
         those to the message path.
+
+        Tenant handles (``qos`` set) share the window weight-
+        proportionally across the tenants with reads outstanding on this
+        connection, so an aggressor's fan-outs cannot monopolize the
+        read window any more than the message slots.
         """
-        n = min(max(1, self.hydra.max_inflight_reads) - cs.inflight,
-                len(cs.queue))
+        total = self._read_window(cs.conn)
+        if self.qos is None:
+            limit, mine = total, cs.inflight
+        else:
+            use = self._read_use.setdefault(cs.conn.conn_id, {})
+            weights = self._shared.weights
+            active = {t for t, u in use.items() if u > 0}
+            active.add(self.tenant)
+            w_sum = sum(weights.get(t, 1.0) for t in active)
+            limit = max(1, int(total * weights.get(self.tenant, 1.0)
+                               / w_sum))
+            mine = use.get(self.tenant, 0)
+        n = min(limit - mine, len(cs.queue))
+        if n <= 0 and cs.inflight == 0 and cs.queue:
+            # Anti-strand: whatever the share math says, a chain with
+            # nothing in flight must make progress.
+            n = 1
         if n <= 0:
             return [], []
         batch, cs.queue = cs.queue[:n], cs.queue[n:]
@@ -487,6 +656,10 @@ class HydraClient:
             cs.queue = []
             return [], failed
         cs.inflight += n
+        if self.qos is not None:
+            use = self._read_use.setdefault(cs.conn.conn_id, {})
+            use[self.tenant] = use.get(self.tenant, 0) + n
+        cs.post_ns = self.sim.now
         return [(batch, batch_ev, cs)], []
 
     def _read_fanout(self, items: list[_ReadItem], on_demote=None):
@@ -494,7 +667,7 @@ class HydraClient:
 
         Looks up every remote pointer up front, posts the hit set as
         doorbell-coalesced RDMA-Read batches — at most
-        ``hydra.max_inflight_reads`` outstanding per connection — and
+        ``client.max_inflight_reads`` outstanding per connection — and
         gathers completions as they arrive.  Keys that cannot be served
         one-sidedly (no usable pointer, QP error, dead/garbage item, key
         mismatch) are *demoted*: handed to ``on_demote`` the moment the
@@ -551,7 +724,7 @@ class HydraClient:
             """The chain moved under the walk: restart, bounded."""
             trav.retries += 1
             self.metrics.counter("client.traversal_races").add()
-            if trav.retries > self.hydra.traversal_max_retries:
+            if trav.retries > self.trav_cfg.max_retries:
                 yield from demote(trav.item)
                 return
             trav.frames.clear()
@@ -666,11 +839,11 @@ class HydraClient:
                 cs.queue.append(_ReadOp("item", item, entry.rptr))
                 continue
             conn = self.connection_to(item.shard)
-            if self.hydra.index_traversal and conn.index is not None:
+            if self.trav_cfg.enabled and conn.index is not None:
                 cold.append((item, conn))
             else:
                 misses.append(item)
-        if len(cold) >= max(1, self.hydra.traversal_min_fanout):
+        if len(cold) >= max(1, self.trav_cfg.min_fanout):
             # Enough cold keys that their bucket Reads pipeline through
             # one doorbell: resolve them one-sidedly, zero server CPU.
             for item, conn in cold:
@@ -696,6 +869,17 @@ class HydraClient:
             i += 1
             wcs = yield ev
             cs.inflight -= len(ops)
+            if self.qos is not None:
+                use = self._read_use.get(cs.conn.conn_id)
+                if use is not None and self.tenant in use:
+                    use[self.tenant] = max(0, use[self.tenant] - len(ops))
+            if self._autotune and wcs:
+                ctl = self._read_ctls.get(cs.conn.conn_id)
+                if ctl is not None:
+                    if all(wc.ok for wc in wcs):
+                        ctl.on_ack(max(wc.ns for wc in wcs) - cs.post_ns)
+                    else:
+                        ctl.on_loss()
             # The CQ drained incrementally while the chain was in flight:
             # WQE i's CQE landed at wc.ns, so its parse overlapped the
             # tail of the chain.  Model that poll pipeline — each parse
@@ -757,16 +941,80 @@ class HydraClient:
         self.cache.store(key, CachedPointer(
             rptr=RemotePointer(index.arena_rkey, offset, extent),
             lease_expiry_ns=(self.sim.now
-                             + self.hydra.traversal_read_horizon_ns // 2),
+                             + self.trav_cfg.read_horizon_ns // 2),
             version=parsed.version,
         ))
 
     # -- pipelined message path (issue / wait split) ------------------------
     def _window(self, conn: Connection) -> int:
-        window = max(1, self.hydra.max_inflight_per_conn)
+        """Message-path in-flight window for one connection (AIMD-governed
+        when ``qos.autotune``, else the static ``client`` knob)."""
+        if self._autotune:
+            ctl = self._ctls.get(conn.conn_id)
+            if ctl is None:
+                ctl = self._ctls[conn.conn_id] = AimdController.from_config(
+                    self.qos,
+                    initial=max(1, self.client_cfg.max_inflight_per_conn))
+            window = ctl.window
+        else:
+            window = max(1, self.client_cfg.max_inflight_per_conn)
         if self.hydra.rdma_write_messaging:
             window = min(window, conn.n_slots)
         return window
+
+    def _slot_capacity(self, pipe: _ConnPipeline, conn: Connection) -> int:
+        """Grantable slot capacity right now (window minus in-flight,
+        bounded by actually-free request slots)."""
+        cap = self._window(conn) - len(pipe.inflight)
+        if self.hydra.rdma_write_messaging:
+            cap = min(cap, len(pipe.free_slots))
+        return cap
+
+    def _acquire_slot(self, pipe: _ConnPipeline, conn: Connection,
+                      deadline: int):
+        """DRR-arbitrated slot acquisition (``qos.fair_queueing``).
+
+        Submits a ticket to the pipeline's arbiter and blocks until it is
+        granted in deficit-round-robin order across tenants.  Every
+        waiter pumps the arbiter when it wakes, so grants happen in DRR
+        order no matter whose process observes the freed capacity first.
+        There is no simulated yield between the grant and the slot take
+        back in :meth:`issue`, so a grant is a safe reservation.
+        """
+        arb = pipe.arbiter
+        if arb is None:
+            arb = pipe.arbiter = SlotArbiter(
+                self.sim, self.qos.drr_quantum if self.qos else 1.0)
+        ticket = arb.submit(self.tenant,
+                            self.qos.weight if self.qos else 1.0)
+        t0 = self.sim.now
+        while True:
+            arb.pump(self._slot_capacity(pipe, conn),
+                     total=self._window(conn))
+            if ticket.granted:
+                arb.consume(ticket)
+                if self.tmetrics is not None:
+                    self.tmetrics.counter("slot_grants").add()
+                    self.tmetrics.tally("slot_wait_ns").observe(
+                        self.sim.now - t0)
+                return
+            drained = yield from self._drain(pipe)
+            if drained:
+                continue
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                arb.cancel(ticket)
+                if arb.waiting():
+                    # A cancelled grant frees capacity other tenants may
+                    # already be asleep waiting for.
+                    arb.pump(self._slot_capacity(pipe, conn),
+                             total=self._window(conn))
+                raise RequestTimeout(
+                    f"{self.client_id}: window full and shard silent "
+                    f"(conn {conn.conn_id})")
+            yield self.sim.any_of([ticket.gate.wait(),
+                                   conn.client_doorbell.wait(),
+                                   self.sim.timeout(remaining)])
 
     def issue(self, shard: Shard, req: Request,
               timeout_ns: Optional[int] = None):
@@ -776,32 +1024,35 @@ class HydraClient:
         window is exhausted — draining completed responses as it waits —
         never on the issued request's own response.  Collect the response
         later with :meth:`wait`.  ``timeout_ns`` caps the window wait
-        (defaults to ``hydra.op_timeout_ns``); the retry engine passes
+        (defaults to ``client.op_timeout_ns``); the retry engine passes
         the remaining deadline budget here.
         """
         req = Request(op=req.op, key=req.key, value=req.value,
-                      req_id=next(self._req_ids))
+                      req_id=next(self._req_ids), tenant=self._wire_tenant)
         self.metrics.counter("client.messages").add()
         data = req.encode()
         yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
         conn = self.connection_to(shard)
         pipe = self._pipe(conn)
-        window = self._window(conn)
         if timeout_ns is None:
-            timeout_ns = self.hydra.op_timeout_ns
+            timeout_ns = self.client_cfg.op_timeout_ns
         deadline = self.sim.now + timeout_ns
-        while (len(pipe.inflight) >= window
-               or (self.hydra.rdma_write_messaging and not pipe.free_slots)):
-            drained = yield from self._drain(pipe)
-            if drained:
-                continue
-            remaining = deadline - self.sim.now
-            if remaining <= 0:
-                raise RequestTimeout(
-                    f"{self.client_id}: window full and shard silent "
-                    f"(conn {conn.conn_id})")
-            yield self.sim.any_of([conn.client_doorbell.wait(),
-                                   self.sim.timeout(remaining)])
+        if self._fair:
+            yield from self._acquire_slot(pipe, conn, deadline)
+        else:
+            while (len(pipe.inflight) >= self._window(conn)
+                   or (self.hydra.rdma_write_messaging
+                       and not pipe.free_slots)):
+                drained = yield from self._drain(pipe)
+                if drained:
+                    continue
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    raise RequestTimeout(
+                        f"{self.client_id}: window full and shard silent "
+                        f"(conn {conn.conn_id})")
+                yield self.sim.any_of([conn.client_doorbell.wait(),
+                                       self.sim.timeout(remaining)])
         if self.hydra.rdma_write_messaging:
             slot_bytes = conn.layout.slot_bytes
             if frame_len(len(data)) > slot_bytes:
@@ -811,6 +1062,8 @@ class HydraClient:
                     f"hydra.msg_slots_per_conn for large items")
             slot = pipe.free_slots.pop(0)
             pipe.slot_req[slot] = req.req_id
+            pipe.post_seq += 1
+            pipe.slot_seq[slot] = pipe.post_seq
             if conn.layout.occupancy:
                 # The occupancy word rides the frame's doorbell, posted
                 # second so RC lands the frame before its announce bit.
@@ -839,21 +1092,38 @@ class HydraClient:
             conn.client_qp.post_send(data)
             slot = -1
         pipe.inflight[req.req_id] = slot
+        if self._fair:
+            pipe.req_tenant[req.req_id] = self.tenant
+        if self._autotune:
+            pipe.issued_ns[req.req_id] = self.sim.now
         return PendingRequest(req_id=req.req_id, shard=shard, conn=conn,
                               slot=slot)
 
     def wait(self, pending: PendingRequest,
              timeout_ns: Optional[int] = None):
         """Collect the response for an issued request (blocks until it
-        lands or the timeout — default ``hydra.op_timeout_ns`` — expires)."""
+        lands or the timeout — default ``client.op_timeout_ns`` — expires).
+
+        A ``Status.THROTTLED`` response (server-side shed) surfaces as
+        :class:`TenantThrottled` carrying the shard's retry hint; the
+        retry engine sleeps it out under the deadline budget.
+        """
         conn = pending.conn
         pipe = self._pipe(conn)
         if timeout_ns is None:
-            timeout_ns = self.hydra.op_timeout_ns
+            timeout_ns = self.client_cfg.op_timeout_ns
         deadline = self.sim.now + timeout_ns
         while True:
             resp = pipe.completed.pop(pending.req_id, None)
             if resp is not None:
+                if resp.status is Status.THROTTLED:
+                    if self.tmetrics is not None:
+                        self.tmetrics.counter("server_shed").add()
+                    raise TenantThrottled(
+                        f"{self.client_id}: shard shed {resp.op.name} for "
+                        f"tenant {self.tenant!r}",
+                        retry_after_ns=resp.retry_after_ns,
+                        tenant=self.tenant)
                 return resp
             drained = yield from self._drain(pipe)
             if drained:
@@ -867,8 +1137,14 @@ class HydraClient:
                 slot = pipe.inflight.pop(pending.req_id, None)
                 if slot is not None and slot >= 0:
                     pipe.slot_req.pop(slot, None)
+                    pipe.slot_seq.pop(slot, None)
                     pipe.confirmed.discard(slot)
                     insort(pipe.free_slots, slot)
+                self._release_slot(pipe, pending.req_id)
+                if pipe.issued_ns.pop(pending.req_id, None) is not None:
+                    ctl = self._ctls.get(conn.conn_id)
+                    if ctl is not None:
+                        ctl.on_loss()
                 raise RequestTimeout(
                     f"{self.client_id}: no response from shard "
                     f"(conn {conn.conn_id})")
@@ -907,21 +1183,38 @@ class HydraClient:
                     self.metrics.counter("client.stale_responses").add()
                     continue
                 pipe.slot_req.pop(slot)
+                seq_r = pipe.slot_seq.pop(slot, 0)
                 pipe.confirmed.discard(slot)
                 insort(pipe.free_slots, slot)
                 pipe.inflight.pop(resp.req_id, None)
+                self._release_slot(pipe, resp.req_id)
                 pipe.completed[resp.req_id] = resp
                 landed += 1
+                if pipe.issued_ns:
+                    self._feed_rtt(conn, pipe, resp.req_id)
                 if self.hydra.occ_announce_mask:
                     # A response for req r proves the shard's occupancy
-                    # snapshot that carried r also carried every older
-                    # still-in-flight slot (each occ write is the OR of
-                    # all unconfirmed in-flight slots, and RC delivers
-                    # in post order) — so those announces are consumed
-                    # and need not be re-announced.
-                    for other_slot, other_req in pipe.slot_req.items():
-                        if other_req < resp.req_id:
-                            pipe.confirmed.add(other_slot)
+                    # snapshot that carried r also carried every
+                    # earlier-POSTED still-in-flight slot (each occ write
+                    # is the OR of all unconfirmed in-flight slots, and RC
+                    # delivers in post order) — so those announces are
+                    # consumed and need not be re-announced.  "Earlier"
+                    # must mean post order: under fair queueing a low
+                    # req_id can wait out a slot grant and post *after*
+                    # higher req_ids, and confirming it off req_id order
+                    # would suppress an announce the shard never saw —
+                    # the request would hang until its op timeout.  On
+                    # arbiter-free pipes post order and req_id order are
+                    # the same thing; the legacy comparison is kept there
+                    # so the default-path schedule stays bit-identical.
+                    if pipe.arbiter is not None:
+                        for other_slot in pipe.slot_req:
+                            if pipe.slot_seq.get(other_slot, 0) < seq_r:
+                                pipe.confirmed.add(other_slot)
+                    else:
+                        for other_slot, other_req in pipe.slot_req.items():
+                            if other_req < resp.req_id:
+                                pipe.confirmed.add(other_slot)
         else:
             while True:
                 cqe = conn.client_qp.recv_cq.poll_one()
@@ -936,9 +1229,43 @@ class HydraClient:
                                                      None) is None:
                     self.metrics.counter("client.stale_responses").add()
                     continue
+                self._release_slot(pipe, resp.req_id)
                 pipe.completed[resp.req_id] = resp
                 landed += 1
+                if pipe.issued_ns:
+                    self._feed_rtt(conn, pipe, resp.req_id)
         return landed
+
+    def _release_slot(self, pipe: _ConnPipeline, req_id: int) -> None:
+        """Return a landed/abandoned request's slot to its tenant's
+        occupancy budget in the pipeline's arbiter (fair-queueing
+        bookkeeping only; a no-op on the default path).
+
+        The release itself pumps the arbiter: occupancy caps may have
+        just lifted (the releasing tenant can go idle here, shrinking
+        the active set), and the tenants it unblocks may have already
+        drained every pending response — with no future doorbell to
+        wake them, the grant must happen now, not at their timeout.
+        """
+        tenant = pipe.req_tenant.pop(req_id, None)
+        if tenant is not None and pipe.arbiter is not None:
+            pipe.arbiter.release(tenant)
+            if pipe.arbiter.waiting():
+                pipe.arbiter.pump(self._slot_capacity(pipe, pipe.conn),
+                                  total=self._window(pipe.conn))
+
+    def _feed_rtt(self, conn: Connection, pipe: _ConnPipeline,
+                  req_id: int) -> None:
+        """Feed one landed response's RTT to the connection's AIMD
+        controller (``qos.autotune``; the issue instant is recorded by
+        whichever tenant handle autotunes, the sample lands in the
+        shared per-connection controller)."""
+        t0 = pipe.issued_ns.pop(req_id, None)
+        if t0 is None:
+            return
+        ctl = self._ctls.get(conn.conn_id)
+        if ctl is not None:
+            ctl.on_ack(self.sim.now - t0)
 
     def _request(self, shard: Shard, req: Request,
                  timeout_ns: Optional[int] = None):
@@ -1017,14 +1344,18 @@ class HydraClient:
         """
         budget = self._budget_ns()
         deadline = self.sim.now + budget if budget > 0 else None
-        backoff_ns = max(1, self.hydra.retry_backoff_min_us) * 1_000
-        backoff_cap_ns = max(1, self.hydra.retry_backoff_max_us) * 1_000
+        backoff_ns = max(1, self.client_cfg.retry_backoff_min_us) * 1_000
+        backoff_cap_ns = max(1, self.client_cfg.retry_backoff_max_us) * 1_000
         first_failure_ns: Optional[int] = None
         failed_shards: set[Shard] = set()
         while True:
-            timeout_ns = self.hydra.op_timeout_ns
+            if self._bucket is not None:
+                yield from self._admit(deadline, opname, n=len(items))
+            timeout_ns = self.client_cfg.op_timeout_ns
             if deadline is not None:
                 timeout_ns = max(1, min(timeout_ns, deadline - self.sim.now))
+            self._round_sheds = 0
+            self._round_shed_hint = 0
             failed = yield from round_fn(items, timeout_ns)
             if not failed:
                 # A retried round that succeeded against a shard that never
@@ -1037,6 +1368,15 @@ class HydraClient:
                         self.sim.now - first_failure_ns)
                 return
             if deadline is None:
+                # Single-attempt mode must still be *typed*: a round whose
+                # every failure was a server shed is throttling, not loss.
+                if self._round_sheds == len(failed):
+                    raise TenantThrottled(
+                        f"{self.client_id}: {opname}: shard shed "
+                        f"{len(failed)} of {len(items)} keys for tenant "
+                        f"{self.tenant!r}",
+                        retry_after_ns=self._round_shed_hint,
+                        tenant=self.tenant)
                 raise RequestTimeout(
                     f"{self.client_id}: {opname}: {len(failed)} of "
                     f"{len(items)} keys got no response")
@@ -1100,6 +1440,14 @@ class HydraClient:
         for item, pending in msg_pendings:
             try:
                 resp = yield from self.wait(pending, timeout_ns)
+            except TenantThrottled as exc:
+                # Server shed one key of the batch: re-round it (the
+                # round backoff covers the retry hint).
+                self._round_sheds += 1
+                self._round_shed_hint = max(self._round_shed_hint,
+                                            exc.retry_after_ns)
+                failed.append(item)
+                continue
             except _RETRYABLE:
                 dead_shards.add(item.shard)
                 failed.append(item)
@@ -1136,6 +1484,12 @@ class HydraClient:
         for item, pending in msg_pendings:
             try:
                 resp = yield from self.wait(pending, timeout_ns)
+            except TenantThrottled as exc:
+                self._round_sheds += 1
+                self._round_shed_hint = max(self._round_shed_hint,
+                                            exc.retry_after_ns)
+                failed.append(item)
+                continue
             except _RETRYABLE:
                 dead_shards.add(item.shard)
                 failed.append(item)
@@ -1149,13 +1503,13 @@ class HydraClient:
     def _tcp_request(self, shard: Shard, req: Request):
         """Kernel-TCP request path (transport == "tcp").
 
-        One attempt bounded by ``hydra.op_timeout_ns``: resets, truncated
+        One attempt bounded by ``client.op_timeout_ns``: resets, truncated
         messages, and silent loss all surface as :class:`RequestTimeout`
         (retryable) after the stale socket is torn down, never as a raw
         transport exception or an unbounded recv.
         """
         req = Request(op=req.op, key=req.key, value=req.value,
-                      req_id=next(self._req_ids))
+                      req_id=next(self._req_ids), tenant=self._wire_tenant)
         self.metrics.counter("client.messages").add()
         data = req.encode()
         yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
@@ -1176,7 +1530,7 @@ class HydraClient:
                     f"{self.client_id}: TCP connect to {shard.shard_id} "
                     f"failed ({exc})") from exc
             self._tcp_conns[shard] = conn
-        deadline = self.sim.now + self.hydra.op_timeout_ns
+        deadline = self.sim.now + self.client_cfg.op_timeout_ns
         try:
             yield conn.send(data, req.wire_len + 40)
         except TcpError as exc:

@@ -12,15 +12,15 @@ deadline state machine):
 
 ``RequestTimeout``
     One message-path attempt got no response within
-    ``hydra.op_timeout_ns`` (dead or overloaded shard suspected).  With
-    retries enabled (``hydra.op_deadline_us > 0``, the default) public
+    ``client.op_timeout_ns`` (dead or overloaded shard suspected).  With
+    retries enabled (``client.op_deadline_us > 0``, the default) public
     operations absorb these internally and replay; callers only see the
     subclass :class:`ShardUnavailable` once the whole deadline budget is
     gone.  With ``op_deadline_us == 0`` (single-attempt mode) it is
     raised directly, preserving the pre-retry API.
 
 ``ShardUnavailable``
-    The per-request deadline budget (``hydra.op_deadline_us``) was
+    The per-request deadline budget (``client.op_deadline_us``) was
     exhausted without any live route serving the key — every retry timed
     out, errored at the QP level, or found the NIC dark, and no SWAT
     promotion arrived in time.  Subclasses :class:`RequestTimeout` so
@@ -32,6 +32,22 @@ deadline state machine):
     offending :class:`~repro.protocol.Status` as ``.status``.  NOT_FOUND
     is *not* an error: GETs return ``None`` and mutations return the
     status.
+
+``Backpressure``
+    The operation was refused for *load* reasons, not failure: the
+    system is shedding work it could not serve in time.  Carries a
+    ``retry_after_ns`` hint — the earliest instant a retry can be
+    admitted.  The retry engine honors the hint (sleeps it out under
+    the deadline budget); callers only see it when the hint exceeds
+    the remaining budget, so a throttled op always surfaces promptly
+    rather than silently stalling.
+
+``TenantThrottled``
+    :class:`Backpressure` from per-tenant traffic engineering: the
+    tenant's token-bucket admission rate (``qos.rate_ops``) was
+    exceeded client-side, or the shard shed the request server-side
+    (``Status.THROTTLED``, ``qos.server_shed_slots``).  Carries the
+    offending ``.tenant`` name alongside ``.retry_after_ns``.
 
 ``SlotOverflow``
     A request frame exceeds the connection's message-slot size; raise
@@ -53,6 +69,8 @@ __all__ = [
     "RequestTimeout",
     "ShardUnavailable",
     "BadStatus",
+    "Backpressure",
+    "TenantThrottled",
     "SlotOverflow",
     "LifecycleError",
 ]
@@ -77,6 +95,27 @@ class BadStatus(HydraError):
         self.status = status
         suffix = f": {detail}" if detail else ""
         super().__init__(f"unexpected status {status.name}{suffix}")
+
+
+class Backpressure(HydraError):
+    """The operation was load-shed; retry no earlier than the hint."""
+
+    def __init__(self, detail: str = "", retry_after_ns: int = 0):
+        self.retry_after_ns = retry_after_ns
+        msg = detail or "backpressure"
+        if retry_after_ns > 0:
+            msg = f"{msg} (retry after {retry_after_ns}ns)"
+        super().__init__(msg)
+
+
+class TenantThrottled(Backpressure):
+    """Per-tenant admission control refused the operation."""
+
+    def __init__(self, detail: str = "", retry_after_ns: int = 0,
+                 tenant: str = "default"):
+        self.tenant = tenant
+        super().__init__(detail or f"tenant {tenant!r} throttled",
+                         retry_after_ns)
 
 
 class SlotOverflow(HydraError, ValueError):

@@ -147,6 +147,14 @@ class PipelinedShard(Shard):
                 except (ValueError, KeyError):
                     self.metrics.counter("shard.bad_requests").add()
                     continue
+                if req.tenant and batch is not None:
+                    shed = yield from self._tenant_admit(conn, slot, req,
+                                                         batch, core)
+                    if shed:
+                        if (not self._queue.items or self._batch_full(batch)
+                                or self._batch_aged(batch)):
+                            yield from self._finish_sweep(batch)
+                        continue
                 # Workers share the partition: GETs take the lock shared,
                 # mutations exclusive, and mutations bounce the partition's
                 # cachelines between the worker cores.

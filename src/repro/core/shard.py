@@ -79,7 +79,7 @@ class _SweepBatch:
     instead of once per mutation.
     """
 
-    __slots__ = ("resp", "rep_waits", "first_ns")
+    __slots__ = ("resp", "rep_waits", "first_ns", "tenant_slots")
 
     def __init__(self):
         #: conn_id -> (conn, [(slot, encoded response), ...])
@@ -89,6 +89,11 @@ class _SweepBatch:
         #: (None while empty) — drives the age-based flush
         #: (``hydra.resp_flush_max_ns``).
         self.first_ns: Optional[int] = None
+        #: Named-tenant occupancy this sweep: tenant -> slots handled.
+        #: Drives the per-sweep shed cap (``qos.server_shed_slots``) and
+        #: the ``shard.tenant.<t>.slots`` tallies.  Anonymous (legacy)
+        #: requests are not tracked — the default path stays untouched.
+        self.tenant_slots: dict[str, int] = {}
 
 
 @dataclass
@@ -154,6 +159,8 @@ class Shard:
         self.sim = sim
         self.config = config
         self.hydra = config.hydra
+        self.client_cfg = config.client
+        self.qos_cfg = config.qos
         self.cpu = config.cpu
         self.shard_id = shard_id
         self.machine = machine
@@ -307,7 +314,7 @@ class Shard:
             resp_region.subscribe(lambda _r, c=conn: c.client_doorbell.fire())
         else:
             # Two-sided mode: pre-post receives, doorbell on CQ pushes.
-            for _ in range(max(16, self.hydra.max_inflight_per_conn)):
+            for _ in range(max(16, self.client_cfg.max_inflight_per_conn)):
                 shard_qp.post_recv()
             shard_qp.recv_cq.on_push.append(
                 lambda _cq, c=conn: self._mark_ready(c))
@@ -648,6 +655,11 @@ class Shard:
             self.metrics.counter("shard.bad_requests").add()
             return
         self.metrics.counter(f"shard.op.{req.op.name}").add()
+        if req.tenant and batch is not None:
+            shed = yield from self._tenant_admit(conn, slot, req, batch,
+                                                 self.core)
+            if shed:
+                return
         result = self._execute(req)
         self._count_index_mutation(req, result)
         cost = (self.cpu.parse_ns + result.cost_ns
@@ -684,6 +696,32 @@ class Shard:
             version=result.version,
         )
         self._respond(conn, resp, slot, batch)
+
+    def _tenant_admit(self, conn: Connection, slot: int, req: Request,
+                      batch: _SweepBatch, core: Core):
+        """Named-tenant occupancy accounting + optional per-sweep shed.
+
+        Anonymous (legacy) requests never reach this — the default client
+        path stays bit-identical.  With ``qos.server_shed_slots > 0``, a
+        tenant that already consumed its slot share of the current sweep
+        is refused cheaply with a typed ``Status.THROTTLED`` response
+        carrying the ``qos.shed_retry_after_ns`` hint — the overload
+        never reaches the store.  Returns True when the request was shed.
+        """
+        tname = req.tenant.decode()
+        used = batch.tenant_slots.get(tname, 0) + 1
+        batch.tenant_slots[tname] = used
+        self.metrics.counter(f"shard.tenant.{tname}.ops").add()
+        shed_cap = self.qos_cfg.server_shed_slots
+        if shed_cap <= 0 or used <= shed_cap:
+            return False
+        self.metrics.counter("shard.shed_ops").add()
+        self.metrics.counter(f"shard.tenant.{tname}.shed").add()
+        yield core.execute(self.cpu.parse_ns + self.cpu.build_response_ns)
+        self._respond(conn, Response(
+            op=req.op, status=Status.THROTTLED, req_id=req.req_id,
+            lease_expiry_ns=self.qos_cfg.shed_retry_after_ns), slot, batch)
+        return True
 
     # -- responses ---------------------------------------------------------
     def _new_batch(self) -> Optional[_SweepBatch]:
@@ -799,6 +837,11 @@ class Shard:
             for conn, entries in list(batch.resp.values()):
                 self._flush_conn(conn, entries)
             batch.resp.clear()
+        if batch.tenant_slots:
+            for tname, used in batch.tenant_slots.items():
+                self.metrics.tally(f"shard.tenant.{tname}.slots").observe(
+                    used)
+            batch.tenant_slots.clear()
         batch.first_ns = None
 
     def __repr__(self) -> str:  # pragma: no cover

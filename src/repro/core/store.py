@@ -77,12 +77,12 @@ class ShardStore:
         # Client-readable index mirror (traversal path): only the compact
         # table has the fixed 64 B bucket geometry the export encodes.
         self.export: BucketExport | None = None
-        if (export_index and config.hydra.index_traversal
+        if (export_index and config.traversal.enabled
                 and table_cls is CompactHashTable):
             class_index = {c: i for i, c in enumerate(self.alloc.classes)}
             self.export = BucketExport(
                 config.hydra.buckets_per_shard,
-                config.hydra.index_export_overflow,
+                config.traversal.export_overflow,
                 lambda off: class_index[self.alloc.extent_class(off)],
                 numa_domain=numa_domain, name=name,
             )
@@ -91,7 +91,7 @@ class ShardStore:
         self.reclaimer = LeaseReclaimer(
             sim, self.alloc, config.memory.reclaim_period_ns,
             scribble=scribble_on_reclaim,
-            horizon_ns=(config.hydra.traversal_read_horizon_ns
+            horizon_ns=(config.traversal.read_horizon_ns
                         if self.export is not None else 0),
         )
 

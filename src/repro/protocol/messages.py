@@ -31,48 +31,62 @@ class Status(IntEnum):
     NOT_FOUND = 1
     EXISTS = 2
     ERROR = 3
+    #: Server-side load shed (``qos.server_shed_slots``): the shard
+    #: refused to execute the request this sweep; the response's
+    #: ``lease_expiry_ns`` field carries the retry-after hint (ns).
+    THROTTLED = 4
 
 
-_REQ = struct.Struct("<BBHIQ")          # op, flags, klen, vlen, req_id
+_REQ = struct.Struct("<BBHIQ")          # op, tlen, klen, vlen, req_id
 _RESP = struct.Struct("<BBHIQIQIQQ")    # op, status, _, vlen, req_id,
                                         # rkey, roffset, rlen, lease, version
 
 
 @dataclass(frozen=True)
 class Request:
-    """A client-to-shard operation."""
+    """A client-to-shard operation.
+
+    ``tenant`` is the requesting tenant's name for server-side
+    per-tenant accounting and shedding; it rides the previously-reserved
+    second header byte as a trailing-bytes length, so the default
+    (anonymous) encoding is bit-identical to the pre-tenant wire format.
+    """
 
     op: Op
     key: bytes
     value: bytes = b""
     req_id: int = 0
+    tenant: bytes = b""
 
     def encode(self) -> bytes:
         """Serialize to the on-wire request bytes."""
         return (
-            _REQ.pack(self.op, 0, len(self.key), len(self.value), self.req_id)
+            _REQ.pack(self.op, len(self.tenant), len(self.key),
+                      len(self.value), self.req_id)
             + self.key
             + self.value
+            + self.tenant
         )
 
     @classmethod
     def decode(cls, data: bytes) -> "Request":
         """Parse request bytes (raises ValueError on length mismatch)."""
-        op, _flags, klen, vlen, req_id = _REQ.unpack_from(data, 0)
+        op, tlen, klen, vlen, req_id = _REQ.unpack_from(data, 0)
         base = _REQ.size
-        if len(data) != base + klen + vlen:
+        if len(data) != base + klen + vlen + tlen:
             raise ValueError("request length mismatch")
         return cls(
             op=Op(op),
             key=data[base:base + klen],
             value=data[base + klen:base + klen + vlen],
             req_id=req_id,
+            tenant=data[base + klen + vlen:base + klen + vlen + tlen],
         )
 
     @property
     def wire_len(self) -> int:
         """Encoded size in bytes (for buffer sizing and wire accounting)."""
-        return _REQ.size + len(self.key) + len(self.value)
+        return _REQ.size + len(self.key) + len(self.value) + len(self.tenant)
 
 
 @dataclass(frozen=True)
@@ -130,6 +144,12 @@ class Response:
     def ok(self) -> bool:
         """Shorthand for ``status is Status.OK``."""
         return self.status is Status.OK
+
+    @property
+    def retry_after_ns(self) -> int:
+        """Shed-retry hint of a THROTTLED response (rides the lease field,
+        which a shed response cannot meaningfully carry anyway)."""
+        return self.lease_expiry_ns if self.status is Status.THROTTLED else 0
 
 
 def request_wire_len(klen: int, vlen: int) -> int:

@@ -1,0 +1,33 @@
+"""Traffic engineering for multi-tenant clients (PR 8).
+
+Three deterministic building blocks, wired into the client library by
+:mod:`repro.core.client` / :mod:`repro.core.api`:
+
+* :class:`TokenBucket` — per-tenant admission control at op-issue time;
+  an empty bucket yields a ``retry_after_ns`` hint the retry engine
+  honors (sleep under the deadline budget, or raise
+  :class:`~repro.core.errors.TenantThrottled`).
+* :class:`DeficitRoundRobin` / :class:`SlotArbiter` — fair queueing of
+  pending message-slot acquisitions across tenants sharing one
+  connection pipeline, so an aggressor cannot monopolize the in-flight
+  window.
+* :class:`AimdController` — additive-increase / multiplicative-decrease
+  self-tuning of the per-connection in-flight and read windows from
+  observed RTT (``qos.autotune``), replacing the static
+  ``client.max_inflight_*`` caps.
+
+The math classes are simulator-free (unit-testable with plain ints);
+only :class:`SlotArbiter` touches sim primitives (a broadcast
+:class:`~repro.sim.Gate` per ticket).
+"""
+
+from .aimd import AimdController
+from .bucket import TokenBucket
+from .drr import DeficitRoundRobin, SlotArbiter
+
+__all__ = [
+    "AimdController",
+    "DeficitRoundRobin",
+    "SlotArbiter",
+    "TokenBucket",
+]

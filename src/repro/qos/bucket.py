@@ -1,0 +1,67 @@
+"""Token-bucket admission control (per-tenant op rate limiting).
+
+Plain arithmetic over integer-nanosecond clocks — no simulator
+dependency, so the refill math is unit-testable directly and one bucket
+can be shared by every handle of a tenant (the cluster facade keys
+buckets by tenant name).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate_ops`` tokens/second, ``burst`` deep.
+
+    The bucket starts full.  :meth:`take` either consumes the tokens and
+    returns 0, or — without consuming anything — returns the number of
+    nanoseconds until the requested tokens will have accrued, which is
+    exactly the ``retry_after_ns`` hint carried by
+    :class:`~repro.core.errors.TenantThrottled`.
+    """
+
+    __slots__ = ("rate_pns", "burst", "tokens", "last_ns")
+
+    def __init__(self, rate_ops: float, burst: int = 32, now_ns: int = 0):
+        if rate_ops <= 0:
+            raise ValueError("rate_ops must be positive")
+        #: Refill rate in tokens per nanosecond.
+        self.rate_pns = rate_ops / 1e9
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.last_ns = now_ns
+
+    def refill(self, now_ns: int) -> None:
+        """Accrue tokens for the time elapsed since the last refill."""
+        if now_ns > self.last_ns:
+            self.tokens = min(
+                self.burst,
+                self.tokens + (now_ns - self.last_ns) * self.rate_pns)
+            self.last_ns = now_ns
+
+    def take(self, now_ns: int, n: int = 1) -> int:
+        """Consume ``n`` tokens at ``now_ns``.
+
+        Returns 0 when the tokens were consumed; otherwise consumes
+        nothing and returns the ns until ``n`` tokens will be available
+        (the retry-after hint).  Monotonic ``now_ns`` is assumed (the
+        simulator clock never goes backwards).
+        """
+        self.refill(now_ns)
+        if self.tokens >= n:
+            self.tokens -= n
+            return 0
+        deficit = n - self.tokens
+        return max(1, math.ceil(deficit / self.rate_pns))
+
+    @property
+    def level(self) -> float:
+        """Tokens available as of the last refill (diagnostics)."""
+        return self.tokens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TokenBucket(rate={self.rate_pns * 1e9:.0f}/s, "
+                f"burst={self.burst:.0f}, tokens={self.tokens:.2f})")

@@ -14,7 +14,8 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Simulator
 
-__all__ = ["Counter", "Tally", "TimeWeighted", "MetricSet", "kernel_snapshot"]
+__all__ = ["Counter", "Tally", "TimeWeighted", "MetricSet", "ScopedMetrics",
+           "kernel_snapshot"]
 
 
 def kernel_snapshot(sim: "Simulator") -> dict[str, float]:
@@ -227,3 +228,33 @@ class MetricSet:
         for name, g in self.gauges.items():
             out[f"{name}.avg"] = g.time_average()
         return out
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A view of this set with every instrument name prefixed.
+
+        Used for per-tenant metric namespaces: a tenant handle grabs
+        ``metrics.scoped("client.tenant.analytics")`` once and its
+        ``counter("throttled")`` lands in the shared registry as
+        ``client.tenant.analytics.throttled``.
+        """
+        return ScopedMetrics(self, prefix)
+
+
+class ScopedMetrics:
+    """A prefix-namespaced facade over a shared :class:`MetricSet`."""
+
+    __slots__ = ("base", "prefix")
+
+    def __init__(self, base: MetricSet, prefix: str):
+        self.base = base
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self.base.counter(f"{self.prefix}.{name}")
+
+    def tally(self, name: str, max_samples: int = 200_000) -> Tally:
+        return self.base.tally(f"{self.prefix}.{name}",
+                               max_samples=max_samples)
+
+    def gauge(self, name: str) -> TimeWeighted:
+        return self.base.gauge(f"{self.prefix}.{name}")

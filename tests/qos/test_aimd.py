@@ -1,0 +1,79 @@
+"""AIMD window-controller math (no simulator)."""
+
+import pytest
+
+from repro.config import QosConfig
+from repro.qos import AimdController
+
+
+def test_additive_increase_every_probe_interval():
+    ctl = AimdController(min_window=1, max_window=16, probe_interval=4)
+    assert ctl.window == 1
+    for _ in range(4):
+        ctl.on_ack(1_000)
+    assert ctl.window == 2
+    for _ in range(8):
+        ctl.on_ack(1_000)
+    assert ctl.window == 4
+
+
+def test_window_capped_at_max():
+    ctl = AimdController(min_window=1, max_window=3, probe_interval=1)
+    for _ in range(50):
+        ctl.on_ack(1_000)
+    assert ctl.window == 3
+
+
+def test_rtt_inflation_cuts_multiplicatively():
+    ctl = AimdController(min_window=1, max_window=64, probe_interval=1,
+                         rtt_inflation=3.0, decrease=0.5, initial=16)
+    ctl.on_ack(1_000)  # establishes best_rtt
+    # Sustained queueing delay: smoothed RTT climbs past 3x best.
+    for _ in range(200):
+        ctl.on_ack(50_000)
+        if ctl.cuts:
+            break
+    assert ctl.cuts == 1
+    assert ctl.window == 8
+
+
+def test_cooldown_absorbs_one_congestion_episode():
+    """The inflated RTTs already queued when a cut fires must not each
+    trigger another cut — one episode, one cut."""
+    ctl = AimdController(min_window=1, max_window=64, probe_interval=1,
+                         rtt_inflation=3.0, decrease=0.5, initial=32)
+    ctl.on_ack(1_000)
+    while not ctl.cuts:
+        ctl.on_ack(100_000)
+    window_after_first_cut = ctl.window
+    for _ in range(ctl.window):  # the in-flight stragglers land
+        ctl.on_ack(100_000)
+    assert ctl.cuts == 1
+    assert ctl.window == window_after_first_cut
+
+
+def test_loss_cuts_and_respects_min():
+    ctl = AimdController(min_window=2, max_window=64, initial=3)
+    for _ in range(10):
+        ctl.on_loss()
+    assert ctl.window == 2
+    assert ctl.losses == 10
+
+
+def test_from_config_round_trip():
+    qos = QosConfig(aimd_min_window=2, aimd_max_window=9,
+                    aimd_probe_interval=5, aimd_rtt_inflation=4.0)
+    ctl = AimdController.from_config(qos, initial=7)
+    assert (ctl.min_window, ctl.max_window) == (2, 9)
+    assert ctl.probe_interval == 5
+    assert ctl.rtt_inflation == 4.0
+    assert ctl.window == 7
+
+
+def test_validates_parameters():
+    with pytest.raises(ValueError):
+        AimdController(rtt_smooth=0.0)
+    with pytest.raises(ValueError):
+        AimdController(rtt_inflation=1.0)
+    with pytest.raises(ValueError):
+        AimdController(decrease=1.0)

@@ -1,0 +1,71 @@
+"""Token-bucket admission math (no simulator)."""
+
+import pytest
+
+from repro.qos import TokenBucket
+
+US = 1_000
+MS = 1_000_000
+
+
+def test_starts_full_and_burst_drains():
+    b = TokenBucket(rate_ops=1_000.0, burst=4, now_ns=0)
+    for _ in range(4):
+        assert b.take(0) == 0
+    assert b.take(0) > 0  # empty now
+
+
+def test_refusal_does_not_consume():
+    b = TokenBucket(rate_ops=1_000.0, burst=1, now_ns=0)
+    assert b.take(0) == 0
+    level = b.level
+    wait = b.take(0)
+    assert wait > 0
+    assert b.level == level  # nothing consumed by the refusal
+
+
+def test_retry_after_is_exact_refill_time():
+    b = TokenBucket(rate_ops=1_000.0, burst=1, now_ns=0)  # 1 token / ms
+    assert b.take(0) == 0
+    wait = b.take(0)
+    assert wait == pytest.approx(1 * MS, rel=1e-6)
+    # One ns early: still refused.  At the hint: granted.
+    assert b.take(wait - 1) > 0
+    assert b.take(wait) == 0
+
+
+def test_multi_token_take():
+    b = TokenBucket(rate_ops=1_000.0, burst=8, now_ns=0)
+    assert b.take(0, n=8) == 0
+    wait = b.take(0, n=4)
+    assert wait == pytest.approx(4 * MS, rel=1e-6)
+    assert b.take(4 * MS, n=4) == 0
+
+
+def test_refill_caps_at_burst():
+    b = TokenBucket(rate_ops=1_000_000.0, burst=2, now_ns=0)
+    b.take(0)
+    b.refill(1_000 * MS)  # aeons later
+    assert b.level == 2.0
+
+
+def test_steady_state_paces_at_rate():
+    """Grants settle onto the 1/rate beat regardless of caller timing."""
+    b = TokenBucket(rate_ops=10_000.0, burst=1, now_ns=0)
+    grants = []
+    now = 0
+    for _ in range(5):
+        wait = b.take(now)
+        if wait:
+            now += wait
+            assert b.take(now) == 0
+        grants.append(now)
+        now += 3 * US  # caller does some work
+    gaps = [b - a for a, b in zip(grants, grants[1:])]
+    for gap in gaps:
+        assert gap == pytest.approx(100 * US, rel=1e-3)
+
+
+def test_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_ops=0.0)

@@ -1,0 +1,165 @@
+"""Deficit-round-robin scheduling math and slot-arbiter accounting."""
+
+import pytest
+
+from repro.qos import DeficitRoundRobin, SlotArbiter
+from repro.sim import Simulator
+
+
+def _drain(drr, eligible=None, limit=1_000):
+    order = []
+    for _ in range(limit):
+        nxt = drr.next(eligible=eligible)
+        if nxt is None:
+            break
+        order.append(nxt)
+    return order
+
+
+def test_equal_weights_alternate():
+    drr = DeficitRoundRobin()
+    for i in range(4):
+        drr.enqueue("a", f"a{i}")
+        drr.enqueue("b", f"b{i}")
+    tenants = [t for t, _ in _drain(drr)]
+    assert tenants == ["a", "b"] * 4
+
+
+def test_weighted_service_ratio():
+    drr = DeficitRoundRobin()
+    for i in range(90):
+        drr.enqueue("heavy", i, weight=2.0)
+        drr.enqueue("light", i, weight=1.0)
+    served = [t for t, _ in _drain(drr, limit=45)]
+    heavy = served.count("heavy")
+    light = served.count("light")
+    assert heavy == pytest.approx(2 * light, abs=2)
+
+
+def test_fifo_within_tenant():
+    drr = DeficitRoundRobin()
+    for i in range(5):
+        drr.enqueue("a", i)
+    assert [item for _, item in _drain(drr)] == [0, 1, 2, 3, 4]
+
+
+def test_drained_queue_forfeits_deficit():
+    """An idle tenant cannot bank credit while away (standard DRR)."""
+    drr = DeficitRoundRobin()
+    drr.enqueue("a", "a0")
+    assert drr.next() == ("a", "a0")  # queue drains; deficit forfeited
+    for i in range(4):
+        drr.enqueue("a", f"a{i + 1}")
+        drr.enqueue("b", f"b{i}")
+    tenants = [t for t, _ in _drain(drr)]
+    # a gets no head start from its earlier visit
+    assert tenants.count("a") == tenants.count("b")
+
+
+def test_remove_withdraws_queued_item():
+    drr = DeficitRoundRobin()
+    drr.enqueue("a", "x")
+    drr.enqueue("a", "y")
+    assert drr.remove("a", "x")
+    assert not drr.remove("a", "x")
+    assert _drain(drr) == [("a", "y")]
+
+
+def test_eligible_veto_skips_and_rotates():
+    drr = DeficitRoundRobin()
+    drr.enqueue("a", "a0")
+    drr.enqueue("b", "b0")
+    # a vetoed: b is served instead; a stays queued.
+    assert drr.next(eligible=lambda t: t != "a") == ("b", "b0")
+    assert drr.pending("a") == 1
+    # Veto lifted: a is served on the next call.
+    assert drr.next() == ("a", "a0")
+
+
+def test_all_vetoed_returns_none_without_spinning():
+    drr = DeficitRoundRobin()
+    drr.enqueue("a", "a0")
+    drr.enqueue("b", "b0")
+    assert drr.next(eligible=lambda t: False) is None
+    assert len(drr) == 2  # nothing served, nothing lost
+
+
+# ---------------------------------------------------------------------------
+# SlotArbiter
+
+
+def _arb():
+    return SlotArbiter(Simulator())
+
+
+def test_grants_in_drr_order_and_fire_gates():
+    arb = _arb()
+    t1 = arb.submit("a")
+    t2 = arb.submit("b")
+    t3 = arb.submit("a")
+    assert arb.pump(2) == 2
+    assert t1.granted and t2.granted and not t3.granted
+    assert arb.outstanding == 2
+
+
+def test_consume_moves_reservation_to_inflight():
+    arb = _arb()
+    t = arb.submit("a")
+    arb.pump(1)
+    assert arb.reserved["a"] == 1 and arb.occupancy("a") == 1
+    arb.consume(t)
+    assert arb.outstanding == 0
+    assert arb.reserved["a"] == 0 and arb.inflight["a"] == 1
+    arb.release("a")
+    assert arb.occupancy("a") == 0
+
+
+def test_outstanding_reservations_block_overgrant():
+    arb = _arb()
+    arb.submit("a")
+    arb.submit("a")
+    assert arb.pump(1) == 1
+    # Capacity 1 with 1 grant outstanding: nothing more to give.
+    assert arb.pump(1) == 0
+
+
+def test_cancel_returns_grant_or_withdraws():
+    arb = _arb()
+    t1 = arb.submit("a")
+    t2 = arb.submit("a")
+    arb.pump(1)
+    arb.cancel(t1)  # granted: returns the reservation
+    assert arb.outstanding == 0
+    arb.cancel(t2)  # queued: withdrawn
+    assert arb.waiting() == 0
+
+
+def test_occupancy_caps_bound_the_aggressor():
+    """With two active tenants at weights 3:1 over 8 slots, the
+    light tenant is capped at 2 even if it submits first and often."""
+    arb = _arb()
+    tickets = [arb.submit("agg") for _ in range(8)]
+    arb.submit("victim", weight=3.0)
+    arb.pump(8, total=8)
+    agg_granted = sum(1 for t in tickets if t.granted)
+    assert agg_granted == 2  # max(1, 8 * 1/4) = 2
+    assert arb.occupancy("victim") == 1
+
+
+def test_single_tenant_is_uncapped():
+    """Work conservation: alone, a tenant takes the whole window."""
+    arb = _arb()
+    tickets = [arb.submit("solo") for _ in range(8)]
+    arb.pump(8, total=8)
+    assert all(t.granted for t in tickets)
+
+
+def test_cap_lifts_when_other_tenant_goes_idle():
+    arb = _arb()
+    agg = [arb.submit("agg") for _ in range(4)]
+    vic = arb.submit("victim", weight=3.0)
+    arb.pump(4, total=4)
+    arb.consume(vic)
+    arb.release("victim")  # victim done and gone
+    arb.pump(4, total=4)   # agg now alone: remaining grants flow
+    assert sum(1 for t in agg if t.granted) == 4
