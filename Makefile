@@ -4,8 +4,8 @@ PYTEST ?= python -m pytest
 RUFF ?= ruff
 
 .PHONY: test lint bench bench-quick bench-inflight bench-multiget \
-	bench-failover bench-sweep bench-simcore bench-tenants bench-smoke \
-	chaos-soak figures examples clean
+	bench-failover bench-sweep bench-simcore bench-tenants bench-scale \
+	bench-smoke chaos-soak figures examples clean
 
 test:
 	$(PYTEST) tests/
@@ -60,17 +60,25 @@ bench-tenants:
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench tenants --scale 1.0
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_tenants.json
 
+# Fig. 12 at cluster scale: 64 servers x 2048 closed-loop clients, the
+# default stack (flat-array hot paths + calendar kernel) timed against
+# the seed stack (scalar paths + heapq kernel) with BLAKE2 schedule
+# digests proving both dispatch bit-identical event sequences.
+bench-scale:
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench scale --scale 1.0
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_scale.json
+
 # Tiny end-to-end run of the artifact-emitting benches plus schema
 # validation of what they wrote; fast enough for CI.
 bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	cd .bench-smoke && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench inflight multiget \
-			failover server_sweep chaos simcore tenants --scale 0.05 && \
+			failover server_sweep chaos simcore tenants scale --scale 0.05 && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate \
 			BENCH_inflight.json BENCH_multiget.json BENCH_failover.json \
 			BENCH_sweep.json BENCH_chaos.json BENCH_simcore.json \
-			BENCH_tenants.json
+			BENCH_tenants.json BENCH_scale.json
 
 figures:
 	python -m repro.bench all --scale 0.5

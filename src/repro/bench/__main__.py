@@ -49,6 +49,7 @@ from .experiments import (
     write_sweep_artifact,
 )
 from .report import format_table
+from .scale import scale_matrix, write_scale_artifact
 from .simcore import simcore_kernel, write_simcore_artifact
 from .tenants import tenant_fairness, write_tenants_artifact
 
@@ -108,6 +109,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
     "tenants": ("Multi-tenant QoS — fair queueing, admission throttling, "
                 "server shed, AIMD autotune (victim vs aggressor)",
                 tenant_fairness, True),
+    "scale": ("Fig. 12 at cluster scale — 64 servers x 2048 clients, "
+              "flat hot paths + calendar kernel vs the seed stack",
+              scale_matrix, True),
 }
 
 #: Experiments that also emit a machine-readable perf artifact (one per
@@ -120,7 +124,27 @@ ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
     "chaos": write_chaos_artifact,
     "simcore": write_simcore_artifact,
     "tenants": write_tenants_artifact,
+    "scale": write_scale_artifact,
 }
+
+
+def _profile_table(pr, title: str) -> str:
+    """Top-20 cumulative-time hotspots of one profiled experiment."""
+    import pstats
+    stats = pstats.Stats(pr)
+    entries = sorted(stats.stats.items(), key=lambda kv: kv[1][3],
+                     reverse=True)[:20]
+    rows = []
+    for (filename, lineno, func), (_cc, ncalls, tt, ct, _callers) in entries:
+        parts = filename.replace("\\", "/").rsplit("/", 3)
+        where = "/".join(parts[-2:]) if len(parts) > 1 else filename
+        rows.append({
+            "function": f"{where}:{lineno}({func})",
+            "calls": ncalls,
+            "tottime_ns": int(tt * 1e9),
+            "cumtime_ns": int(ct * 1e9),
+        })
+    return format_table(rows, title=title)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -134,6 +158,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(default 0.5)")
     parser.add_argument("--out", type=str, default=None,
                         help="also append the tables to this file")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each experiment under cProfile and "
+                             "append a top-20 cumulative-time hotspot "
+                             "table to the report")
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.figures else args.figures
@@ -146,7 +174,16 @@ def main(argv: list[str] | None = None) -> int:
         for name in names:
             title, fn, takes_scale = EXPERIMENTS[name]
             t0 = time.time()
-            rows = fn(scale=args.scale) if takes_scale else fn()
+            if args.profile:
+                import cProfile
+                pr = cProfile.Profile()
+                pr.enable()
+                try:
+                    rows = fn(scale=args.scale) if takes_scale else fn()
+                finally:
+                    pr.disable()
+            else:
+                rows = fn(scale=args.scale) if takes_scale else fn()
             table = format_table(rows, title=title)
             footer = f"[{name}: {len(rows)} rows in {time.time()-t0:.1f}s " \
                      f"wall at scale={args.scale}]"
@@ -155,6 +192,14 @@ def main(argv: list[str] | None = None) -> int:
             print()
             if sink:
                 sink.write(table + "\n" + footer + "\n\n")
+            if args.profile:
+                hot = _profile_table(
+                    pr, title=f"{name} — top 20 hotspots by cumulative "
+                              f"time")
+                print(hot)
+                print()
+                if sink:
+                    sink.write(hot + "\n\n")
             if name in ARTIFACTS:
                 path = ARTIFACTS[name](rows)
                 print(f"[{name}: artifact written to {path}]")

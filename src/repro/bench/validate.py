@@ -3,7 +3,8 @@
 The bench harness writes machine-readable perf artifacts
 (``BENCH_inflight.json``, ``BENCH_multiget.json``,
 ``BENCH_failover.json``, ``BENCH_sweep.json``, ``BENCH_chaos.json``,
-``BENCH_simcore.json``, ``BENCH_tenants.json``) that are tracked
+``BENCH_simcore.json``, ``BENCH_tenants.json``, ``BENCH_scale.json``)
+that are tracked
 across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
 that each file matches its experiment's schema — required top-level
 fields, per-row keys and types — plus the semantic invariants the
@@ -31,8 +32,14 @@ experiments promise:
   the same-seed rerun flagged deterministic;
 * simcore_kernel rows must carry digest_match == True (the batched and
   legacy kernels dispatched bit-identically on the traced run), a
-  legacy baseline at speedup 1.0 per bench, and the batched sweep_loop
-  row must stay at or above the 3x regression floor;
+  legacy baseline at speedup 1.0 per bench, the batched sweep_loop
+  row must stay at or above the 3x regression floor, and full-scale
+  rows must clear an absolute events/sec floor;
+* scale_matrix rows must carry digest_match == True (the flat-array
+  and seed stacks dispatched bit-identically on the traced clone) plus
+  exactly equal event counts at full scale, a 64-server scale-out row,
+  per-axis normalized baselines of 1.0, and full-size cells at or above
+  the flat-vs-seed no-regression wall-clock floor;
 * tenant_fairness rows must show the QoS contract held: Jain's index
   >= 0.9 and victim p99 <= 2x the no-aggressor baseline in every
   fair-queueing cell, client throttles tripping in the admission-capped
@@ -83,6 +90,10 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
     "tenant_fairness": (
         "cell", "kops", "victim_kops", "victim_p99_us", "jain",
         "throttled", "shed", "solo_p99_us", "best_static_kops"),
+    "scale_matrix": (
+        "axis", "servers", "shards", "clients", "ops", "throughput_mops",
+        "normalized", "wall_s", "seed_wall_s", "events", "seed_events",
+        "events_per_sec", "speedup", "digest_match"),
 }
 
 #: Regression floor for the kernel microbench: the batched kernel must
@@ -90,6 +101,23 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
 #: shape (the committed artifact shows ~5x; the floor leaves headroom
 #: for CI machine noise without letting a real regression slip by).
 _SIMCORE_SWEEP_FLOOR = 3.0
+
+#: Absolute events/sec floor for full-scale simcore rows (events >=
+#: 100k): the committed artifact shows 0.5-3.4M events/sec; a drop below
+#: this order-of-magnitude guard means the kernel itself regressed
+#: catastrophically, not that the CI machine is slow.
+_SIMCORE_EPS_FLOOR = 150_000.0
+
+#: Wall-clock floor for the scale matrix's full-size cells: the default
+#: stack (flat hot paths + calendar kernel) must never be slower than
+#: the seed stack (scalar paths + heapq kernel).  The measured compound
+#: speedup on the 64-server x 2048-client shape is ~1.05-1.2x, far below
+#: the kernel microbench's 5x, because digest identity pins the event
+#: chain: both stacks dispatch the identical ~42 events per op, so only
+#: the Python-level cost per event differs (Amdahl's law over the
+#: flag-gated ~10-15% of wall time).  The floor is set just under 1.0 to
+#: absorb timer noise while catching a real inversion.
+_SCALE_SPEEDUP_FLOOR = 0.9
 
 #: chaos_soak row fields that must be exactly zero for the contract.
 _CHAOS_ZERO = ("untyped_errors", "corrupt_values", "lost_acked_writes",
@@ -129,7 +157,9 @@ def validate_artifact(payload: dict) -> list[str]:
         for key in row_keys:
             if key.endswith("_kops") or key.endswith("speedup") \
                     or key == "speedup_vs_message" \
-                    or key in ("kops", "server_cpu_ns_per_op", "cpu_ratio"):
+                    or key in ("kops", "server_cpu_ns_per_op", "cpu_ratio",
+                               "throughput_mops", "wall_s", "seed_wall_s",
+                               "events_per_sec"):
                 if not _positive(row, key):
                     problems.append(f"row {i}: {key} must be a positive "
                                     f"number, got {row[key]!r}")
@@ -249,6 +279,14 @@ def validate_artifact(payload: dict) -> list[str]:
             if not _positive(row, "events_per_sec"):
                 problems.append(f"{label}: events_per_sec must be positive, "
                                 f"got {row.get('events_per_sec')!r}")
+            if isinstance(row.get("events"), int) \
+                    and row["events"] >= 100_000:
+                eps = row.get("events_per_sec")
+                if not (isinstance(eps, (int, float))
+                        and eps >= _SIMCORE_EPS_FLOOR):
+                    problems.append(
+                        f"{label}: events/sec regressed below the absolute "
+                        f"{_SIMCORE_EPS_FLOOR:.0f}/s floor, got {eps!r}")
         for i, row in enumerate(rows):
             if row.get("bench") != "sweep_loop" \
                     or row.get("kernel") != "batched":
@@ -265,6 +303,53 @@ def validate_artifact(payload: dict) -> list[str]:
                     f"row {i} (sweep_loop, batched): kernel speedup "
                     f"regressed below the {_SIMCORE_SWEEP_FLOOR}x floor, "
                     f"got {speedup!r}")
+    if experiment == "scale_matrix":
+        axes = {row.get("axis") for row in rows}
+        for axis in ("scale_out", "scale_up"):
+            if axis not in axes:
+                problems.append(f"missing axis {axis!r}")
+        if not any(row.get("axis") == "scale_out"
+                   and row.get("servers") == 64 for row in rows):
+            problems.append("no 64-server scale-out row (the headline "
+                            "shape)")
+        seen_axis: set = set()
+        for i, row in enumerate(rows):
+            label = f"row {i} (axis={row.get('axis')!r}, " \
+                    f"servers={row.get('servers')!r}, " \
+                    f"shards={row.get('shards')!r})"
+            if row.get("digest_match") is not True:
+                problems.append(
+                    f"{label}: schedule digests diverged between the flat "
+                    f"and seed stacks — the speedup is meaningless without "
+                    f"bit-identical dispatch order")
+            if row.get("events") != row.get("seed_events") \
+                    or not _positive(row, "events"):
+                problems.append(
+                    f"{label}: both stacks must dispatch the same positive "
+                    f"event count at full scale, got events="
+                    f"{row.get('events')!r} vs seed_events="
+                    f"{row.get('seed_events')!r}")
+            axis = row.get("axis")
+            if axis not in seen_axis:
+                seen_axis.add(axis)
+                if row.get("normalized") != 1.0:
+                    problems.append(
+                        f"{label}: each axis's first row is its own "
+                        f"baseline and must have normalized == 1.0, got "
+                        f"{row.get('normalized')!r}")
+            elif not _positive(row, "normalized"):
+                problems.append(f"{label}: normalized must be a positive "
+                                f"number, got {row.get('normalized')!r}")
+            if isinstance(row.get("events"), int) \
+                    and row["events"] >= 100_000:
+                # Smoke-scale cells are too short to time reliably.
+                speedup = row.get("speedup")
+                if not (isinstance(speedup, (int, float))
+                        and speedup >= _SCALE_SPEEDUP_FLOOR):
+                    problems.append(
+                        f"{label}: flat-stack speedup fell below the "
+                        f"{_SCALE_SPEEDUP_FLOOR}x no-regression floor, "
+                        f"got {speedup!r}")
     if experiment == "tenant_fairness":
         cells = {row.get("cell"): row for row in rows}
         for name in ("w1", "w16", "auto", "solo", "share-nofq",

@@ -250,7 +250,8 @@ class HydraCluster:
     # -- clients ---------------------------------------------------------
     def client(self, machine_index: int = 0, connect: bool = True,
                deadline_us: Optional[int] = None, tenant: str = "default",
-               qos: Optional[QosConfig] = None) -> HydraClient:
+               qos: Optional[QosConfig] = None,
+               share_transport: bool = False) -> HydraClient:
         """Create a client handle on the i-th client machine.
 
         ``deadline_us`` overrides ``client.op_deadline_us`` for this
@@ -265,16 +266,23 @@ class HydraCluster:
         explicit ``qos`` inherits a copy of the cluster-wide
         ``config.qos``.  The default ``tenant="default"`` with no ``qos``
         is bit-for-bit the pre-tenant client.
+
+        ``share_transport`` makes default-tenant handles on one machine
+        share that machine's connections/QPs too (as the paper's client
+        processes share their host NIC's QP state).  Large-scale benches
+        use this: thousands of closed-loop clients would otherwise mean
+        thousands of connections *per shard*.
         """
         machine = self.client_machines[machine_index]
         return self.client_on(machine, connect=connect,
                               deadline_us=deadline_us, tenant=tenant,
-                              qos=qos)
+                              qos=qos, share_transport=share_transport)
 
     def client_on(self, machine: Machine, connect: bool = True,
                   deadline_us: Optional[int] = None,
                   tenant: str = "default",
-                  qos: Optional[QosConfig] = None) -> HydraClient:
+                  qos: Optional[QosConfig] = None,
+                  share_transport: bool = False) -> HydraClient:
         """Create a client on an arbitrary machine (co-location allowed)."""
         cache = None
         if (self.config.client.rptr_cache_enabled
@@ -289,14 +297,16 @@ class HydraCluster:
             qos = replace(self.config.qos)
         shared = None
         bucket = None
-        if qos is not None:
+        if qos is not None or share_transport:
             # Tenant handles on one machine share one transport: the same
             # physical connections, slots, and windows — the contention
-            # the QoS layer arbitrates.
+            # the QoS layer arbitrates.  ``share_transport`` opts plain
+            # handles into the same sharing (QP-state economy at scale).
             shared = self._transports.get(machine.machine_id)
             if shared is None:
                 shared = self._transports[machine.machine_id] = (
                     ClientTransport())
+        if qos is not None:
             bucket = self._bucket_for(tenant, qos)
         client = HydraClient(self.sim, self.config, machine, router=self,
                              metrics=self.metrics, rptr_cache=cache,

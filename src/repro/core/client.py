@@ -72,6 +72,7 @@ from ..index.hashing import bucket_index, hash64, signature16
 from ..kvmem import item_size, parse_item, parse_item_prefix
 from ..protocol import (Op, Request, Response, Status, clear, consume,
                          frame, frame_len, occ_announce)
+from ..protocol.messages import _REQ
 from ..qos import AimdController, SlotArbiter
 from ..rdma import Nic, NicDown, QpError, RemotePointer
 from ..rdma.tcp import TcpError
@@ -344,6 +345,34 @@ class HydraClient:
         self._read_ctls = shared.read_ctls
         self._read_use = shared.read_use
         shared.weights[tenant] = qos.weight if qos is not None else 1.0
+        # -- flat hot path (hydra.flat_hot_paths) --------------------------
+        # Precomputed counter handles (``MetricSet.counter`` is get-or-
+        # create, so these are the same objects the per-call lookups
+        # returned — totals are identical either way) and reusable drain
+        # scratch lists.  The gather loops burn these per op otherwise:
+        # every response re-resolved its counter through an f-string key.
+        self._flat = (self.hydra.flat_hot_paths
+                      and self.hydra.transport == "rdma")
+        m = self.metrics
+        self._c_messages = m.counter("client.messages")
+        self._c_stale = m.counter("client.stale_responses")
+        self._c_retries = m.counter("client.retries")
+        self._c_failovers = m.counter("client.failovers")
+        self._c_rdma_reads = m.counter("client.rdma_reads")
+        self._c_demotions = m.counter("client.demotions")
+        self._c_bucket_reads = m.counter("client.bucket_reads")
+        self._c_races = m.counter("client.traversal_races")
+        if self.tmetrics is not None:
+            tm = self.tmetrics
+            self._tc_ops = tm.counter("ops")
+            self._tc_throttled = tm.counter("throttled")
+            self._tc_server_shed = tm.counter("server_shed")
+            self._tc_slot_grants = tm.counter("slot_grants")
+            self._tc_slot_wait = tm.tally("slot_wait_ns")
+        #: Pool of drain-order scratch lists (one per *concurrent* drain:
+        #: fan-outs run many issue/wait processes on one handle, each of
+        #: which may be parked mid-drain at a simulated poll yield).
+        self._drain_scratch: list[list[int]] = []
 
     # -- connections ---------------------------------------------------------
     def connection_to(self, shard: Shard) -> Connection:
@@ -522,7 +551,7 @@ class HydraClient:
             except _RETRYABLE as exc:
                 if deadline is None:
                     raise  # single-attempt mode: legacy contract
-                self.metrics.counter("client.retries").add()
+                self._c_retries.add()
                 if first_failure_ns is None:
                     first_failure_ns = self.sim.now
                     failed_shard = shard
@@ -544,11 +573,11 @@ class HydraClient:
                 backoff_ns = min(backoff_ns * 2, backoff_cap_ns)
                 continue
             if first_failure_ns is not None and shard is not failed_shard:
-                self.metrics.counter("client.failovers").add()
+                self._c_failovers.add()
                 self.metrics.tally("client.failover_latency_ns").observe(
                     self.sim.now - first_failure_ns)
             if self.tmetrics is not None:
-                self.tmetrics.counter("ops").add()
+                self._tc_ops.add()
             return result
 
     def _admit(self, deadline: Optional[int], opname: str = "", n: int = 1):
@@ -571,7 +600,7 @@ class HydraClient:
                 n -= take_n
                 continue
             if self.tmetrics is not None:
-                self.tmetrics.counter("throttled").add()
+                self._tc_throttled.add()
             if deadline is None or wait_ns >= deadline - self.sim.now:
                 raise TenantThrottled(
                     f"{self.client_id}: {opname} admission refused for "
@@ -646,7 +675,7 @@ class HydraClient:
         if n <= 0:
             return [], []
         batch, cs.queue = cs.queue[:n], cs.queue[n:]
-        self.metrics.counter("client.rdma_reads").add(n)
+        self._c_rdma_reads.add(n)
         try:
             batch_ev = cs.conn.client_qp.post_read_batch(
                 [op.rptr for op in batch])
@@ -683,7 +712,7 @@ class HydraClient:
         demoted: list[_ReadItem] = []
 
         def demote(item: _ReadItem):
-            self.metrics.counter("client.demotions").add()
+            self._c_demotions.add()
             if on_demote is None:
                 demoted.append(item)
             else:
@@ -699,7 +728,7 @@ class HydraClient:
         # -- traversal plumbing (cold keys, one-sided index walk) ---------
         def enqueue_bucket(trav: _Traversal, cs: _ReadState,
                           frame_idx: int, confirm: bool = False) -> None:
-            self.metrics.counter("client.bucket_reads").add()
+            self._c_bucket_reads.add()
             rptr = RemotePointer(trav.index.export_rkey,
                                  frame_idx * BUCKET_EXPORT_BYTES,
                                  BUCKET_EXPORT_BYTES)
@@ -723,7 +752,7 @@ class HydraClient:
         def race(trav: _Traversal, cs: _ReadState):
             """The chain moved under the walk: restart, bounded."""
             trav.retries += 1
-            self.metrics.counter("client.traversal_races").add()
+            self._c_races.add()
             if trav.retries > self.trav_cfg.max_retries:
                 yield from demote(trav.item)
                 return
@@ -905,6 +934,14 @@ class HydraClient:
                     yield from handle_titem(op, wc, cs)
                 else:  # "bucket" / "confirm"
                     yield from handle_bucket(op, wc, cs)
+            if self._flat:
+                # Every parse above copies out of wc.data; the chain's
+                # pooled CQEs can go back to the freelist.  (An exception
+                # mid-gather leaks them to the GC — correct, unrecycled.)
+                release = self.nic.wc_pool.release
+                for wc in wcs:
+                    if wc._live:
+                        release(wc)
             lag = pipe - self.sim.now
             if lag > 0:
                 yield self.sim.timeout(lag)
@@ -994,8 +1031,8 @@ class HydraClient:
             if ticket.granted:
                 arb.consume(ticket)
                 if self.tmetrics is not None:
-                    self.tmetrics.counter("slot_grants").add()
-                    self.tmetrics.tally("slot_wait_ns").observe(
+                    self._tc_slot_grants.add()
+                    self._tc_slot_wait.observe(
                         self.sim.now - t0)
                 return
             drained = yield from self._drain(pipe)
@@ -1027,10 +1064,20 @@ class HydraClient:
         (defaults to ``client.op_timeout_ns``); the retry engine passes
         the remaining deadline budget here.
         """
-        req = Request(op=req.op, key=req.key, value=req.value,
-                      req_id=next(self._req_ids), tenant=self._wire_tenant)
-        self.metrics.counter("client.messages").add()
-        data = req.encode()
+        req_id = next(self._req_ids)
+        self._c_messages.add()
+        if self._flat:
+            # Pack the wire frame directly from the caller's request —
+            # the scalar oracle builds an intermediate re-keyed Request
+            # dataclass per op purely to call .encode() on it.
+            key, value, tenant = req.key, req.value, self._wire_tenant
+            data = (_REQ.pack(req.op, len(tenant), len(key), len(value),
+                              req_id)
+                    + key + value + tenant)
+        else:
+            req = Request(op=req.op, key=req.key, value=req.value,
+                          req_id=req_id, tenant=self._wire_tenant)
+            data = req.encode()
         yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
         conn = self.connection_to(shard)
         pipe = self._pipe(conn)
@@ -1061,7 +1108,7 @@ class HydraClient:
                     f"message slot; raise hydra.conn_buf_bytes or lower "
                     f"hydra.msg_slots_per_conn for large items")
             slot = pipe.free_slots.pop(0)
-            pipe.slot_req[slot] = req.req_id
+            pipe.slot_req[slot] = req_id
             pipe.post_seq += 1
             pipe.slot_seq[slot] = pipe.post_seq
             if conn.layout.occupancy:
@@ -1079,11 +1126,15 @@ class HydraClient:
                                 if s not in pipe.confirmed]
                 else:
                     announce = pipe.slot_req
-                conn.client_qp.post_write_batch([
+                batch_ev = conn.client_qp.post_write_batch([
                     (conn.req_slot_rptrs[slot], frame(data)),
                     (conn.req_occ_rptr,
                      occ_announce(announce, conn.layout.n_slots)),
                 ])
+                if self._flat:
+                    # Fire-and-forget post: recycle its pooled CQEs the
+                    # instant the batch completes (nobody reads them).
+                    batch_ev.callbacks.append(self._recycle_wcs)
             else:
                 conn.client_qp.post_write(conn.req_slot_rptrs[slot],
                                           frame(data))
@@ -1091,12 +1142,12 @@ class HydraClient:
             conn.client_qp.post_recv()
             conn.client_qp.post_send(data)
             slot = -1
-        pipe.inflight[req.req_id] = slot
+        pipe.inflight[req_id] = slot
         if self._fair:
-            pipe.req_tenant[req.req_id] = self.tenant
+            pipe.req_tenant[req_id] = self.tenant
         if self._autotune:
-            pipe.issued_ns[req.req_id] = self.sim.now
-        return PendingRequest(req_id=req.req_id, shard=shard, conn=conn,
+            pipe.issued_ns[req_id] = self.sim.now
+        return PendingRequest(req_id=req_id, shard=shard, conn=conn,
                               slot=slot)
 
     def wait(self, pending: PendingRequest,
@@ -1118,7 +1169,7 @@ class HydraClient:
             if resp is not None:
                 if resp.status is Status.THROTTLED:
                     if self.tmetrics is not None:
-                        self.tmetrics.counter("server_shed").add()
+                        self._tc_server_shed.add()
                     raise TenantThrottled(
                         f"{self.client_id}: shard shed {resp.op.name} for "
                         f"tenant {self.tenant!r}",
@@ -1154,6 +1205,14 @@ class HydraClient:
             ])
             del ev  # loop re-probes regardless of which event fired
 
+    def _recycle_wcs(self, ev) -> None:
+        """Batch-event callback: return pooled CQEs nobody will read
+        (fire-and-forget announce posts) to this NIC's freelist."""
+        release = self.nic.wc_pool.release
+        for wc in ev.value:
+            if wc._live:
+                release(wc)
+
     def _drain(self, pipe: _ConnPipeline):
         """Consume every landed response on one connection (non-blocking).
 
@@ -1164,57 +1223,26 @@ class HydraClient:
         """
         conn = pipe.conn
         landed = 0
+        if self._flat and self.hydra.rdma_write_messaging:
+            # Reuse a pooled scratch list for the slot-order snapshot
+            # instead of allocating one per poll.  Pooled (not a single
+            # per-client buffer) because fan-outs park many issue/wait
+            # processes mid-drain at the poll-probe yields below — each
+            # concurrent drain needs its own snapshot, exactly as the
+            # scalar sorted() copy provided.
+            scratch = self._drain_scratch
+            slots = scratch.pop() if scratch else []
+            slots.extend(pipe.slot_req)
+            slots.sort()
+            try:
+                landed = yield from self._drain_slots(pipe, conn, slots)
+            finally:
+                slots.clear()
+                scratch.append(slots)
+            return landed
         if self.hydra.rdma_write_messaging:
-            for slot in sorted(pipe.slot_req):
-                off = conn.layout.offset(slot)
-                payload = consume(conn.resp_region, off)
-                if payload is None:
-                    continue
-                clear(conn.resp_region, off, len(payload))
-                yield self.sim.timeout(self.cpu.poll_probe_ns)
-                try:
-                    resp = Response.decode(payload)
-                except (ValueError, KeyError):
-                    resp = None
-                if resp is None or resp.req_id != pipe.slot_req[slot]:
-                    # Garbage frame or a late response from a request that
-                    # timed out before this slot was reused: discard it and
-                    # keep the slot — its current request is still pending.
-                    self.metrics.counter("client.stale_responses").add()
-                    continue
-                pipe.slot_req.pop(slot)
-                seq_r = pipe.slot_seq.pop(slot, 0)
-                pipe.confirmed.discard(slot)
-                insort(pipe.free_slots, slot)
-                pipe.inflight.pop(resp.req_id, None)
-                self._release_slot(pipe, resp.req_id)
-                pipe.completed[resp.req_id] = resp
-                landed += 1
-                if pipe.issued_ns:
-                    self._feed_rtt(conn, pipe, resp.req_id)
-                if self.hydra.occ_announce_mask:
-                    # A response for req r proves the shard's occupancy
-                    # snapshot that carried r also carried every
-                    # earlier-POSTED still-in-flight slot (each occ write
-                    # is the OR of all unconfirmed in-flight slots, and RC
-                    # delivers in post order) — so those announces are
-                    # consumed and need not be re-announced.  "Earlier"
-                    # must mean post order: under fair queueing a low
-                    # req_id can wait out a slot grant and post *after*
-                    # higher req_ids, and confirming it off req_id order
-                    # would suppress an announce the shard never saw —
-                    # the request would hang until its op timeout.  On
-                    # arbiter-free pipes post order and req_id order are
-                    # the same thing; the legacy comparison is kept there
-                    # so the default-path schedule stays bit-identical.
-                    if pipe.arbiter is not None:
-                        for other_slot in pipe.slot_req:
-                            if pipe.slot_seq.get(other_slot, 0) < seq_r:
-                                pipe.confirmed.add(other_slot)
-                    else:
-                        for other_slot, other_req in pipe.slot_req.items():
-                            if other_req < resp.req_id:
-                                pipe.confirmed.add(other_slot)
+            landed = yield from self._drain_slots(pipe, conn,
+                                                  sorted(pipe.slot_req))
         else:
             while True:
                 cqe = conn.client_qp.recv_cq.poll_one()
@@ -1227,13 +1255,70 @@ class HydraClient:
                     resp = None
                 if resp is None or pipe.inflight.pop(resp.req_id,
                                                      None) is None:
-                    self.metrics.counter("client.stale_responses").add()
+                    self._c_stale.add()
                     continue
                 self._release_slot(pipe, resp.req_id)
                 pipe.completed[resp.req_id] = resp
                 landed += 1
                 if pipe.issued_ns:
                     self._feed_rtt(conn, pipe, resp.req_id)
+        return landed
+
+    def _drain_slots(self, pipe: _ConnPipeline, conn: Connection, slots):
+        """One-sided drain body: probe each snapshot slot's response
+        frame (shared by the scalar and flat paths — only the snapshot
+        list's allocation differs)."""
+        landed = 0
+        for slot in slots:
+            off = conn.layout.offset(slot)
+            payload = consume(conn.resp_region, off)
+            if payload is None:
+                continue
+            clear(conn.resp_region, off, len(payload))
+            yield self.sim.timeout(self.cpu.poll_probe_ns)
+            try:
+                resp = Response.decode(payload)
+            except (ValueError, KeyError):
+                resp = None
+            if resp is None or resp.req_id != pipe.slot_req[slot]:
+                # Garbage frame or a late response from a request that
+                # timed out before this slot was reused: discard it and
+                # keep the slot — its current request is still pending.
+                self._c_stale.add()
+                continue
+            pipe.slot_req.pop(slot)
+            seq_r = pipe.slot_seq.pop(slot, 0)
+            pipe.confirmed.discard(slot)
+            insort(pipe.free_slots, slot)
+            pipe.inflight.pop(resp.req_id, None)
+            self._release_slot(pipe, resp.req_id)
+            pipe.completed[resp.req_id] = resp
+            landed += 1
+            if pipe.issued_ns:
+                self._feed_rtt(conn, pipe, resp.req_id)
+            if self.hydra.occ_announce_mask:
+                # A response for req r proves the shard's occupancy
+                # snapshot that carried r also carried every
+                # earlier-POSTED still-in-flight slot (each occ write
+                # is the OR of all unconfirmed in-flight slots, and RC
+                # delivers in post order) — so those announces are
+                # consumed and need not be re-announced.  "Earlier"
+                # must mean post order: under fair queueing a low
+                # req_id can wait out a slot grant and post *after*
+                # higher req_ids, and confirming it off req_id order
+                # would suppress an announce the shard never saw —
+                # the request would hang until its op timeout.  On
+                # arbiter-free pipes post order and req_id order are
+                # the same thing; the legacy comparison is kept there
+                # so the default-path schedule stays bit-identical.
+                if pipe.arbiter is not None:
+                    for other_slot in pipe.slot_req:
+                        if pipe.slot_seq.get(other_slot, 0) < seq_r:
+                            pipe.confirmed.add(other_slot)
+                else:
+                    for other_slot, other_req in pipe.slot_req.items():
+                        if other_req < resp.req_id:
+                            pipe.confirmed.add(other_slot)
         return landed
 
     def _release_slot(self, pipe: _ConnPipeline, req_id: int) -> None:
@@ -1363,7 +1448,7 @@ class HydraClient:
                 # same-shard success is just a transient absorbed by retry.
                 if first_failure_ns is not None and any(
                         item.shard not in failed_shards for item in items):
-                    self.metrics.counter("client.failovers").add()
+                    self._c_failovers.add()
                     self.metrics.tally("client.failover_latency_ns").observe(
                         self.sim.now - first_failure_ns)
                 return
@@ -1380,7 +1465,7 @@ class HydraClient:
                 raise RequestTimeout(
                     f"{self.client_id}: {opname}: {len(failed)} of "
                     f"{len(items)} keys got no response")
-            self.metrics.counter("client.retries").add(len(failed))
+            self._c_retries.add(len(failed))
             if first_failure_ns is None:
                 first_failure_ns = self.sim.now
             # dict.fromkeys, not a set: teardown order must follow failure
@@ -1510,7 +1595,7 @@ class HydraClient:
         """
         req = Request(op=req.op, key=req.key, value=req.value,
                       req_id=next(self._req_ids), tenant=self._wire_tenant)
-        self.metrics.counter("client.messages").add()
+        self._c_messages.add()
         data = req.encode()
         yield self.sim.timeout(self.cpu.parse_ns)  # marshalling
         conn = self._tcp_conns.get(shard)
@@ -1561,10 +1646,10 @@ class HydraClient:
             except (ValueError, KeyError):
                 # Truncated/garbled message (injected short read): drop
                 # it and keep reading until the deadline.
-                self.metrics.counter("client.stale_responses").add()
+                self._c_stale.add()
                 continue
             if resp.req_id == req.req_id:
                 return resp
             # A stale response from a previously timed-out request on this
             # socket: discard and keep reading instead of raising.
-            self.metrics.counter("client.stale_responses").add()
+            self._c_stale.add()

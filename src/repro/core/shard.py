@@ -54,6 +54,7 @@ from ..protocol import (
     occ_probe,
     occ_restore,
 )
+from ..protocol.messages import _REQ, _RESP
 from ..rdma import MemoryRegion, Nic, QpError, QueuePair, RemotePointer
 from ..rdma.tcp import TcpError
 from ..rdma.verbs import WcStatus
@@ -68,6 +69,17 @@ WRITE_OPS = frozenset({Op.PUT, Op.INSERT, Op.UPDATE, Op.DELETE})
 #: the safety net that catches a connection whose hint was lost.
 FULL_SWEEP_EVERY = 64
 _conn_ids = count(1)
+
+#: Wire opcode -> Op member: the flat parse path resolves opcodes with a
+#: list index instead of the Op(...) enum call.
+_OP_BY_CODE: list = [None] * (max(Op) + 1)
+for _code_op in Op:
+    _OP_BY_CODE[_code_op] = _code_op
+_MAX_OP = int(max(Op))
+#: The write opcodes are wire-contiguous (PUT..DELETE); the flat path
+#: tests membership with a range compare instead of a set lookup.
+_WRITE_LO, _WRITE_HI = int(Op.PUT), int(Op.DELETE)
+assert all(_WRITE_LO <= int(o) <= _WRITE_HI for o in WRITE_OPS)
 
 
 class _SweepBatch:
@@ -194,6 +206,34 @@ class Shard:
         self._gray_gate = Gate(sim)
         self.alive = False
         self._proc = None
+        # -- flat hot path (hydra.flat_hot_paths) --------------------------
+        self._flat = (config.hydra.flat_hot_paths
+                      and self.hydra.transport == "rdma")
+        m = self.metrics
+        self._c_requests = m.counter("shard.requests")
+        self._c_bad_requests = m.counter("shard.bad_requests")
+        #: Per-op counters indexed by the raw wire opcode — the scalar
+        #: path's ``f"shard.op.{op.name}"`` lookup resolved once.
+        self._c_op = [None] * (max(Op) + 1)
+        for _op in Op:
+            self._c_op[_op] = m.counter(f"shard.op.{_op.name}")
+        self._c_index_mut = m.counter("shard.index_mutations_versioned")
+        self._c_resp_overflow = m.counter("shard.resp_overflow")
+        self._c_age_flushes = m.counter("shard.age_flushes")
+        #: Reused parse scratch: parallel arrays one sweep batch wide
+        #: (grown on demand, never shrunk) — the sweep's analogue of the
+        #: kernel's flat calendar slots.
+        self._ba_ops: list[int] = []
+        self._ba_slots: list[int] = []
+        self._ba_keys: list[bytes] = []
+        self._ba_vals: list[bytes] = []
+        self._ba_rids: list[int] = []
+        self._ba_raw: list = []
+        #: Connection-set generation: bumped on conn add/drop so holders
+        #: of derived connection lists (pipelined I/O threads) re-derive
+        #: them only when the set actually changed, instead of rebuilding
+        #: every sweep.
+        self._conn_gen = 0
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
@@ -321,11 +361,13 @@ class Shard:
             client_qp.recv_cq.on_push.append(
                 lambda _cq, c=conn: c.client_doorbell.fire())
         self.conns.append(conn)
+        self._conn_gen += 1
         return conn
 
     def disconnect(self, conn: Connection) -> None:
         if conn in self.conns:
             self.conns.remove(conn)
+            self._conn_gen += 1
         self._ready.pop(conn.conn_id, None)
         conn.close()
 
@@ -336,8 +378,8 @@ class Shard:
             self._ready[conn.conn_id] = conn
         self.doorbell.fire(conn)
 
-    def _select_conns(self, owned: Optional[list] = None
-                      ) -> list[Connection]:
+    def _select_conns(self, owned: Optional[list] = None,
+                      owned_fresh: bool = False) -> list[Connection]:
         """Pick the connections the next sweep should probe.
 
         With ready hints on, only flagged connections (drained from the
@@ -348,10 +390,13 @@ class Shard:
         into periodic O(conns x slots) walks.  The result is rotated so
         a hot connection at the front cannot starve the rest.
         ``owned`` restricts the pool (pipelined I/O threads partition the
-        connections among themselves).
+        connections among themselves); ``owned_fresh`` promises the list
+        was derived at the current ``_conn_gen`` — dropped connections
+        already pruned — so the membership filter can be skipped.
         """
         pool = self.conns if owned is None else \
-            [c for c in owned if c in self.conns]
+            (owned if owned_fresh else
+             [c for c in owned if c in self.conns])
         if not pool:
             return []
         if not self.hydra.ready_hints:
@@ -605,6 +650,12 @@ class Shard:
                     ready, extra_ns = self._poll_conn(conn)
                     if extra_ns:
                         yield self.core.execute(extra_ns)
+                    if self._flat and batch is not None:
+                        if ready:
+                            processed += len(ready)
+                            yield from self._handle_batch(conn, ready,
+                                                          batch)
+                        continue
                     for slot, payload in ready:
                         yield from self._handle(conn, slot, payload, batch)
                         processed += 1
@@ -655,6 +706,10 @@ class Shard:
             self.metrics.counter("shard.bad_requests").add()
             return
         self.metrics.counter(f"shard.op.{req.op.name}").add()
+        yield from self._handle_req(conn, slot, req, batch)
+
+    def _handle_req(self, conn: Connection, slot: int, req: Request,
+                    batch: Optional[_SweepBatch] = None):
         if req.tenant and batch is not None:
             shed = yield from self._tenant_admit(conn, slot, req, batch,
                                                  self.core)
@@ -696,6 +751,145 @@ class Shard:
             version=result.version,
         )
         self._respond(conn, resp, slot, batch)
+
+    def _handle_batch(self, conn: Connection, ready: list,
+                      batch: _SweepBatch):
+        """Flat-array sweep inner loop (``hydra.flat_hot_paths``).
+
+        Processes one connection's whole ready batch through
+        parse→index→respond as parallel arrays: request headers are
+        unpacked with ``struct.unpack_from`` into reused scratch lists
+        (no Request objects), the store is dispatched on the raw opcode,
+        and responses are packed straight to wire bytes (no Response
+        objects, no ``encode()``).  Every simulated yield of the scalar
+        path — the per-request ``core.execute``, replication issue and
+        ack collection, mid-batch age flushes — is preserved 1:1, so the
+        schedule digest stays bit-identical to the scalar oracle
+        (``flat_hot_paths=False``).  Named-tenant requests fall back to
+        the scalar per-request body: admission accounting needs the
+        decoded tenant and is not a hot path.
+        """
+        c_req = self._c_requests
+        c_op = self._c_op
+        ops = self._ba_ops
+        slots_a = self._ba_slots
+        keys = self._ba_keys
+        vals = self._ba_vals
+        rids = self._ba_rids
+        raws = self._ba_raw
+        while len(ops) < len(ready):
+            ops.append(0)
+            slots_a.append(0)
+            keys.append(b"")
+            vals.append(b"")
+            rids.append(0)
+            raws.append(None)
+        unpack = _REQ.unpack_from
+        base = _REQ.size
+        n = 0
+        # Pass 1 — parse. No simulated time passes here (parsing cost is
+        # charged with the execute below, as on the scalar path), so
+        # batching the parses cannot reorder events.
+        for slot, payload in ready:
+            c_req.add()
+            bad = len(payload) < base
+            if not bad:
+                op, tlen, klen, vlen, rid = unpack(payload, 0)
+                bad = (len(payload) != base + klen + vlen + tlen
+                       or not 1 <= op <= _MAX_OP)
+            if bad:
+                self._c_bad_requests.add()
+                # Keep a no-op entry so pass 2 runs the same per-request
+                # age-flush check the scalar loop runs after a bad one.
+                ops[n] = -2
+                n += 1
+                continue
+            c_op[op].add()
+            slots_a[n] = slot
+            rids[n] = rid
+            if tlen:
+                ops[n] = -1  # tenant request: scalar fallback in pass 2
+                raws[n] = payload
+            else:
+                ops[n] = op
+                keys[n] = payload[base:base + klen]
+                vals[n] = payload[base + klen:base + klen + vlen]
+            n += 1
+        # Pass 2 — execute + respond, in arrival order.
+        sim = self.sim
+        cpu = self.cpu
+        core_execute = self.core.execute
+        store = self.store
+        replicator = self.replicator
+        # Base shards execute every key against their one store
+        # (store_for_key exists for the sub-sharded loops, which do not
+        # route through this handler).
+        exported = store.export is not None
+        region_rkey = store.region.rkey
+        parse_build = cpu.parse_ns + cpu.build_response_ns
+        pack = _RESP.pack
+        resp_rptrs = conn.resp_slot_rptrs
+        consumed = conn.consumed_pending
+        conn_id = conn.conn_id
+        batch_resp = batch.resp
+        rep_waits = batch.rep_waits
+        ok = Status.OK
+        for i in range(n):
+            op = ops[i]
+            slot = slots_a[i]
+            if op == -2:
+                pass  # bad request: counted in pass 1, nothing to do
+            elif op == -1:
+                req = Request.decode(raws[i])
+                raws[i] = None
+                yield from self._handle_req(conn, slot, req, batch)
+            else:
+                key = keys[i]
+                if op == 1:
+                    result = store.get(key)
+                elif op <= 4:
+                    result = store.upsert(key, vals[i], _OP_BY_CODE[op])
+                elif op == 5:
+                    result = store.remove(key)
+                else:
+                    result = store.lease_renew(key)
+                status = result.status
+                is_ok_write = (status is ok
+                               and _WRITE_LO <= op <= _WRITE_HI)
+                if is_ok_write and exported:
+                    self._c_index_mut.add()
+                yield core_execute(parse_build + result.cost_ns)
+                if replicator is not None and is_ok_write:
+                    rep_cost, wait_ev = replicator.replicate(
+                        _OP_BY_CODE[op], key, vals[i], result.version)
+                    yield core_execute(rep_cost)
+                    if wait_ev is not None:
+                        rep_waits.append(wait_ev)
+                # Respond: straight to wire bytes, buffered for the
+                # sweep's doorbell-coalesced flush (the scalar _respond
+                # batch branch, inlined).
+                consumed.discard(slot)
+                value = result.value
+                offset = result.offset
+                data = pack(op, status, 0, len(value), rids[i],
+                            region_rkey if (status is ok and offset >= 0)
+                            else 0,
+                            offset if offset > 0 else 0,
+                            result.extent, result.lease_expiry_ns,
+                            result.version) + value
+                if frame_len(len(data)) > resp_rptrs[slot].length:
+                    self._c_resp_overflow.add()
+                    data = pack(op, Status.ERROR, 0, 0, rids[i],
+                                0, 0, 0, 0, 0)
+                if batch.first_ns is None:
+                    batch.first_ns = sim.now
+                batch_resp.setdefault(conn_id, (conn, []))[1].append(
+                    (slot, data))
+            if self._batch_aged(batch):
+                self._c_age_flushes.add()
+                yield from self._finish_sweep(batch)
+                # A flush clears the buffered-response map in place;
+                # the cached locals stay valid for the next append.
 
     def _tenant_admit(self, conn: Connection, slot: int, req: Request,
                       batch: _SweepBatch, core: Core):
@@ -788,15 +982,50 @@ class Shard:
         # Fire-and-forget: the shard moves to the next request buffer
         # without waiting for the completion (§4.1.1).
 
+    def _respond_flat(self, conn: Connection, slot: int, op: int, rid: int,
+                      result, store: ShardStore,
+                      batch: _SweepBatch) -> None:
+        """Buffer one response packed straight to wire bytes — the
+        batched branch of :meth:`_respond` without the Response object.
+        Used by the sub-sharded / pipelined flat executors, which respond
+        one op at a time against varying stores (the base sweep inlines
+        this in :meth:`_handle_batch` with the per-sweep state hoisted).
+        """
+        conn.consumed_pending.discard(slot)
+        status = result.status
+        value = result.value
+        offset = result.offset
+        data = _RESP.pack(op, status, 0, len(value), rid,
+                          (store.region.rkey
+                           if status is Status.OK and offset >= 0 else 0),
+                          offset if offset > 0 else 0,
+                          result.extent, result.lease_expiry_ns,
+                          result.version) + value
+        if frame_len(len(data)) > conn.resp_slot_rptrs[slot].length:
+            self._c_resp_overflow.add()
+            data = _RESP.pack(op, Status.ERROR, 0, 0, rid, 0, 0, 0, 0, 0)
+        if batch.first_ns is None:
+            batch.first_ns = self.sim.now
+        batch.resp.setdefault(conn.conn_id, (conn, []))[1].append(
+            (slot, data))
+
     def _count_undeliverable(self, batch_ev) -> None:
         """Batch-completion callback: count responses whose WQE failed to
         post at all (stale rkey, dead NIC — surfaced as ``LOCAL_QP_ERR``).
         Later transport-level failures are retried by the NIC and are not
         undeliverable from the shard's point of view."""
-        bad = sum(1 for wc in batch_ev.value
+        wcs = batch_ev.value
+        bad = sum(1 for wc in wcs
                   if not wc.ok and wc.status is WcStatus.LOCAL_QP_ERR)
         if bad:
             self.metrics.counter("shard.undeliverable_responses").add(bad)
+        if self._flat:
+            # The shard is the chain's only consumer: recycle the pooled
+            # CQE records for the next doorbell-coalesced flush.
+            release = self.nic.wc_pool.release
+            for wc in wcs:
+                if wc._live:
+                    release(wc)
 
     def _flush_conn(self, conn: Connection, entries: list) -> None:
         """Flush one connection's buffered responses.

@@ -12,8 +12,9 @@ from .nic import Nic, NicDown
 from .qp import QpError, QueuePair
 from .tcp import TcpConnection, TcpError, TcpNetwork, TcpStack
 from .ud import UD_MTU, UdQueuePair
-from .verbs import (Completion, Opcode, RdmaError, ReadWorkRequest,
-                    RemotePointer, WcStatus, WriteWorkRequest)
+from .verbs import (Completion, CompletionPool, Opcode, RdmaError,
+                    ReadWorkRequest, RemotePointer, WcStatus,
+                    WriteWorkRequest)
 
 __all__ = [
     "CompletionQueue",
@@ -31,6 +32,7 @@ __all__ = [
     "TcpConnection",
     "TcpError",
     "Completion",
+    "CompletionPool",
     "Opcode",
     "WcStatus",
     "RemotePointer",

@@ -40,9 +40,24 @@ class CompletionQueue:
     def poll(self, max_entries: int = 16) -> list[Completion]:
         """Non-blocking drain of up to ``max_entries`` completions."""
         out: list[Completion] = []
-        while self._entries and len(out) < max_entries:
-            out.append(self._entries.popleft())
+        self.poll_into(out, max_entries)
         return out
+
+    def poll_into(self, out: list[Completion],
+                  max_entries: int = 16) -> int:
+        """Allocation-free :meth:`poll` into a caller-owned scratch list.
+
+        Companion to the flat hot paths' scratch-buffer discipline: a
+        poll loop can reuse one list per drain instead of allocating.
+        Entries may be pooled records (``CompletionPool``); they pass
+        through by reference and releasing them back to their pool
+        remains the consumer's job.  Returns the number appended.
+        """
+        n = 0
+        while self._entries and n < max_entries:
+            out.append(self._entries.popleft())
+            n += 1
+        return n
 
     def poll_one(self) -> Optional[Completion]:
         return self._entries.popleft() if self._entries else None

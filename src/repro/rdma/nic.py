@@ -25,7 +25,7 @@ from ..config import SimConfig
 from ..sim import MetricSet, Simulator, TimeWeighted
 from ..sim.events import Event, PooledTimer
 from .memory import AccessViolation, MemoryRegion
-from .verbs import Completion, Opcode, WcStatus
+from .verbs import Completion, CompletionPool, Opcode, WcStatus
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hardware.machine import Machine
@@ -92,6 +92,322 @@ class _Engine:
         return len(self._q)
 
 
+class _WriteOp:
+    """Pooled WQE state for the flat RDMA-Write path.
+
+    The scalar :meth:`Nic.issue_write` builds ~6 closures per WQE; a
+    pooled record carries the same state in ``__slots__`` with every
+    callback pre-bound once at construction, so a recycled record posts a
+    WQE with zero new function objects.  The record owns itself: it
+    returns to its NIC's freelist only once every scheduled hop (tx, fly,
+    rx, ack, retry timer, optional duplicate redelivery) has run, so a
+    late callback can never observe a reused record.
+
+    The hop sequence — and therefore every simulator event it creates —
+    mirrors the scalar closure chain exactly; the schedule-digest parity
+    tests hold both paths to bit-identical dispatch.
+    """
+
+    __slots__ = ("nic", "qp", "region", "offset", "data", "wr_id", "ev",
+                 "fault", "prop", "peer_nic", "discount", "wc_pool",
+                 "pending", "status", "cb_cost_tx", "cb_after_tx",
+                 "cb_arrive", "cb_rx_cost", "cb_deliver", "cb_acked",
+                 "cb_redeliver", "cb_expire")
+
+    def __init__(self, nic: "Nic"):
+        self.nic = nic
+        # Pre-bound callbacks: one allocation each for the record's
+        # lifetime, reused by every WQE it services.
+        self.cb_cost_tx = self._cost_tx
+        self.cb_after_tx = self._after_tx
+        self.cb_arrive = self._arrive
+        self.cb_rx_cost = self._rx_cost
+        self.cb_deliver = self._deliver
+        self.cb_acked = self._acked
+        self.cb_redeliver = self._redeliver
+        self.cb_expire = self._expire
+
+    def begin(self, qp: "QueuePair", region: MemoryRegion, offset: int,
+              data: bytes, wr_id: int, coalesced: bool,
+              pool: Optional[CompletionPool]) -> Event:
+        nic = self.nic
+        sim = nic.sim
+        ev = sim.event()
+        if not nic.alive:
+            nic._fail_completion(ev, Opcode.RDMA_WRITE,
+                                 WcStatus.LOCAL_QP_ERR, wr_id, qp.qp_num,
+                                 pool)
+            nic._write_ops.append(self)
+            return ev
+        self.ev = ev
+        self.qp = qp
+        self.region = region
+        self.offset = offset
+        self.data = data
+        self.wr_id = wr_id
+        self.wc_pool = pool
+        nic._c_w_ops.add()
+        nic._c_w_bytes.add(len(data))
+        (nic._c_w_coal if coalesced else nic._c_w_db).add()
+        peer_nic = qp.peer.nic
+        self.peer_nic = peer_nic
+        self.prop = nic.fabric.prop_ns(nic, peer_nic)
+        inj = nic.fabric.fault_injector
+        self.fault = inj.rdma_write_fault(nic, qp, region, offset, data) \
+            if inj is not None else None
+        timer = sim.timeout(nic.config.fabric.retry_timeout_ns)
+        timer.callbacks.append(self.cb_expire)
+        self.discount = min(nic.cfg.doorbell_ns, nic.cfg.tx_op_ns) \
+            if coalesced else 0
+        self.pending = 2  # tx submit + retry timer
+        nic.tx.submit(self.cb_cost_tx, self.cb_after_tx)
+        return ev
+
+    def _cost_tx(self) -> int:
+        return max(0, self.nic._tx_cost(len(self.data)) - self.discount)
+
+    def _after_tx(self) -> None:
+        fly = self.nic.sim.timeout(
+            self.prop + (self.fault.get("delay_ns", 0) if self.fault else 0))
+        fly.callbacks.append(self.cb_arrive)
+
+    def _arrive(self, _e: Event) -> None:
+        peer_nic = self.peer_nic
+        if not peer_nic.alive or (self.fault and self.fault.get("drop")):
+            self._done()  # lost in flight; the retry timer ends the op
+            return
+        peer_nic.rx.submit(self.cb_rx_cost, self.cb_deliver)
+
+    def _rx_cost(self) -> int:
+        return self.peer_nic._rx_cost()
+
+    def _deliver(self) -> None:
+        fault = self.fault
+        torn = fault.get("torn_bytes", 0) if fault else 0
+        if torn:
+            # Injected torn write (see the scalar path): a word-aligned
+            # prefix lands, the RC ack never arrives, the retry timer
+            # completes the op with RETRY_EXC.
+            try:
+                self.region.write(self.offset, self.data[:torn])
+            except AccessViolation:
+                pass
+            self._done()
+            return
+        try:
+            self.region.write(self.offset, self.data)
+        except AccessViolation:
+            status = WcStatus.REM_ACCESS_ERR
+        else:
+            status = WcStatus.SUCCESS
+        sim = self.nic.sim
+        if fault and fault.get("duplicate") and status is WcStatus.SUCCESS:
+            redeliver = sim.timeout(2 * self.prop + self.peer_nic._rx_cost())
+            redeliver.callbacks.append(self.cb_redeliver)
+            self.pending += 1
+        self.status = status  # carried to _acked with no per-hop closure
+        ack = sim.timeout(self.prop)
+        ack.callbacks.append(self.cb_acked)
+
+    def _redeliver(self, _e: Event) -> None:
+        try:
+            self.region.write(self.offset, self.data)
+        except AccessViolation:
+            pass
+        self._done()
+
+    def _acked(self, _e: Event) -> None:
+        ev = self.ev
+        if not ev.triggered:
+            status = self.status
+            pool = self.wc_pool
+            if pool is not None:
+                wc = pool.acquire(Opcode.RDMA_WRITE, status, self.wr_id,
+                                  byte_len=len(self.data),
+                                  qp_num=self.qp.qp_num)
+            else:
+                wc = Completion(opcode=Opcode.RDMA_WRITE, status=status,
+                                wr_id=self.wr_id, byte_len=len(self.data),
+                                qp_num=self.qp.qp_num)
+            ev.succeed(wc)
+        self._done()
+
+    def _expire(self, _t: Event) -> None:
+        ev = self.ev
+        if not ev.triggered:
+            self.nic._fail_completion(ev, Opcode.RDMA_WRITE,
+                                      WcStatus.RETRY_EXC, self.wr_id,
+                                      self.qp.qp_num, self.wc_pool)
+        self._done()
+
+    def _done(self) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            self.ev = None
+            self.qp = None
+            self.region = None
+            self.data = b""
+            self.peer_nic = None
+            self.fault = None
+            self.wc_pool = None
+            self.nic._write_ops.append(self)
+
+
+class _ReadOp:
+    """Pooled WQE state for the flat RDMA-Read path.
+
+    Read-side twin of :class:`_WriteOp`: same freelist ownership rule
+    (retire only after every scheduled hop has run) and the same
+    hop-for-hop mirroring of the scalar closure chain.
+    """
+
+    __slots__ = ("nic", "qp", "region", "offset", "length", "wr_id", "ev",
+                 "fault", "prop", "peer_nic", "discount", "wc_pool",
+                 "pending", "data", "cb_cost_tx", "cb_after_tx",
+                 "cb_arrive", "cb_responder_cost", "cb_responder_done",
+                 "cb_response_cost", "cb_response_sent", "cb_back_home",
+                 "cb_home_cost", "cb_complete", "cb_expire")
+
+    def __init__(self, nic: "Nic"):
+        self.nic = nic
+        self.cb_cost_tx = self._cost_tx
+        self.cb_after_tx = self._after_tx
+        self.cb_arrive = self._arrive
+        self.cb_responder_cost = self._responder_cost
+        self.cb_responder_done = self._responder_done
+        self.cb_response_cost = self._response_cost
+        self.cb_response_sent = self._response_sent
+        self.cb_back_home = self._back_home
+        self.cb_home_cost = self._home_cost
+        self.cb_complete = self._complete
+        self.cb_expire = self._expire
+
+    def begin(self, qp: "QueuePair", region: MemoryRegion, offset: int,
+              length: int, wr_id: int, coalesced: bool,
+              pool: Optional[CompletionPool]) -> Event:
+        nic = self.nic
+        sim = nic.sim
+        ev = sim.event()
+        if not nic.alive:
+            nic._fail_completion(ev, Opcode.RDMA_READ,
+                                 WcStatus.LOCAL_QP_ERR, wr_id, qp.qp_num,
+                                 pool)
+            nic._read_ops.append(self)
+            return ev
+        self.ev = ev
+        self.qp = qp
+        self.region = region
+        self.offset = offset
+        self.length = length
+        self.wr_id = wr_id
+        self.wc_pool = pool
+        self.data = None
+        nic._c_r_ops.add()
+        nic._c_r_bytes.add(length)
+        (nic._c_r_coal if coalesced else nic._c_r_db).add()
+        peer_nic = qp.peer.nic
+        self.peer_nic = peer_nic
+        self.prop = nic.fabric.prop_ns(nic, peer_nic)
+        inj = nic.fabric.fault_injector
+        self.fault = inj.rdma_read_fault(nic, qp, region, offset, length) \
+            if inj is not None else None
+        timer = sim.timeout(nic.config.fabric.retry_timeout_ns)
+        timer.callbacks.append(self.cb_expire)
+        self.discount = min(nic.cfg.doorbell_ns, nic.cfg.tx_op_ns) \
+            if coalesced else 0
+        self.pending = 2  # tx submit + retry timer
+        nic.tx.submit(self.cb_cost_tx, self.cb_after_tx)
+        return ev
+
+    def _cost_tx(self) -> int:
+        return max(0, self.nic._tx_cost(0) - self.discount)
+
+    def _after_tx(self) -> None:
+        fly = self.nic.sim.timeout(self.prop)
+        fly.callbacks.append(self.cb_arrive)
+
+    def _arrive(self, _e: Event) -> None:
+        peer_nic = self.peer_nic
+        if not peer_nic.alive or (self.fault and self.fault.get("drop")):
+            self._retire_hop()
+            return
+        peer_nic.rx.submit(self.cb_responder_cost, self.cb_responder_done)
+
+    def _responder_cost(self) -> int:
+        peer_nic = self.peer_nic
+        return peer_nic._rx_cost(extra=peer_nic.cfg.read_responder_ns)
+
+    def _responder_done(self) -> None:
+        # The DMA engine snapshots host memory *now* — this is the
+        # instant that matters for read/write races.
+        try:
+            self.data = self.region.read(self.offset, self.length)
+        except AccessViolation:
+            ev = self.ev
+            if not ev.triggered:
+                self.nic._fail_completion(ev, Opcode.RDMA_READ,
+                                          WcStatus.REM_ACCESS_ERR,
+                                          self.wr_id, self.qp.qp_num,
+                                          self.wc_pool)
+            self._retire_hop()
+            return
+        self.peer_nic.tx.submit(self.cb_response_cost, self.cb_response_sent)
+
+    def _response_cost(self) -> int:
+        return self.peer_nic._tx_cost(self.length)
+
+    def _response_sent(self) -> None:
+        delay = self.fault.get("delay_ns", 0) if self.fault else 0
+        fly = self.nic.sim.timeout(self.prop + delay)
+        fly.callbacks.append(self.cb_back_home)
+
+    def _back_home(self, _e: Event) -> None:
+        nic = self.nic
+        if not nic.alive:
+            self._retire_hop()
+            return
+        nic.rx.submit(self.cb_home_cost, self.cb_complete)
+
+    def _home_cost(self) -> int:
+        return self.nic._rx_cost()
+
+    def _complete(self) -> None:
+        ev = self.ev
+        if not ev.triggered:
+            pool = self.wc_pool
+            if pool is not None:
+                wc = pool.acquire(Opcode.RDMA_READ, WcStatus.SUCCESS,
+                                  self.wr_id, byte_len=self.length,
+                                  data=self.data, qp_num=self.qp.qp_num)
+            else:
+                wc = Completion(opcode=Opcode.RDMA_READ,
+                                status=WcStatus.SUCCESS, wr_id=self.wr_id,
+                                byte_len=self.length, data=self.data,
+                                qp_num=self.qp.qp_num)
+            ev.succeed(wc)
+        self._retire_hop()
+
+    def _expire(self, _t: Event) -> None:
+        ev = self.ev
+        if not ev.triggered:
+            self.nic._fail_completion(ev, Opcode.RDMA_READ,
+                                      WcStatus.RETRY_EXC, self.wr_id,
+                                      self.qp.qp_num, self.wc_pool)
+        self._retire_hop()
+
+    def _retire_hop(self) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            self.ev = None
+            self.qp = None
+            self.region = None
+            self.peer_nic = None
+            self.fault = None
+            self.wc_pool = None
+            self.data = None
+            self.nic._read_ops.append(self)
+
+
 class Nic:
     """One RDMA adapter, attached to one machine, cabled to the fabric."""
 
@@ -109,6 +425,22 @@ class Nic:
         self.rx = _Engine(sim, f"nic{nic_id}.rx")
         self.qps: list["QueuePair"] = []
         self.alive = True
+        # -- flat hot path (hydra.flat_hot_paths) --------------------------
+        #: Freelist of CQE records for doorbell-batched chains; consumers
+        #: that finish a chain release its records here for reuse.
+        self.wc_pool = CompletionPool()
+        self._flat = config.hydra.flat_hot_paths
+        self._write_ops: list[_WriteOp] = []
+        self._read_ops: list[_ReadOp] = []
+        m = self.metrics
+        self._c_w_ops = m.counter("rdma.write.ops")
+        self._c_w_bytes = m.counter("rdma.write.bytes")
+        self._c_w_coal = m.counter("rdma.write.coalesced")
+        self._c_w_db = m.counter("rdma.write.doorbells")
+        self._c_r_ops = m.counter("rdma.read.ops")
+        self._c_r_bytes = m.counter("rdma.read.bytes")
+        self._c_r_coal = m.counter("rdma.read.coalesced")
+        self._c_r_db = m.counter("rdma.read.doorbells")
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -142,9 +474,13 @@ class Nic:
     # caller (QueuePair) has already validated QP state.
 
     def _fail_completion(self, ev: Event, op: Opcode, status: WcStatus,
-                         wr_id: int, qp_num: int) -> None:
-        ev.succeed(Completion(opcode=op, status=status, wr_id=wr_id,
-                              qp_num=qp_num))
+                         wr_id: int, qp_num: int,
+                         pool: Optional[CompletionPool] = None) -> None:
+        if pool is not None:
+            ev.succeed(pool.acquire(op, status, wr_id, qp_num=qp_num))
+        else:
+            ev.succeed(Completion(opcode=op, status=status, wr_id=wr_id,
+                                  qp_num=qp_num))
 
     def _arm_retry_timer(self, ev: Event, op: Opcode, wr_id: int,
                          qp_num: int) -> None:
@@ -159,9 +495,19 @@ class Nic:
         timer.callbacks.append(_expire)
 
     def issue_write(self, qp: "QueuePair", region: MemoryRegion, offset: int,
-                    data: bytes, wr_id: int, coalesced: bool = False) -> Event:
+                    data: bytes, wr_id: int, coalesced: bool = False,
+                    pool: Optional[CompletionPool] = None) -> Event:
         """One RDMA Write.  ``coalesced`` WQEs ride an earlier WQE's
-        doorbell and skip the per-op MMIO cost (``doorbell_ns``)."""
+        doorbell and skip the per-op MMIO cost (``doorbell_ns``).
+
+        ``pool``: CQE freelist the completion record is drawn from (flat
+        hot path); ``None`` allocates a fresh :class:`Completion`.
+        """
+        if self._flat:
+            ops = self._write_ops
+            rec = ops.pop() if ops else _WriteOp(self)
+            return rec.begin(qp, region, offset, data, wr_id, coalesced,
+                             pool)
         ev = self.sim.event()
         op = Opcode.RDMA_WRITE
         if not self.alive:
@@ -243,9 +589,19 @@ class Nic:
         return ev
 
     def issue_read(self, qp: "QueuePair", region: MemoryRegion, offset: int,
-                   length: int, wr_id: int, coalesced: bool = False) -> Event:
+                   length: int, wr_id: int, coalesced: bool = False,
+                   pool: Optional[CompletionPool] = None) -> Event:
         """One RDMA Read.  ``coalesced`` WQEs ride an earlier WQE's
-        doorbell and skip the per-op MMIO cost (``doorbell_ns``)."""
+        doorbell and skip the per-op MMIO cost (``doorbell_ns``).
+
+        ``pool``: CQE freelist the completion record is drawn from (flat
+        hot path); ``None`` allocates a fresh :class:`Completion`.
+        """
+        if self._flat:
+            ops = self._read_ops
+            rec = ops.pop() if ops else _ReadOp(self)
+            return rec.begin(qp, region, offset, length, wr_id, coalesced,
+                             pool)
         ev = self.sim.event()
         op = Opcode.RDMA_READ
         if not self.alive:
@@ -361,16 +717,17 @@ class Nic:
             batch.succeed([])
             return batch
         collector = self._batch_collector(batch, n)
+        pool = self.wc_pool if self._flat else None
         first = True
         for i, (region, offset, length, wr_id) in enumerate(requests):
             if region is None:
                 ev = self.sim.event()
                 self._fail_completion(ev, Opcode.RDMA_READ,
                                       WcStatus.LOCAL_QP_ERR, wr_id,
-                                      qp.qp_num)
+                                      qp.qp_num, pool)
             else:
                 ev = self.issue_read(qp, region, offset, length, wr_id,
-                                     coalesced=not first)
+                                     coalesced=not first, pool=pool)
                 first = False
             ev.callbacks.append(collector(i))
         return batch
@@ -395,16 +752,17 @@ class Nic:
             batch.succeed([])
             return batch
         collector = self._batch_collector(batch, n)
+        pool = self.wc_pool if self._flat else None
         first = True
         for i, (region, offset, data, wr_id) in enumerate(requests):
             if region is None:
                 ev = self.sim.event()
                 self._fail_completion(ev, Opcode.RDMA_WRITE,
                                       WcStatus.LOCAL_QP_ERR, wr_id,
-                                      qp.qp_num)
+                                      qp.qp_num, pool)
             else:
                 ev = self.issue_write(qp, region, offset, data, wr_id,
-                                      coalesced=not first)
+                                      coalesced=not first, pool=pool)
                 first = False
             ev.callbacks.append(collector(i))
         return batch

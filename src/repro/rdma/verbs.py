@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Optional
 
-__all__ = ["Opcode", "WcStatus", "Completion", "RemotePointer",
-           "ReadWorkRequest", "WriteWorkRequest", "RdmaError"]
+__all__ = ["Opcode", "WcStatus", "Completion", "CompletionPool",
+           "RemotePointer", "ReadWorkRequest", "WriteWorkRequest",
+           "RdmaError"]
 
 
 class Opcode(Enum):
@@ -38,7 +39,7 @@ class RdmaError(Exception):
         self.completion = completion
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """A work completion (CQE)."""
 
@@ -54,10 +55,75 @@ class Completion:
     #: completion was delivered through its own event and the consumer
     #: already knows the arrival time).
     ns: int = -1
+    #: Freelist bookkeeping: True while the record is checked out of a
+    #: :class:`CompletionPool` (never set on plain constructions).
+    _live: bool = field(default=False, init=False, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
         return self.status is WcStatus.SUCCESS
+
+
+class CompletionPool:
+    """Freelist of recycled :class:`Completion` records.
+
+    The flat hot paths (``hydra.flat_hot_paths``) deliver completion
+    chains as pooled records instead of allocating a fresh CQE object per
+    WQE.  ``acquire`` hands out a record that is guaranteed not to sit in
+    any other in-flight chain (records return to the freelist only through
+    an explicit ``release``); consumers that have finished reading a chain
+    release its records so the next doorbell batch can reuse them.  A
+    record that is never released is simply garbage-collected — correct,
+    just not recycled — so fire-and-forget posts need no bookkeeping.
+    """
+
+    __slots__ = ("_free", "allocated", "recycled")
+
+    def __init__(self) -> None:
+        self._free: list[Completion] = []
+        #: Lifetime stats, surfaced by the freelist tests and benches.
+        self.allocated = 0
+        self.recycled = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, opcode: Opcode, status: WcStatus, wr_id: int = 0,
+                byte_len: int = 0, data: Optional[bytes] = None,
+                qp_num: int = -1, ns: int = -1) -> Completion:
+        free = self._free
+        if free:
+            wc = free.pop()
+            self.recycled += 1
+            wc.opcode = opcode
+            wc.status = status
+            wc.wr_id = wr_id
+            wc.byte_len = byte_len
+            wc.data = data
+            wc.qp_num = qp_num
+            wc.ns = ns
+        else:
+            self.allocated += 1
+            wc = Completion(opcode, status, wr_id, byte_len, data, qp_num, ns)
+        wc._live = True
+        return wc
+
+    def release(self, wc: Completion) -> None:
+        """Return ``wc`` to the freelist.
+
+        Raises on double-release (or on a record that never came from a
+        pool): a released record may already be live in another chain, so
+        recycling it twice would alias two in-flight CQEs.
+        """
+        if not wc._live:
+            raise ValueError("completion released twice or not pool-owned")
+        wc._live = False
+        wc.data = None
+        self._free.append(wc)
+
+    def release_all(self, wcs) -> None:
+        for wc in wcs:
+            self.release(wc)
 
 
 @dataclass(frozen=True)
