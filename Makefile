@@ -4,8 +4,9 @@ PYTEST ?= python -m pytest
 RUFF ?= ruff
 
 .PHONY: test lint bench bench-quick bench-inflight bench-multiget \
-	bench-failover bench-sweep bench-simcore bench-tenants bench-scale \
-	bench-smoke chaos-soak figures examples clean
+	bench-failover bench-recovery bench-sweep bench-simcore \
+	bench-tenants bench-scale bench-smoke chaos-soak figures examples \
+	clean
 
 test:
 	$(PYTEST) tests/
@@ -34,6 +35,14 @@ bench-failover:
 	python -m repro.bench failover --scale 1.0
 	python -m repro.bench.validate BENCH_failover.json
 
+# Full-crash recovery from the per-shard durable write-behind log: a
+# correlated primary+secondary kill per ack mode — zero lost acked
+# writes hard-required in ack_on_flush, bounded blackout, replay
+# throughput reported.
+bench-recovery:
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench recovery --scale 1.0
+	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_recovery.json
+
 bench-sweep:
 	python -m repro.bench server_sweep --scale 1.0
 	python -m repro.bench.validate BENCH_sweep.json
@@ -45,10 +54,13 @@ bench-simcore:
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench simcore --scale 1.0
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_simcore.json
 
-# Seeded chaos soak: five fault-storm profiles (torn writes, gray
-# failure, ZK expiry, QP flaps, mixed) against the resilience contract —
-# no acked write lost, no corrupt value surfaced, typed bounded errors,
-# post-storm recovery — plus a same-seed replay determinism check.
+# Seeded chaos soak: fault-storm profiles (torn writes, gray failure,
+# ZK expiry, QP flaps, mixed, stale pointers, tenant contention, and the
+# correlated dualfail storm recovered through the durable log) across a
+# server-variant matrix (plain / sub-sharded / pipelined, replicas up to
+# 2) against the resilience contract — no acked write lost, no corrupt
+# value surfaced, typed bounded errors, post-storm recovery — plus a
+# same-seed replay determinism check.
 chaos-soak:
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench chaos --scale 0.5
 	PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate BENCH_chaos.json
@@ -74,11 +86,12 @@ bench-smoke:
 	rm -rf .bench-smoke && mkdir -p .bench-smoke
 	cd .bench-smoke && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench inflight multiget \
-			failover server_sweep chaos simcore tenants scale --scale 0.05 && \
+			failover recovery server_sweep chaos simcore tenants scale \
+			--scale 0.05 && \
 		PYTHONPATH=$(CURDIR)/src python -m repro.bench.validate \
 			BENCH_inflight.json BENCH_multiget.json BENCH_failover.json \
-			BENCH_sweep.json BENCH_chaos.json BENCH_simcore.json \
-			BENCH_tenants.json BENCH_scale.json
+			BENCH_recovery.json BENCH_sweep.json BENCH_chaos.json \
+			BENCH_simcore.json BENCH_tenants.json BENCH_scale.json
 
 figures:
 	python -m repro.bench all --scale 0.5

@@ -41,11 +41,13 @@ from .experiments import (
     fig13_replication,
     inflight_sweep,
     multiget_sweep,
+    recovery_dualfail,
     server_sweep,
     write_chaos_artifact,
     write_failover_artifact,
     write_inflight_artifact,
     write_multiget_artifact,
+    write_recovery_artifact,
     write_sweep_artifact,
 )
 from .report import format_table
@@ -97,6 +99,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., list[dict]], bool]] = {
                  multiget_sweep, True),
     "failover": ("Availability — blackout + recovered throughput after a "
                  "primary kill", failover_availability, True),
+    "recovery": ("Durable-log recovery — correlated primary+secondary "
+                 "kill, replay from the PM write-behind log per ack mode",
+                 recovery_dualfail, True),
     "server_sweep": ("Server sweep scalability — CPU ns/op vs connections "
                      "(occupancy word / ready hints / resp batching)",
                      server_sweep, True),
@@ -120,6 +125,7 @@ ARTIFACTS: dict[str, Callable[[list[dict]], str]] = {
     "inflight": write_inflight_artifact,
     "multiget": write_multiget_artifact,
     "failover": write_failover_artifact,
+    "recovery": write_recovery_artifact,
     "server_sweep": write_sweep_artifact,
     "chaos": write_chaos_artifact,
     "simcore": write_simcore_artifact,

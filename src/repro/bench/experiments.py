@@ -71,10 +71,12 @@ __all__ = [
     "failover_availability",
     "inflight_sweep",
     "multiget_sweep",
+    "recovery_dualfail",
     "server_sweep",
     "write_failover_artifact",
     "write_inflight_artifact",
     "write_multiget_artifact",
+    "write_recovery_artifact",
     "write_sweep_artifact",
 ]
 
@@ -1219,6 +1221,166 @@ def write_failover_artifact(rows: list[dict],
     return path
 
 
+def recovery_dualfail(scale: float = 1.0,
+                      ack_modes: Sequence[str] = ("ack_on_replicate",
+                                                  "ack_on_flush"),
+                      n_clients: int = 4, n_keys: int = 192,
+                      value_bytes: int = 64) -> list[dict]:
+    """Full-crash recovery from the durable log — the dual-failure claim.
+
+    A paced 50/50 GET/PUT workload runs against one shard with a single
+    secondary *and* the durable write-behind log enabled; mid-run the
+    primary's server and its secondary die together (NIC down too), so
+    the replication ring cannot cover the failure and SWAT's
+    no-candidate branch must rebuild the shard by replaying the PM log.
+    One row per ack mode:
+
+    * ``ack_on_flush`` — an ack means the write is group-committed to
+      the log, so the run must finish with **zero lost acked writes**
+      (the hard CI gate) and typed errors only;
+    * ``ack_on_replicate`` — the contrast row: acks return off the
+      replication post, so writes acked inside the last unflushed
+      group-commit window may die with both copies.  ``lost_acked_writes``
+      bounds that window (<= one group commit of records).
+
+    Also reported: the blackout window, recovered throughput ratio,
+    records replayed, and replay throughput (records/ms of recovery
+    wall-clock).
+    """
+    from ..core.errors import HydraError, RecoveryInProgress
+
+    think_ns = max(20_000, int(100_000 / max(scale, 1e-3)))
+    kill_at = 150 * _MS
+    end_at = 900 * _MS
+    window_ns = 100 * _MS
+    rows: list[dict] = []
+    for ack_mode in ack_modes:
+        cfg = SimConfig().with_overrides(
+            replication={"replicas": 1},
+            durability={"enabled": True, "ack_mode": ack_mode},
+            coord={"heartbeat_ns": 50 * _MS,
+                   "session_timeout_ns": 200 * _MS},
+            client={"op_timeout_ns": 5 * _MS},
+        )
+        cluster = HydraCluster(config=cfg, n_server_machines=1,
+                               shards_per_server=1, n_client_machines=2)
+        cluster.enable_ha()
+        cluster.start()
+        sim = cluster.sim
+        keys = [f"rk{i:06d}".encode() for i in range(n_keys)]
+        acked: dict[bytes, bytes] = {}
+        completions: list[int] = []
+        stats = {"typed": 0, "untyped": 0, "recovery_errors": 0}
+
+        def preload():
+            client = cluster.client()
+            for key in keys:
+                yield from client.put(key, b"v" * value_bytes)
+
+        cluster.run(preload())
+
+        def worker(cid, client):
+            i = 0
+            while sim.now < end_at:
+                yield sim.timeout(think_ns)
+                key = keys[(i * 7 + cid * 13) % n_keys]
+                try:
+                    if i % 2 == 0:
+                        value = f"c{cid}-{i}".encode()
+                        status = yield from client.put(key, value)
+                        if status is Status.OK:
+                            acked[key] = value
+                    else:
+                        yield from client.get(key)
+                except RecoveryInProgress:
+                    stats["typed"] += 1
+                    stats["recovery_errors"] += 1
+                except HydraError:
+                    stats["typed"] += 1
+                except Exception:  # noqa: BLE001 - counted, not raised
+                    stats["untyped"] += 1
+                completions.append(sim.now)
+                i += 1
+
+        def killer():
+            yield sim.timeout(kill_at)
+            server = cluster.servers[0]
+            sids = [sh.shard_id for sh in server.shards]
+            server.kill()
+            # The correlated half: every covering secondary dies with
+            # its NIC, so the ring cannot seed a promotion.
+            for sid in sids:
+                for sec in cluster.secondaries.get(sid, []):
+                    if not sec.failing:
+                        sec.kill()
+                    if sec.machine.nic.alive:
+                        sec.machine.nic.fail()
+
+        clients = [cluster.client(c % 2) for c in range(n_clients)]
+        sim.process(killer())
+        cluster.run(*[worker(c, cl) for c, cl in enumerate(clients)])
+
+        completions.sort()
+        pre = [t for t in completions if kill_at - window_ns <= t < kill_at]
+        post = [t for t in completions if t >= end_at - window_ns]
+        after_kill = [kill_at] + [t for t in completions if t >= kill_at]
+        blackout = max(b - a for a, b in zip(after_kill, after_kill[1:]))
+        shard_id = cluster.routing.shard_ids()[0]
+        survivor = cluster.routing.resolve(shard_id).store.dump()
+        lost = sum(1 for k, v in acked.items() if survivor.get(k) != v)
+        pre_kops = len(pre) / window_ns * 1e6
+        post_kops = len(post) / window_ns * 1e6
+        m = cluster.metrics
+        recovery = m.tally("durable.recovery_ns")
+        replayed = m.counter("durable.replayed").value
+        replay_ms = recovery.mean / 1e6 if recovery.count else 0.0
+        rows.append({
+            "ack_mode": ack_mode,
+            "clients": n_clients,
+            "ops": len(completions),
+            "acked_writes": len(acked),
+            "pre_kops": pre_kops,
+            "post_kops": post_kops,
+            "recovered_ratio": post_kops / pre_kops if pre_kops else 0.0,
+            "blackout_ms": blackout / 1e6,
+            "recoveries": m.counter("durable.recoveries").value,
+            "replayed_records": replayed,
+            "replay_ms": replay_ms,
+            "replay_recs_per_ms": (replayed / replay_ms
+                                   if replay_ms else 0.0),
+            "salvaged_records": m.counter("durable.salvaged").value,
+            "log_flushes": m.counter("durable.flushes").value,
+            "typed_errors": stats["typed"],
+            "recovery_errors": stats["recovery_errors"],
+            "untyped_errors": stats["untyped"],
+            "lost_acked_writes": lost,
+        })
+    return rows
+
+
+def write_recovery_artifact(rows: list[dict],
+                            path: str = "BENCH_recovery.json") -> str:
+    """Dump the dual-failure recovery experiment as an artifact."""
+    payload = {
+        "experiment": "recovery_dualfail",
+        "description": "paced 50/50 GET/PUT with a correlated primary+"
+                       "secondary kill mid-run: SWAT rebuilds the shard "
+                       "by replaying the per-shard durable write-behind "
+                       "log (torn tail truncated, guardian-validated), "
+                       "per ack mode — ack_on_flush must lose zero acked "
+                       "writes with typed errors only; ack_on_replicate "
+                       "bounds its loss to one group-commit window "
+                       "(1 shard, replicas=1, durable log on, 200 ms ZK "
+                       "sessions)",
+        "unit": "kops / ms",
+        "rows": rows,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
 #: Ablation grid for the server-side sweep layers (PR 4): each knob is
 #: independently toggleable so the bench isolates its contribution.
 _SWEEP_MODES: Sequence[tuple[str, dict]] = (
@@ -1387,14 +1549,16 @@ def write_chaos_artifact(rows: list[dict],
     """Dump the chaos soak as a machine-readable artifact."""
     payload = {
         "experiment": "chaos_soak",
-        "description": "mixed GET/PUT/DELETE workload under six seeded "
-                       "fault storms (torn writes, gray failure, ZK "
-                       "session expiry, QP flaps, crash+replication "
-                       "faults, stale-pointer read delays vs lease "
-                       "expiry and reclaim): zero lost acked writes, "
-                       "zero corrupt values, typed bounded errors, "
-                       "post-storm recovery, and same-seed "
-                       "replayability (2 shards, replicas=1, HA on)",
+        "description": "mixed GET/PUT/DELETE workload under seeded fault "
+                       "storms (torn writes, gray failure, ZK session "
+                       "expiry, QP flaps, crash+replication faults, "
+                       "stale-pointer read delays, tenant contention, "
+                       "correlated dual failure vs the durable log) plus "
+                       "a server-variant matrix (sub-sharded, pipelined, "
+                       "replicas=2): zero lost acked writes, zero "
+                       "corrupt values, typed bounded errors, post-storm "
+                       "recovery, and same-seed replayability "
+                       "(2 shards, HA on)",
         "unit": "kops / ms",
         "rows": rows,
     }

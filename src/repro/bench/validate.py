@@ -2,9 +2,9 @@
 
 The bench harness writes machine-readable perf artifacts
 (``BENCH_inflight.json``, ``BENCH_multiget.json``,
-``BENCH_failover.json``, ``BENCH_sweep.json``, ``BENCH_chaos.json``,
-``BENCH_simcore.json``, ``BENCH_tenants.json``, ``BENCH_scale.json``)
-that are tracked
+``BENCH_failover.json``, ``BENCH_recovery.json``, ``BENCH_sweep.json``,
+``BENCH_chaos.json``, ``BENCH_simcore.json``, ``BENCH_tenants.json``,
+``BENCH_scale.json``) that are tracked
 across PRs and consumed by CI's ``bench-smoke`` job.  This module checks
 that each file matches its experiment's schema — required top-level
 fields, per-row keys and types — plus the semantic invariants the
@@ -28,8 +28,16 @@ experiments promise:
 * chaos_soak rows must show the resilience contract held under every
   storm: zero lost acked writes, zero corrupt values, zero untyped
   errors, zero deadline violations, convergence and recovered_ratio
-  >= 0.8 post-storm, with torn/gray/zk/stale profiles all present and
-  the same-seed rerun flagged deterministic;
+  >= 0.8 post-storm, with torn/gray/zk/stale/tenant/dualfail profiles
+  all present, the server-variant matrix covered (sub-sharded and
+  pipelined cells plus a replicas >= 2 cell), the dualfail cell
+  recovering through the durable log (log_recoveries >= 1), and the
+  same-seed rerun flagged deterministic;
+* recovery_dualfail rows must show the durability contract held per ack
+  mode: at least one durable-log recovery, recovered throughput >= 80%
+  of pre-kill, a bounded blackout, zero untyped errors everywhere, and
+  — hard-required for the ``ack_on_flush`` row — zero lost acked
+  writes;
 * simcore_kernel rows must carry digest_match == True (the batched and
   legacy kernels dispatched bit-identically on the traced run), a
   legacy baseline at speedup 1.0 per bench, the batched sweep_loop
@@ -78,11 +86,17 @@ _ROW_KEYS: dict[str, tuple[str, ...]] = {
         "server_cpu_ns_per_op", "cpu_ratio", "sweeps", "probes",
         "resp_doorbells"),
     "chaos_soak": (
-        "profile", "seed", "ops", "errors", "error_rate",
-        "untyped_errors", "corrupt_values", "lost_acked_writes",
-        "deadline_violations", "pre_kops", "post_kops",
-        "recovered_ratio", "p99_ms", "blackout_ms", "failovers",
+        "profile", "seed", "variant", "replicas", "ops", "errors",
+        "error_rate", "untyped_errors", "corrupt_values",
+        "lost_acked_writes", "deadline_violations", "pre_kops",
+        "post_kops", "recovered_ratio", "p99_ms", "blackout_ms",
+        "failovers", "log_recoveries", "lease_skew_hazards",
         "injected_faults", "schedule_hash", "converged"),
+    "recovery_dualfail": (
+        "ack_mode", "clients", "ops", "acked_writes", "pre_kops",
+        "post_kops", "recovered_ratio", "blackout_ms", "recoveries",
+        "replayed_records", "replay_recs_per_ms", "typed_errors",
+        "untyped_errors", "lost_acked_writes"),
     "simcore_kernel": (
         "bench", "kernel", "events", "wall_s", "events_per_sec",
         "speedup", "digest_match", "now_rate", "wheel_rate",
@@ -124,7 +138,13 @@ _CHAOS_ZERO = ("untyped_errors", "corrupt_values", "lost_acked_writes",
                "deadline_violations")
 
 #: storm profiles the acceptance criteria require in every artifact.
-_CHAOS_REQUIRED_PROFILES = ("torn", "gray", "zk", "stale", "tenant")
+_CHAOS_REQUIRED_PROFILES = ("torn", "gray", "zk", "stale", "tenant",
+                            "dualfail")
+
+#: blackout ceiling for the recovery bench (ms): detection is bounded by
+#: the 200 ms ZK session, then promotion + log replay + client route
+#: replay must land well inside the rest of this budget.
+_RECOVERY_BLACKOUT_MS = 500.0
 
 
 def _positive(row: dict, key: str) -> bool:
@@ -241,6 +261,14 @@ def validate_artifact(payload: dict) -> list[str]:
         if not any(row.get("deterministic") is True for row in rows):
             problems.append("no row carries the deterministic == True "
                             "same-seed replay proof")
+        variants = {row.get("variant") for row in rows}
+        for variant in ("subshard", "pipelined"):
+            if variant not in variants:
+                problems.append(f"storm matrix missing a {variant!r} "
+                                f"server-variant cell")
+        if not any(isinstance(row.get("replicas"), int)
+                   and row["replicas"] >= 2 for row in rows):
+            problems.append("storm matrix missing a replicas >= 2 cell")
         for i, row in enumerate(rows):
             label = f"row {i} (profile={row.get('profile')!r})"
             for key in _CHAOS_ZERO:
@@ -250,6 +278,13 @@ def validate_artifact(payload: dict) -> list[str]:
             if row.get("converged") is not True:
                 problems.append(f"{label}: workload did not converge "
                                 f"post-storm")
+            if row.get("profile") == "dualfail" \
+                    and not (isinstance(row.get("log_recoveries"), int)
+                             and row["log_recoveries"] >= 1):
+                problems.append(
+                    f"{label}: the correlated storm must recover through "
+                    f"the durable log (log_recoveries >= 1), got "
+                    f"{row.get('log_recoveries')!r}")
             if "deterministic" in row and row["deterministic"] is not True:
                 problems.append(f"{label}: same-seed rerun diverged")
             ratio = row.get("recovered_ratio")
@@ -400,6 +435,40 @@ def validate_artifact(payload: dict) -> list[str]:
                         f"{label}: AIMD autotune must land within 10% of "
                         f"the best static window ({best!r} kops), "
                         f"got {kops!r}")
+    if experiment == "recovery_dualfail":
+        if not any(row.get("ack_mode") == "ack_on_flush" for row in rows):
+            problems.append("no ack_on_flush row (the durability contract "
+                            "under test)")
+        for i, row in enumerate(rows):
+            label = f"row {i} (ack_mode={row.get('ack_mode')!r})"
+            if row.get("untyped_errors") != 0:
+                problems.append(f"{label}: {row.get('untyped_errors')!r} "
+                                f"untyped errors (must be 0 — the blackout "
+                                f"must fail typed)")
+            if row.get("ack_mode") == "ack_on_flush" \
+                    and row.get("lost_acked_writes") != 0:
+                problems.append(f"{label}: {row.get('lost_acked_writes')!r} "
+                                f"acked writes lost after log replay "
+                                f"(must be 0)")
+            if not (isinstance(row.get("recoveries"), int)
+                    and row["recoveries"] >= 1):
+                problems.append(f"{label}: recoveries must be >= 1, "
+                                f"got {row.get('recoveries')!r}")
+            if not _positive(row, "replayed_records"):
+                problems.append(f"{label}: replayed_records must be "
+                                f"positive, got "
+                                f"{row.get('replayed_records')!r}")
+            blackout = row.get("blackout_ms")
+            if not (isinstance(blackout, (int, float))
+                    and math.isfinite(blackout)
+                    and blackout <= _RECOVERY_BLACKOUT_MS):
+                problems.append(f"{label}: blackout_ms must stay <= "
+                                f"{_RECOVERY_BLACKOUT_MS}, got {blackout!r}")
+            ratio = row.get("recovered_ratio")
+            if not (isinstance(ratio, (int, float))
+                    and math.isfinite(ratio) and ratio >= 0.8):
+                problems.append(f"{label}: recovered_ratio must be >= 0.8, "
+                                f"got {ratio!r}")
     if experiment == "failover_availability":
         for i, row in enumerate(rows):
             if row.get("exceptions") != 0:

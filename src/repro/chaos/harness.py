@@ -44,18 +44,24 @@ __all__ = ["run_soak", "chaos_soak", "SOAK_SEEDS"]
 
 _MS = 1_000_000
 
-#: Default (profile, seed) grid for the bench artifact: six distinct
-#: seeded schedules covering torn-write, gray-failure, ZK-expiry, and
-#: stale-pointer storms as the acceptance criteria require.
-SOAK_SEEDS: Sequence[tuple[str, int]] = (
+#: Default soak grid for the bench artifact: distinct seeded schedules
+#: covering torn-write, gray-failure, ZK-expiry, stale-pointer, tenant,
+#: and correlated dual-failure storms, plus a server-variant matrix —
+#: each cell is ``(profile, seed[, variant[, replicas]])``.  Sub-sharded
+#: instances reject replication hooks (one endpoint fronts many
+#: sub-tables), so their cells run with ``replicas=0``; the other
+#: variant cells keep the replicated baseline, and one cell raises the
+#: replica count past one.
+SOAK_SEEDS: Sequence[tuple] = (
     ("torn", 11), ("gray", 23), ("zk", 37), ("flap", 53), ("mixed", 71),
-    ("stale", 89), ("tenant", 101),
+    ("stale", 89), ("tenant", 101), ("dualfail", 113),
+    ("torn", 131, "subshard", 0), ("gray", 149, "pipelined", 1),
+    ("mixed", 167, "plain", 2),
 )
 
 
-def _profile_overrides(profile: str) -> tuple[dict, dict, dict]:
-    """Per-profile ``(hydra, traversal, memory)`` config deltas — pure in
-    ``profile``.
+def _profile_overrides(profile: str) -> dict[str, dict]:
+    """Per-profile config-section deltas — pure in ``profile``.
 
     The ``stale`` storm only bites if leases lapse and reclaim runs
     *during* the 700 ms soak, so it shrinks both far below their
@@ -63,15 +69,27 @@ def _profile_overrides(profile: str) -> tuple[dict, dict, dict]:
     GETs exercise the one-sided index walk, and shortens the read
     horizon to 4x the op timeout — the window injected Read delays
     (<= 2 ms) race against.
+
+    The ``dualfail`` storm kills a primary *and* its secondaries, so it
+    enables the durable write-behind tier in ``ack_on_flush`` mode (an
+    ack means the write is group-committed to the PM log — the only
+    copy guaranteed to survive the correlated crash) and arms the
+    client lease guard against the storm's injected clock skew
+    (±500 µs, see ``build_schedule``).
     """
     if profile == "stale":
-        return (
-            {"lease_min_ns": 5 * _MS, "lease_max_ns": 20 * _MS,
-             "lease_renew_period_ns": 10 * _MS},
-            {"min_fanout": 1, "read_horizon_ns": 20 * _MS},
-            {"reclaim_period_ns": 2 * _MS},
-        )
-    return {}, {}, {}
+        return {
+            "hydra": {"lease_min_ns": 5 * _MS, "lease_max_ns": 20 * _MS,
+                      "lease_renew_period_ns": 10 * _MS},
+            "traversal": {"min_fanout": 1, "read_horizon_ns": 20 * _MS},
+            "memory": {"reclaim_period_ns": 2 * _MS},
+        }
+    if profile == "dualfail":
+        return {
+            "durability": {"enabled": True, "ack_mode": "ack_on_flush"},
+            "client": {"lease_skew_guard_ns": 600_000},
+        }
+    return {}
 
 
 class _KeyState:
@@ -137,9 +155,19 @@ def _make_value(key: bytes, cid: int, seq, value_bytes: int) -> bytes:
 
 def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
              n_clients: int = 4, n_keys: int = 48, value_bytes: int = 48,
-             deadline_ms: int = 100,
+             deadline_ms: int = 100, variant: str = "plain",
+             replicas: int = 1,
              schedule: Optional[FaultSchedule] = None) -> dict:
-    """One soak cell: one profile, one seed, one verdict row."""
+    """One soak cell: one profile, one seed, one verdict row.
+
+    ``variant`` selects the server ablation the storm lands on —
+    ``plain``, ``subshard`` (one endpoint, two executor cores, no
+    replication hooks), or ``pipelined`` (shared-store worker pool) —
+    and ``replicas`` the secondary-ring count; both flow into the
+    verdict row so the matrix stays one flat table.
+    """
+    if variant not in ("plain", "subshard", "pipelined"):
+        raise ValueError(f"unknown soak variant {variant!r}")
     storm_start = 150 * _MS
     storm_end = 450 * _MS
     end_at = 700 * _MS
@@ -149,15 +177,20 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
 
     if schedule is None:
         schedule = build_schedule(profile, seed, storm_start, storm_end)
-    hydra_extra, traversal_extra, memory_extra = \
-        _profile_overrides(schedule.name)
+    extras = _profile_overrides(schedule.name)
+    variant_extra = {"subshard": {"subshards": 2},
+                     "pipelined": {"pipelined_shards": True}}.get(
+                         variant, {})
     cfg = SimConfig(seed=seed).with_overrides(
-        replication={"replicas": 1},
+        replication={"replicas": replicas},
         coord={"heartbeat_ns": 50 * _MS, "session_timeout_ns": 200 * _MS},
-        hydra={"msg_slots_per_conn": 8, **hydra_extra},
-        client={"op_timeout_ns": 5 * _MS, "max_inflight_per_conn": 4},
-        traversal=traversal_extra,
-        memory=memory_extra,
+        hydra={"msg_slots_per_conn": 8, **variant_extra,
+               **extras.get("hydra", {})},
+        client={"op_timeout_ns": 5 * _MS, "max_inflight_per_conn": 4,
+                **extras.get("client", {})},
+        traversal=extras.get("traversal", {}),
+        memory=extras.get("memory", {}),
+        durability=extras.get("durability", {}),
     )
     cluster = HydraCluster(config=cfg, n_server_machines=2,
                            shards_per_server=1, n_client_machines=2)
@@ -282,7 +315,10 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
     # -- verdict ---------------------------------------------------------
     store: dict[bytes, bytes] = {}
     for sid in cluster.routing.shard_ids():
-        store.update(cluster.routing.resolve(sid).store.dump())
+        shard = cluster.routing.resolve(sid)
+        # Sub-sharded instances spread keys over per-core sub-tables.
+        dump = getattr(shard, "dump_all", shard.store.dump)
+        store.update(dump())
     lost = sum(1 for k, v in sealed.items() if store.get(k) != v)
 
     completions.sort()
@@ -299,6 +335,8 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
     return {
         "profile": schedule.name,
         "seed": seed,
+        "variant": variant,
+        "replicas": replicas,
         "ops": stats["ops"],
         "errors": stats["typed_errors"],
         "error_rate": (stats["typed_errors"] / stats["ops"]
@@ -313,6 +351,9 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
         "p99_ms": p99 / 1e6,
         "blackout_ms": blackout / 1e6,
         "failovers": counters("swat.failovers").value,
+        "log_recoveries": counters("durable.recoveries").value,
+        "log_replayed": counters("durable.replayed").value,
+        "lease_skew_hazards": counters("client.lease_skew_hazards").value,
         "gray_failures": counters("shard.gray_failures").value,
         "stale_responses": counters("client.stale_responses").value,
         "bucket_reads": counters("client.bucket_reads").value,
@@ -324,18 +365,32 @@ def run_soak(profile: str = "mixed", seed: int = 42, scale: float = 1.0,
     }
 
 
+def _cell_args(cell: tuple) -> tuple[str, int, str, int]:
+    profile, seed = cell[0], cell[1]
+    variant = cell[2] if len(cell) > 2 else "plain"
+    replicas = cell[3] if len(cell) > 3 else 1
+    return profile, seed, variant, replicas
+
+
 def chaos_soak(scale: float = 1.0,
-               cells: Sequence[tuple[str, int]] = SOAK_SEEDS) -> list[dict]:
-    """The bench experiment: one row per (profile, seed) storm cell.
+               cells: Sequence[tuple] = SOAK_SEEDS) -> list[dict]:
+    """The bench experiment: one row per storm cell.
 
     The first cell is run twice and its injection-log hash and verdict
     compared — the ``deterministic`` column is the replayability proof.
+    The same check holds for every cell in the matrix (variants and
+    replica counts included); the dedicated determinism test covers a
+    variant cell so the storm matrix keeps same-seed replay identity.
     """
-    rows = [run_soak(profile, seed, scale=scale)
-            for profile, seed in cells]
+    rows = []
+    for cell in cells:
+        profile, seed, variant, replicas = _cell_args(cell)
+        rows.append(run_soak(profile, seed, scale=scale, variant=variant,
+                             replicas=replicas))
     if rows:
-        profile, seed = cells[0]
-        rerun = run_soak(profile, seed, scale=scale)
+        profile, seed, variant, replicas = _cell_args(cells[0])
+        rerun = run_soak(profile, seed, scale=scale, variant=variant,
+                         replicas=replicas)
         verdict = ("ops", "errors", "corrupt_values", "lost_acked_writes",
                    "schedule_hash", "injected_faults")
         rows[0]["deterministic"] = all(
@@ -352,8 +407,12 @@ def main() -> int:  # pragma: no cover - thin CLI
     ap.add_argument("--profile", default="mixed", choices=PROFILES)
     ap.add_argument("--seed", type=int, default=42)
     ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--variant", default="plain",
+                    choices=("plain", "subshard", "pipelined"))
+    ap.add_argument("--replicas", type=int, default=1)
     ns = ap.parse_args()
-    row = run_soak(ns.profile, ns.seed, scale=ns.scale)
+    row = run_soak(ns.profile, ns.seed, scale=ns.scale,
+                   variant=ns.variant, replicas=ns.replicas)
     print(json.dumps(row, indent=2))
     bad = (row["untyped_errors"] or row["corrupt_values"]
            or row["lost_acked_writes"] or row["deadline_violations"]

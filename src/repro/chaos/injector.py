@@ -248,6 +248,37 @@ class FaultInjector:
             swat.kill_member(mid)
             ha.zk.expire_sessions_of(f"swat.m{mid}")
             swat.spawn_member()
+        elif kind == "dual_crash":
+            # Correlated failure: take down a whole server machine *and*
+            # every secondary covering its shards.  Replication tolerates
+            # exactly one of those; losing both leaves the durable log as
+            # the only way back (SWAT's no-candidate branch replays it).
+            servers = cluster.servers
+            if not servers:
+                return
+            server = servers[action.index % len(servers)]
+            if not any(sh.alive for sh in server.shards):
+                return
+            sids = [sh.shard_id for sh in server.shards]
+            self._record("dual_crash", server.server_id)
+            server.kill()
+            for sid in sids:
+                for sec in cluster.secondaries.get(sid, []):
+                    if not sec.failing:
+                        sec.kill()
+                    if sec.machine.nic.alive:
+                        sec.machine.nic.fail()
+        elif kind == "clock_skew":
+            # Skew every client machine's wall clock by a seeded offset in
+            # ±duration_ns.  Lease checks on those machines now read a
+            # clock that may run ahead of the shard's; only the client's
+            # lease_skew_guard_ns keeps reads inside the safety horizon.
+            bound = max(1, action.duration_ns)
+            rng = self.rng.stream("chaos.clock_skew")
+            for machine in getattr(cluster, "client_machines", []):
+                skew = int(rng.integers(-bound, bound + 1))
+                machine.clock_skew_ns = skew
+                self._record("clock_skew", f"m{machine.machine_id}:{skew}")
         elif kind == "qp_flap":
             conns = []
             for sid in cluster.routing.shard_ids():

@@ -30,7 +30,11 @@ Action **kinds** (discrete, applied by the injector's driver process):
 ``duration_ns``), ``zk_expire_agent`` (force-expire a shard agent's
 session), ``swat_churn`` (kill + expire the SWAT leader, spawn a
 replacement), ``qp_flap`` (spontaneous QP error on a live client
-connection).
+connection), ``dual_crash`` (correlated failure: kill a server *and*
+its shards' secondaries — replication cannot cover it, so SWAT must
+rebuild from the durable log), ``clock_skew`` (skew every client
+machine's wall clock by up to ±``duration_ns``; lease checks must stay
+safe under ``client.lease_skew_guard_ns``).
 
 Injection is deliberately *not* wired into the replication ring or ack
 regions: a torn or dropped ring frame is a protocol-level wedge (the
@@ -57,10 +61,11 @@ SITES = ("write_drop", "write_delay", "write_dup", "write_torn",
 
 #: Discrete action kinds the driver process applies.
 ACTION_KINDS = ("shard_crash", "gray", "zk_expire_agent", "swat_churn",
-                "qp_flap")
+                "qp_flap", "dual_crash", "clock_skew")
 
 #: Named storm profiles understood by :func:`build_schedule`.
-PROFILES = ("torn", "gray", "zk", "flap", "mixed", "stale", "tenant")
+PROFILES = ("torn", "gray", "zk", "flap", "mixed", "stale", "tenant",
+            "dualfail")
 
 
 @dataclass(frozen=True)
@@ -202,6 +207,19 @@ def build_schedule(profile: str, seed: int,
             actions.append(FaultAction(jit(0.1, 0.9), "qp_flap"))
         window("write_drop", 0.01, 0.03)
         window("write_delay", 0.02, 0.05, min_d=20_000, max_d=200_000)
+    elif profile == "dualfail":
+        # Correlated primary+secondary death under load.  The replication
+        # ring tolerates exactly one failure; this storm takes both, so
+        # the only way back is the durable write-behind log (the harness
+        # enables it in ack_on_flush mode for this profile).  Client
+        # clocks are skewed early — before any lease is trusted across
+        # the blackout — and light write weather keeps retries honest.
+        actions.append(FaultAction(jit(0.0, 0.1), "clock_skew",
+                                   duration_ns=500_000))
+        actions.append(FaultAction(jit(0.25, 0.5), "dual_crash",
+                                   index=int(rng.integers(0, 4))))
+        window("write_delay", 0.02, 0.05, min_d=20_000, max_d=200_000)
+        window("write_drop", 0.005, 0.02)
     else:  # mixed
         actions.append(FaultAction(jit(0.15, 0.4), "shard_crash",
                                    index=int(rng.integers(0, 4))))

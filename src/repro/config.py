@@ -23,6 +23,7 @@ __all__ = [
     "TraversalConfig",
     "QosConfig",
     "ReplicationConfig",
+    "DurabilityConfig",
     "CoordConfig",
     "SimConfig",
 ]
@@ -358,6 +359,12 @@ class ClientConfig:
     rptr_sharing: bool = True
     #: Client rptr cache capacity (entries) when exclusive.
     rptr_cache_entries: int = 1 << 16
+    #: Extra guard subtracted from lease horizons at lookup time, covering
+    #: worst-case client clock skew (``machine.clock_skew_ns``).  A client
+    #: whose clock runs behind the server would otherwise trust a cached
+    #: remote pointer past its true lease expiry; set this at least as
+    #: large as the deployment's skew bound to keep one-sided reads safe.
+    lease_skew_guard_ns: int = 0
 
 
 @dataclass
@@ -501,6 +508,39 @@ class ReplicationConfig:
 
 
 @dataclass
+class DurabilityConfig:
+    """Write-behind durable log tier (simulated PM; ``repro/durable``).
+
+    Disabled by default: the durable tier is strictly additive to the
+    replication ring, and enabling it changes event schedules (golden
+    digests pin the default-off behavior).
+    """
+
+    #: Master switch: give every primary shard a PM device + durable log.
+    enabled: bool = False
+    #: When an acked write counts as safe on the durability path:
+    #: "ack_on_replicate" — ack as soon as the secondary write posts
+    #: (log flush is purely write-behind); "ack_on_flush" — the response
+    #: additionally waits for the group-commit flush covering the write,
+    #: so every acked write is durable even if primary AND secondary die.
+    ack_mode: str = "ack_on_replicate"
+    #: PM write latency and bandwidth (bytes per nanosecond).
+    pm_write_latency_ns: int = 3_000
+    pm_bandwidth_bpns: float = 2.0
+    #: Device capacity per shard (watermark block + log frames).
+    log_bytes: int = 32 << 20
+    #: Group-commit aging window: a flush gathers everything appended
+    #: within this long of the first pending record...
+    group_commit_ns: int = 50_000
+    #: ...or flushes early once this many records are pending.
+    group_commit_records: int = 64
+    #: Primary CPU cost to stage one record (off the replication path).
+    append_cost_ns: int = 150
+    #: Recovery CPU cost per replayed record (on top of store apply cost).
+    replay_apply_ns: int = 400
+
+
+@dataclass
 class CoordConfig:
     """ZooKeeper + SWAT parameters."""
 
@@ -528,6 +568,7 @@ class SimConfig:
     traversal: TraversalConfig = field(default_factory=TraversalConfig)
     qos: QosConfig = field(default_factory=QosConfig)
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     coord: CoordConfig = field(default_factory=CoordConfig)
 
     def __post_init__(self) -> None:

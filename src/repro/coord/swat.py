@@ -189,6 +189,25 @@ class SwatTeam:
             if sec.machine.nic.alive
         ]
         if not candidates:
+            # Correlated primary+secondary death.  With a durable log the
+            # shard is rebuilt from persistent media (replay + ring
+            # salvage + route republication); without one, the data is
+            # gone and we can only count the loss.
+            if getattr(self.cluster, "durable_logs", {}).get(shard_id):
+                new_primary = yield from self.cluster.recover_shard(shard_id)
+                try:
+                    yield from session.set_data(
+                        f"{ROUTING_PATH}/{shard_id}",
+                        self._route_blob(shard_id))
+                except ZkError:  # pragma: no cover - routing node races
+                    pass
+                ShardAgent(self.sim, self.zk, new_primary)
+                self.failovers += 1
+                self.cluster.metrics.counter("swat.failovers").add()
+                self.cluster.metrics.counter("swat.log_recoveries").add()
+                self.cluster.metrics.tally("swat.promotion_ns").observe(
+                    self.sim.now - react_start)
+                return
             self.cluster.metrics.counter("swat.data_loss").add()
             return
         promoted = candidates[0]

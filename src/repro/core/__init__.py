@@ -3,8 +3,8 @@
 from .api import HydraCluster, RoutingTable
 from .client import ClientTransport, HydraClient, StaticRouter
 from .errors import (Backpressure, BadStatus, HydraError, LifecycleError,
-                     RequestTimeout, ShardUnavailable, SlotOverflow,
-                     TenantThrottled)
+                     RecoveryInProgress, RequestTimeout, ShardUnavailable,
+                     SlotOverflow, TenantThrottled)
 from .lease import LeaseManager, LeaseState
 from .ring import HashRing
 from .rptr import CachedPointer, RptrCache
@@ -22,6 +22,7 @@ __all__ = [
     "HydraError",
     "RequestTimeout",
     "ShardUnavailable",
+    "RecoveryInProgress",
     "BadStatus",
     "SlotOverflow",
     "LifecycleError",

@@ -60,6 +60,10 @@ class RoutingTable:
         #: Fires on every swap (None when built without a simulator).
         self.route_change: Optional[Gate] = (
             Gate(sim) if sim is not None else None)
+        #: Shard ids currently mid full-crash recovery (durable-log
+        #: replay): clients surface RecoveryInProgress for these rather
+        #: than a generic ShardUnavailable when their deadline lapses.
+        self._recovering: set[str] = set()
 
     def set(self, shard_id: str, shard: Shard) -> None:
         """Install/replace the shard serving ``shard_id``.
@@ -86,6 +90,17 @@ class RoutingTable:
     def live_shards(self) -> list[Shard]:
         """Every currently routed shard object."""
         return list(self._map.values())
+
+    # -- recovery markers ---------------------------------------------------
+    def mark_recovering(self, shard_id: str) -> None:
+        self._recovering.add(shard_id)
+
+    def clear_recovering(self, shard_id: str) -> None:
+        self._recovering.discard(shard_id)
+
+    def is_recovering(self, shard_id: str) -> bool:
+        """True while ``shard_id`` is being rebuilt from its durable log."""
+        return shard_id in self._recovering
 
 
 class HydraCluster:
@@ -142,6 +157,14 @@ class HydraCluster:
         self.secondaries: dict[str, list] = {}
         if self.config.replication.replicas > 0:
             self._wire_replication(cores_per_numa)
+        #: Durable tier (populated when config.durability.enabled): the
+        #: cluster — not the shard — owns each shard's PM device, so its
+        #: contents survive shard/server death for full-crash recovery.
+        self._cores_per_numa = cores_per_numa
+        self.durable_devices: dict[str, object] = {}
+        self.durable_logs: dict[str, object] = {}
+        if self.config.durability.enabled:
+            self._wire_durability()
 
     def _wire_replication(self, cores_per_numa: int) -> None:
         from ..replication import LogReplicator, SecondaryShard
@@ -165,6 +188,23 @@ class HydraCluster:
                 self.replicators[shard.shard_id] = replicator
                 self.secondaries[shard.shard_id] = secs
 
+    def _wire_durability(self) -> None:
+        from ..durable import DurableLog, PMDevice
+
+        dur = self.config.durability
+        for server in self.servers:
+            for shard in server.shards:
+                device = PMDevice(self.sim, dur.log_bytes,
+                                  write_latency_ns=dur.pm_write_latency_ns,
+                                  bandwidth_bpns=dur.pm_bandwidth_bpns,
+                                  name=f"{shard.shard_id}.pm")
+                dlog = DurableLog(self.sim, self.config, device,
+                                  metrics=self.metrics,
+                                  name=f"{shard.shard_id}.dlog")
+                shard.durable = dlog
+                self.durable_devices[shard.shard_id] = device
+                self.durable_logs[shard.shard_id] = dlog
+
     def _new_machine(self, cores_per_numa: int) -> Machine:
         machine = Machine(self.sim, self._machine_counter, self.config,
                           cores_per_numa=cores_per_numa)
@@ -182,6 +222,11 @@ class HydraCluster:
     def shards(self) -> list[Shard]:
         """All live shards, in ring-member order."""
         return [self.routing.resolve(sid) for sid in self.ring.members]
+
+    def key_recovering(self, key: bytes) -> bool:
+        """True while the shard owning ``key`` is replaying its log."""
+        from ..index.hashing import hash64
+        return self.routing.is_recovering(self.ring.owner(hash64(key)))
 
     @property
     def generation(self) -> int:
@@ -204,6 +249,9 @@ class HydraCluster:
         for secs in self.secondaries.values():
             for sec in secs:
                 sec.start()
+        for dlog in self.durable_logs.values():
+            if not dlog.alive:
+                dlog.start()
 
     def stop(self) -> None:
         """Cleanly halt every shard, secondary, and reclaimer process.
@@ -239,6 +287,110 @@ class HydraCluster:
         if len(procs) == 1:
             return self.sim.run(until=procs[0])
         return self.sim.run(until=self.sim.all_of(procs))
+
+    # -- full-crash recovery ------------------------------------------------
+    def recover_shard(self, shard_id: str):
+        """Rebuild a shard from its durable log after a correlated crash.
+
+        Generator (driven by a SWAT leader, or directly in tests);
+        returns the fresh primary.  The sequence:
+
+        1. mark the route *recovering* (clients raise RecoveryInProgress
+           instead of plain ShardUnavailable while their deadlines lapse),
+        2. scan the PM device — guardian-validate every frame, truncate a
+           torn tail, stop (loudly) on mid-log corruption,
+        3. replay the validated records into a fresh store in log order
+           (force-applied versions make double replay idempotent),
+        4. salvage any contiguous unmerged suffix from surviving
+           secondary rings, ``promote_drain()``-style,
+        5. restart the durable log on the same device past the validated
+           tail, start the shard (its index re-exports as the store is
+           already populated), and swap the route — the generation bump
+           fires ``route_change`` so failover-aware clients replay
+           through the recovered primary.
+        """
+        from ..durable import (DurableLog, LOG_BASE, read_watermark,
+                               replay_into, scan_log)
+
+        device = self.durable_devices[shard_id]
+        old_log = self.durable_logs.get(shard_id)
+        if old_log is not None:
+            old_log.crash()  # idempotent if the shard's kill() already ran
+        self.routing.mark_recovering(shard_id)
+        t0 = self.sim.now
+        m = self.metrics
+        try:
+            machine = self._new_machine(self._cores_per_numa)
+            self.server_machines.append(machine)
+            core = machine.allocate_core(shard_id)
+            shard = Shard(self.sim, self.config, shard_id, machine, core,
+                          metrics=m)
+            scan = scan_log(device)
+            valid_end = LOG_BASE + scan.valid_bytes
+            if scan.torn_bytes:
+                m.counter("durable.torn_truncated_bytes").add(
+                    scan.torn_bytes)
+                device.zero(valid_end, max(0, device.hiwater - valid_end))
+            if scan.guardian_mismatches:
+                m.counter("durable.guardian_mismatches").add(
+                    scan.guardian_mismatches)
+            replayed = yield from replay_into(self.sim, device, scan,
+                                              shard.store, self.config)
+            for sec in self.secondaries.get(shard_id, []):
+                self._salvage_ring(sec, shard.store)
+            _seq, epoch = read_watermark(device)
+            dlog = DurableLog(self.sim, self.config, device, metrics=m,
+                              name=f"{shard_id}.dlog",
+                              start_seq=scan.next_seq, tail=valid_end,
+                              wm_epoch=epoch)
+            shard.durable = dlog
+            self.durable_logs[shard_id] = dlog
+            dlog.start()
+            # The replication fan-out died with the correlated crash; the
+            # durable log alone carries the shard until re-provisioning.
+            self.replicators.pop(shard_id, None)
+            self.secondaries[shard_id] = []
+            shard.start()
+            self.routing.set(shard_id, shard)
+            m.counter("durable.recoveries").add()
+            m.counter("durable.replayed").add(replayed)
+            m.tally("durable.recovery_ns").observe(self.sim.now - t0)
+            return shard
+        finally:
+            self.routing.clear_recovering(shard_id)
+
+    def _salvage_ring(self, sec, store) -> int:
+        """Drain a surviving secondary ring's unmerged suffix into a
+        recovering store, ``promote_drain()``-style: contiguous records
+        only, stopping at the first sequence gap.  A secondary stopped on
+        a merge fault (``failing``) contributes nothing — its failed-seq
+        records were never acknowledged and must not be resurrected.
+        Suffix records that the log replay already covered are skipped by
+        the version guard (PUTs) or degrade to no-op removes (DELETEs).
+        """
+        from ..protocol import Op
+        from ..replication.log import LogRecord, RecordType
+
+        applied = 0
+        while not sec.failing:
+            payload = sec.reader.poll()
+            if payload is None:
+                break
+            record = LogRecord.decode(payload)
+            if record.rtype is RecordType.ACK_REQUEST:
+                continue
+            if record.seq != sec.applied_seq + 1:
+                break
+            sec.applied_seq = record.seq
+            if (record.op is not Op.DELETE
+                    and record.version <= store.get(record.key).version):
+                continue
+            store.apply(record.op, record.key, record.value,
+                        version=record.version)
+            applied += 1
+        if applied:
+            self.metrics.counter("durable.salvaged").add(applied)
+        return applied
 
     def enable_ha(self, n_swat: int = 3):
         """Attach the ZooKeeper + SWAT control plane (call before start())."""

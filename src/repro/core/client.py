@@ -77,9 +77,9 @@ from ..qos import AimdController, SlotArbiter
 from ..rdma import Nic, NicDown, QpError, RemotePointer
 from ..rdma.tcp import TcpError
 from ..sim import MetricSet, Simulator
-from .errors import (BadStatus, RequestTimeout, ShardUnavailable,
-                     SlotOverflow, TenantThrottled)
-from .rptr import CachedPointer, RptrCache
+from .errors import (BadStatus, RecoveryInProgress, RequestTimeout,
+                     ShardUnavailable, SlotOverflow, TenantThrottled)
+from .rptr import CachedPointer, LEASE_SAFETY_NS, RptrCache
 from .shard import Connection, Shard
 
 __all__ = ["ClientTransport", "HydraClient", "PendingRequest",
@@ -358,6 +358,11 @@ class HydraClient:
         self._c_stale = m.counter("client.stale_responses")
         self._c_retries = m.counter("client.retries")
         self._c_failovers = m.counter("client.failovers")
+        #: Lease entries trusted under the skewed local clock that the
+        #: true clock would have expired — each one is a window where a
+        #: one-sided read could return a dead item.  Zero whenever
+        #: ``client.lease_skew_guard_ns`` covers the machine's skew.
+        self._c_skew_hazards = m.counter("client.lease_skew_hazards")
         self._c_rdma_reads = m.counter("client.rdma_reads")
         self._c_demotions = m.counter("client.demotions")
         self._c_bucket_reads = m.counter("client.bucket_reads")
@@ -565,6 +570,14 @@ class HydraClient:
                         f"not have been applied)") from exc
                 remaining = deadline - self.sim.now
                 if remaining <= 0:
+                    probe = getattr(self.router, "key_recovering", None)
+                    if probe is not None and probe(key):
+                        # Diagnosed outage: the shard is mid durable-log
+                        # replay and will come back with a route bump.
+                        raise RecoveryInProgress(
+                            f"{self.client_id}: {opname} {key!r} deadline "
+                            f"({self.deadline_us}us) lapsed while the "
+                            f"shard replays its durable log") from exc
                     raise ShardUnavailable(
                         f"{self.client_id}: {opname} {key!r} deadline "
                         f"({self.deadline_us}us) lapsed with no live "
@@ -851,7 +864,14 @@ class HydraClient:
             yield from race(trav, cs)
 
         yield self.sim.timeout(cache.batch_op_cost_ns(len(items)))
-        entries = cache.lookup_batch([it.key for it in items], self.sim.now)
+        # Lease checks run on the *machine's* clock (possibly skewed),
+        # advanced by the configured guard: a client whose clock runs
+        # behind true time would otherwise trust a pointer past its real
+        # lease horizon and one-sided-read a dead item.
+        lease_now = (self.sim.now
+                     + getattr(self.machine, "clock_skew_ns", 0)
+                     + self.client_cfg.lease_skew_guard_ns)
+        entries = cache.lookup_batch([it.key for it in items], lease_now)
         states: dict[int, _ReadState] = {}
 
         def state_for(conn: Connection) -> _ReadState:
@@ -864,6 +884,10 @@ class HydraClient:
         cold: list[tuple[_ReadItem, Connection]] = []
         for item, entry in zip(items, entries):
             if entry is not None:
+                if entry.lease_expiry_ns < self.sim.now + LEASE_SAFETY_NS:
+                    # Trusted under the skewed clock, expired on the true
+                    # one: a potential dead-item read the guard missed.
+                    self._c_skew_hazards.add()
                 cs = state_for(self.connection_to(item.shard))
                 cs.queue.append(_ReadOp("item", item, entry.rptr))
                 continue

@@ -26,6 +26,14 @@ deadline state machine):
     promotion arrived in time.  Subclasses :class:`RequestTimeout` so
     pre-existing ``except RequestTimeout`` handlers keep working.
 
+``RecoveryInProgress``
+    :class:`ShardUnavailable` with a diagnosis: the deadline lapsed while
+    the key's shard was mid-recovery — a fresh primary replaying the
+    durable log after a correlated primary+secondary crash.  The shard is
+    coming back (unlike a plain ShardUnavailable, where nothing may be);
+    callers that can afford to wait should retry after the routing
+    generation bumps.
+
 ``BadStatus``
     The shard answered, but with a status the operation cannot express in
     its return value (e.g. ``Status.ERROR`` from a GET).  Carries the
@@ -68,6 +76,7 @@ __all__ = [
     "HydraError",
     "RequestTimeout",
     "ShardUnavailable",
+    "RecoveryInProgress",
     "BadStatus",
     "Backpressure",
     "TenantThrottled",
@@ -86,6 +95,10 @@ class RequestTimeout(HydraError):
 
 class ShardUnavailable(RequestTimeout):
     """The retry deadline budget lapsed without a live route for the key."""
+
+
+class RecoveryInProgress(ShardUnavailable):
+    """The deadline lapsed while the key's shard was replaying its log."""
 
 
 class BadStatus(HydraError):

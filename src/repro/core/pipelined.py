@@ -90,6 +90,8 @@ class PipelinedShard(Shard):
         for p in self._procs:
             if p.is_alive:
                 p.interrupt("killed")
+        if self.durable is not None:
+            self.durable.crash()
         # Requests handed off but never picked up by a worker die with the
         # process; count them so availability experiments can see how much
         # in-flight work a failover drops on the floor.
@@ -197,6 +199,16 @@ class PipelinedShard(Shard):
                     batch.rep_waits.append(wait_ev)
                 else:
                     yield wait_ev
+        if (self.durable is not None and is_write
+                and result.status is Status.OK):
+            dur_cost, flush_ev = self.durable.append(
+                req.op, req.key, req.value, result.version)
+            yield core.execute(dur_cost)
+            if flush_ev is not None:
+                if batch is not None:
+                    batch.rep_waits.append(flush_ev)
+                else:
+                    yield flush_ev
         if is_write:
             self._store_lock.write_release()
         else:
@@ -231,6 +243,7 @@ class PipelinedShard(Shard):
         queue = self._queue
         lock = self._store_lock
         replicator = self.replicator
+        durable = self.durable
         unpack = _REQ.unpack_from
         base = _REQ.size
         lock_ns = h.pipeline_lock_ns
@@ -281,6 +294,12 @@ class PipelinedShard(Shard):
                     yield core.execute(rep_cost)
                     if wait_ev is not None:
                         batch.rep_waits.append(wait_ev)
+                if durable is not None and is_write and result.status is ok:
+                    dur_cost, flush_ev = durable.append(
+                        _OP_BY_CODE[op], key, value, result.version)
+                    yield core.execute(dur_cost)
+                    if flush_ev is not None:
+                        batch.rep_waits.append(flush_ev)
                 if is_write:
                     lock.write_release()
                 else:

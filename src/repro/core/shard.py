@@ -198,6 +198,9 @@ class Shard:
         self._tcp_conns: list = []
         #: Replication hook; installed by the HA wiring (repro.replication).
         self.replicator = None
+        #: Durable write-behind log; installed by the cluster's durability
+        #: wiring (repro.durable) when ``config.durability.enabled``.
+        self.durable = None
         #: Gray-failure state: True = the shard thread has stopped sweeping
         #: while the process, NIC, and QPs all stay up (wedged core, lost
         #: scheduler quantum).  Heartbeats keep flowing, so SWAT never
@@ -259,6 +262,8 @@ class Shard:
         self.store.reclaimer.stop()
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("killed")
+        if self.durable is not None:
+            self.durable.crash()
         self._teardown_conns()
 
     def _teardown_conns(self) -> None:
@@ -604,6 +609,13 @@ class Shard:
             yield self.core.execute(rep_cost)
             if wait_ev is not None:
                 yield wait_ev
+        if (self.durable is not None and req.op in WRITE_OPS
+                and result.status is Status.OK):
+            dur_cost, flush_ev = self.durable.append(
+                req.op, req.key, req.value, result.version)
+            yield self.core.execute(dur_cost)
+            if flush_ev is not None:
+                yield flush_ev
         # No remote pointer over TCP: one-sided reads are impossible.
         resp = Response(op=req.op, status=result.status, req_id=req.req_id,
                         value=result.value, version=result.version)
@@ -739,6 +751,20 @@ class Shard:
                     batch.rep_waits.append(wait_ev)
                 else:
                     yield wait_ev
+        if (self.durable is not None and req.op in WRITE_OPS
+                and result.status is Status.OK):
+            # Write-behind durable append: stage the record and move on.
+            # Under ack_on_flush the group-commit flush event joins the
+            # sweep batch exactly like a replication ack, so the response
+            # flushes only once the write is on persistent media.
+            dur_cost, flush_ev = self.durable.append(
+                req.op, req.key, req.value, result.version)
+            yield self.core.execute(dur_cost)
+            if flush_ev is not None:
+                if batch is not None:
+                    batch.rep_waits.append(flush_ev)
+                else:
+                    yield flush_ev
         resp = Response(
             op=req.op, status=result.status, req_id=req.req_id,
             value=result.value,
@@ -821,6 +847,7 @@ class Shard:
         core_execute = self.core.execute
         store = self.store
         replicator = self.replicator
+        durable = self.durable
         # Base shards execute every key against their one store
         # (store_for_key exists for the sub-sharded loops, which do not
         # route through this handler).
@@ -865,6 +892,12 @@ class Shard:
                     yield core_execute(rep_cost)
                     if wait_ev is not None:
                         rep_waits.append(wait_ev)
+                if durable is not None and is_ok_write:
+                    dur_cost, flush_ev = durable.append(
+                        _OP_BY_CODE[op], key, vals[i], result.version)
+                    yield core_execute(dur_cost)
+                    if flush_ev is not None:
+                        rep_waits.append(flush_ev)
                 # Respond: straight to wire bytes, buffered for the
                 # sweep's doorbell-coalesced flush (the scalar _respond
                 # batch branch, inlined).

@@ -30,7 +30,8 @@ from ..protocol import Op, Request, Response, Status
 from ..protocol.messages import _REQ
 from ..sim import Interrupt, MetricSet, Simulator, Store
 from .errors import LifecycleError
-from .shard import _MAX_OP, _OP_BY_CODE, Shard
+from .shard import (_MAX_OP, _OP_BY_CODE, _WRITE_HI, _WRITE_LO, Shard,
+                    WRITE_OPS)
 from .store import ShardStore
 
 __all__ = ["SubShardedShard"]
@@ -119,6 +120,8 @@ class SubShardedShard(Shard):
         for p in self._procs:
             if p.is_alive:
                 p.interrupt("killed")
+        if self.durable is not None:
+            self.durable.crash()
         self._teardown_conns()
 
     # -- dispatcher (owns every connection) --------------------------------
@@ -236,6 +239,13 @@ class SubShardedShard(Shard):
                 else:
                     result = store.lease_renew(key)
                 yield core.execute(result.cost_ns + lock_build)
+                if (self.durable is not None and result.status is Status.OK
+                        and _WRITE_LO <= op <= _WRITE_HI):
+                    dur_cost, flush_ev = self.durable.append(
+                        _OP_BY_CODE[op], key, value, result.version)
+                    yield core.execute(dur_cost)
+                    if flush_ev is not None:
+                        batch.rep_waits.append(flush_ev)
                 self._respond_flat(conn, slot, op, rid, result, store,
                                    batch)
                 if (not queue.items or self._batch_full(batch)
@@ -260,6 +270,16 @@ class SubShardedShard(Shard):
                 yield core.execute(result.cost_ns
                                    + self.cpu.build_response_ns
                                    + SEND_LOCK_NS)
+                if (self.durable is not None and req.op in WRITE_OPS
+                        and result.status is Status.OK):
+                    dur_cost, flush_ev = self.durable.append(
+                        req.op, req.key, req.value, result.version)
+                    yield core.execute(dur_cost)
+                    if flush_ev is not None:
+                        if batch is not None:
+                            batch.rep_waits.append(flush_ev)
+                        else:
+                            yield flush_ev
                 resp = Response(
                     op=req.op, status=result.status, req_id=req.req_id,
                     value=result.value,

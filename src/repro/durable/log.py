@@ -1,0 +1,326 @@
+"""Per-shard write-behind durable log: group commit, watermark, replay.
+
+Record encoding reuses :class:`repro.replication.log.LogRecord` — the
+same bytes the replication ring carries — wrapped in an on-media frame
+derived from the indicator discipline of ``protocol/indicator.py``:
+
+    +-----------------------------+-------------+----------------------+
+    | head u64                    | payload     | guardian u64         |
+    | (HEAD_MAGIC << 32) | length | LogRecord   | BLAKE2b-64(payload)  |
+    +-----------------------------+-------------+----------------------+
+
+The head word is the *indicator* (a reader knows a frame was staked and
+how long it claims to be); the guardian is a content checksum, so a torn
+group-commit blob — the PM device lands only a prefix at crash — is
+detected and truncated, while in-place corruption mid-log (guardian
+fails but later media is non-zero) is reported distinctly and stops
+replay.
+
+The first :data:`WATERMARK_BYTES` of the device hold an A/B pair of
+watermark slots recording ``flushed_seq``: the writer alternates slots
+each flush so a crash mid-watermark-write always leaves one valid slot
+(pick the higher epoch that checks out).
+
+Appends are asynchronous and off the replication path: the shard calls
+:meth:`DurableLog.append` at write-commit time, paying only a small CPU
+cost; a flusher process group-commits everything pending after an aging
+window (or once ``group_commit_records`` pile up).  Under
+``ack_mode="ack_on_flush"`` the append also returns the batch's shared
+flush event, which the shard joins into the same wait-set as the
+replication ack — an acked write is then durable once *either* the
+secondary ack or the log flush has landed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..protocol import Op
+from ..protocol.indicator import HEAD_MAGIC
+from ..replication.log import LogRecord, RecordType
+from ..sim import Event, Gate, Interrupt, MetricSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import SimConfig
+    from ..core.store import ShardStore
+    from ..sim import Simulator
+    from .device import PMDevice
+
+__all__ = ["DurableLog", "DurableScan", "LOG_BASE", "WATERMARK_BYTES",
+           "read_watermark", "scan_log", "replay_into"]
+
+_U64 = struct.Struct("<Q")
+_WM = struct.Struct("<QQ")        # flushed_seq, epoch
+
+#: u64 head + u64 guardian around each payload.
+FRAME_OVERHEAD = 16
+#: Two 24-byte watermark slots (A at 0, B at 32), padded to one line.
+WATERMARK_BYTES = 64
+_WM_SLOT_BYTES = 32
+#: Log frames start here.
+LOG_BASE = WATERMARK_BYTES
+
+
+def _guardian(payload: bytes) -> int:
+    return _U64.unpack(hashlib.blake2b(payload, digest_size=8).digest())[0]
+
+
+def _frame(payload: bytes) -> bytes:
+    head = (HEAD_MAGIC << 32) | len(payload)
+    return _U64.pack(head) + payload + _U64.pack(_guardian(payload))
+
+
+# ---------------------------------------------------------------------------
+# Replay-side scanning
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DurableScan:
+    """Result of validating a device's log area."""
+
+    records: list[LogRecord] = field(default_factory=list)
+    #: Bytes of valid frames past LOG_BASE (where a fresh log may resume).
+    valid_bytes: int = 0
+    #: Bytes discarded as a torn tail (crash mid-group-commit).
+    torn_bytes: int = 0
+    #: Non-torn guardian/head failures (corruption mid-log); replay stops.
+    guardian_mismatches: int = 0
+    #: Highest flushed_seq recoverable from the A/B watermark slots.
+    watermark_seq: int = 0
+    stop_reason: str = "clean_end"   # clean_end | torn_tail | guardian_mismatch
+
+    @property
+    def next_seq(self) -> int:
+        return max([self.watermark_seq] + [r.seq for r in self.records])
+
+
+def read_watermark(device: "PMDevice") -> tuple[int, int]:
+    """(flushed_seq, epoch) from the best valid A/B watermark slot."""
+    best = (0, 0)
+    for slot in (0, _WM_SLOT_BYTES):
+        raw = device.read(slot, _WM.size + 8)
+        payload, guard = raw[:_WM.size], raw[_WM.size:]
+        if _U64.unpack(guard)[0] != _guardian(payload):
+            continue
+        seq, epoch = _WM.unpack(payload)
+        if epoch >= best[1]:
+            best = (seq, epoch)
+    return best
+
+
+def scan_log(device: "PMDevice") -> DurableScan:
+    """Walk frames from LOG_BASE, guardian-validating each.
+
+    A failure whose suffix (through the device high-water mark) is all
+    zero is a *torn tail* — the expected crash artifact — and is simply
+    truncated.  A failure followed by non-zero media is corruption; the
+    scan stops there and reports it distinctly.
+    """
+    scan = DurableScan()
+    seq, _epoch = read_watermark(device)
+    scan.watermark_seq = seq
+    media = device.media
+    hi = max(device.hiwater, LOG_BASE)
+    off = LOG_BASE
+
+    def _suffix_zero(start: int) -> bool:
+        return not any(media[start:hi])
+
+    while off + 8 <= device.capacity:
+        head = _U64.unpack_from(media, off)[0]
+        if head == 0:
+            if not _suffix_zero(off):
+                scan.torn_bytes = hi - off
+                scan.stop_reason = "torn_tail"
+            break
+        magic, plen = head >> 32, head & 0xFFFFFFFF
+        end = off + 8 + plen + 8
+        if magic != HEAD_MAGIC or end > device.capacity:
+            # A damaged head word can't be trusted for length; classify by
+            # what follows the word itself.
+            if _suffix_zero(off + 8):
+                scan.torn_bytes = hi - off
+                scan.stop_reason = "torn_tail"
+            else:
+                scan.guardian_mismatches += 1
+                scan.stop_reason = "guardian_mismatch"
+            break
+        payload = bytes(media[off + 8:off + 8 + plen])
+        guard = _U64.unpack_from(media, off + 8 + plen)[0]
+        record: Optional[LogRecord] = None
+        if guard == _guardian(payload):
+            try:
+                record = LogRecord.decode(payload)
+            except ValueError:
+                record = None
+        if record is None:
+            if _suffix_zero(end):
+                scan.torn_bytes = hi - off
+                scan.stop_reason = "torn_tail"
+            else:
+                scan.guardian_mismatches += 1
+                scan.stop_reason = "guardian_mismatch"
+            break
+        if record.rtype is RecordType.DATA:
+            scan.records.append(record)
+        off = end
+        scan.valid_bytes = off - LOG_BASE
+    return scan
+
+
+def replay_into(sim: "Simulator", device: "PMDevice", scan: DurableScan,
+                store: "ShardStore", config: "SimConfig"):
+    """Apply a scan's records in log order (generator; returns count).
+
+    Versions ride each record and are force-applied, so a double replay
+    is idempotent: re-applying record *n* rewrites the same version and
+    never regresses a newer value (version monotonicity is preserved by
+    log order, the same ordering contract the secondary merge path has).
+    """
+    dur = config.durability
+    cost = device.read_cost(LOG_BASE + scan.valid_bytes)
+    applied = 0
+    for rec in scan.records:
+        res = store.apply(rec.op, rec.key, rec.value, version=rec.version)
+        cost += dur.replay_apply_ns + res.cost_ns
+        applied += 1
+    if cost:
+        yield sim.timeout(cost)
+    return applied
+
+
+# ---------------------------------------------------------------------------
+# Write-behind appender
+# ---------------------------------------------------------------------------
+
+class DurableLog:
+    """Group-committed write-behind appender over one :class:`PMDevice`."""
+
+    def __init__(self, sim: "Simulator", config: "SimConfig",
+                 device: "PMDevice", metrics: Optional[MetricSet] = None,
+                 name: str = "dlog", start_seq: int = 0,
+                 tail: int = LOG_BASE, wm_epoch: int = 0) -> None:
+        self.sim = sim
+        self.config = config
+        self.dur = config.durability
+        self.device = device
+        self.metrics = metrics or MetricSet(sim)
+        self.name = name
+        #: Last sequence number assigned to an append.
+        self.seq = start_seq
+        #: Highest sequence persisted (data + watermark landed).
+        self.flushed_seq = start_seq
+        self.tail = tail
+        self.wm_epoch = wm_epoch
+        self.pending: list[LogRecord] = []
+        self.alive = False
+        self._arm = Gate(sim)
+        self._full = Gate(sim)
+        self._flush_ev: Optional[Event] = None
+        self._proc = None
+
+    @property
+    def ack_on_flush(self) -> bool:
+        return self.dur.ack_mode == "ack_on_flush"
+
+    # -- primary-side hook ---------------------------------------------------
+    def append(self, op: Op, key: bytes, value: bytes,
+               version: int) -> tuple[int, Optional[Event]]:
+        """Stage one record; returns (cpu_cost_ns, optional flush event).
+
+        Mirrors the replicator hook shape: the caller charges the CPU
+        cost and, when an event comes back (``ack_on_flush``), joins it
+        into the sweep's wait-set alongside replication acks.  All
+        records staged before the next flush share one event.
+        """
+        self.seq += 1
+        self.pending.append(LogRecord(RecordType.DATA, self.seq, op=op,
+                                      key=key, value=value, version=version))
+        if len(self.pending) == 1:
+            self._arm.fire()
+        if len(self.pending) >= self.dur.group_commit_records:
+            self._full.fire()
+        ev = None
+        if self.ack_on_flush:
+            if self._flush_ev is None:
+                self._flush_ev = Event(self.sim)
+            ev = self._flush_ev
+        return self.dur.append_cost_ns, ev
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        self.alive = True
+        self._proc = self.sim.process(self._flusher(),
+                                      name=f"{self.name}.flush")
+
+    def crash(self) -> None:
+        """Shard death: tear any in-flight PM write, drop staged records.
+
+        Staged-but-unflushed records are exactly the write-behind
+        exposure; under ``ack_on_flush`` none of them were acked on the
+        durability path (their flush event never fired), so losing them
+        here cannot lose an acked write.
+        """
+        self.alive = False
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("crashed")
+        self.device.crash()
+        if self.pending:
+            self.metrics.counter("durable.lost_pending").add(
+                len(self.pending))
+        self.pending = []
+        self._flush_ev = None
+
+    # -- flusher -------------------------------------------------------------
+    def _flusher(self):
+        try:
+            while self.alive:
+                if not self.pending:
+                    yield self._arm.wait()
+                    continue
+                if len(self.pending) < self.dur.group_commit_records:
+                    # Age the group: more appends coalesce into this flush.
+                    yield self.sim.any_of([
+                        self.sim.timeout(self.dur.group_commit_ns),
+                        self._full.wait(),
+                    ])
+                batch, ev = self.pending, self._flush_ev
+                self.pending, self._flush_ev = [], None
+                blob = b"".join(_frame(r.encode()) for r in batch)
+                if self.tail + len(blob) > self.device.capacity:
+                    # Fail-soft: the replication path still protects these
+                    # writes; count loudly so benches can hard-fail on it.
+                    self.metrics.counter("durable.log_full").add(len(batch))
+                    if ev is not None:
+                        ev.succeed(None)
+                    continue
+                cost = self.device.begin_write(self.tail, blob)
+                yield self.sim.timeout(cost)
+                self.device.commit_write()
+                self.tail += len(blob)
+                self.flushed_seq = batch[-1].seq
+                yield from self._write_watermark()
+                self.metrics.counter("durable.flushes").add()
+                self.metrics.counter("durable.records").add(len(batch))
+                self.metrics.tally("durable.group_records").observe(
+                    len(batch))
+                if ev is not None:
+                    ev.succeed(None)
+        except Interrupt:
+            pass
+
+    def _write_watermark(self):
+        self.wm_epoch += 1
+        slot = _WM_SLOT_BYTES * (self.wm_epoch % 2)
+        payload = _WM.pack(self.flushed_seq, self.wm_epoch)
+        blob = payload + _U64.pack(_guardian(payload))
+        cost = self.device.begin_write(slot, blob)
+        yield self.sim.timeout(cost)
+        self.device.commit_write()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<DurableLog {self.name} seq={self.seq} "
+                f"flushed={self.flushed_seq} tail={self.tail}>")

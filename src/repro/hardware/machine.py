@@ -39,6 +39,11 @@ class Machine:
         #: Attached by the fabric / TCP network at cluster build time.
         self.nic: Optional["Nic"] = None
         self.tcp: Optional["TcpStack"] = None
+        #: Offset of this machine's wall clock from simulated true time.
+        #: Processes on the machine that consult a local clock (e.g. the
+        #: client lease check) should read ``sim.now + clock_skew_ns``.
+        #: Set by the chaos injector's clock_skew action; 0 = perfect NTP.
+        self.clock_skew_ns: int = 0
 
     def allocate_core(self, owner: str,
                       numa_domain: Optional[int] = None) -> Core:

@@ -68,3 +68,42 @@ def test_stale_pointer_storm_traversal_contract_and_replay():
     assert a["bucket_reads"] > 0
     b = run_soak("stale", 89, **_SMALL)
     assert a == b  # same seed -> same storm, same traversal outcome
+
+
+def test_dualfail_storm_recovers_through_the_durable_log():
+    """Correlated primary+secondary kill: no survivor to promote, so the
+    shard must come back from the durable write-behind log, the skew
+    guard must keep leases honest, and the whole storm must replay
+    bit-identically."""
+    a = run_soak("dualfail", 113, **_SMALL)
+    _check_contract(a)
+    assert a["injected_faults"] > 0
+    assert a["failovers"] >= 1
+    assert a["log_recoveries"] >= 1
+    assert a["log_replayed"] > 0
+    # The profile arms lease_skew_guard_ns wider than the injected skew:
+    # no client may read a dead item past its skew-adjusted horizon.
+    assert a["lease_skew_hazards"] == 0
+    b = run_soak("dualfail", 113, **_SMALL)
+    assert a == b  # same seed -> same dual failure, same recovery
+
+
+@pytest.mark.parametrize("profile,seed,variant", [
+    ("torn", 131, "subshard"),
+    ("gray", 149, "pipelined"),
+])
+def test_storm_matrix_variants_hold_the_contract(profile, seed, variant):
+    replicas = 0 if variant == "subshard" else 1
+    a = run_soak(profile, seed, variant=variant, replicas=replicas, **_SMALL)
+    _check_contract(a)
+    assert a["variant"] == variant
+    assert a["injected_faults"] > 0
+    b = run_soak(profile, seed, variant=variant, replicas=replicas, **_SMALL)
+    assert a == b  # the variant cells replay bit-identically too
+
+
+def test_storm_matrix_double_replica_survives_mixed():
+    row = run_soak("mixed", 167, replicas=2, **_SMALL)
+    _check_contract(row)
+    assert row["replicas"] == 2
+    assert row["failovers"] >= 1
